@@ -1,0 +1,58 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation section and records its measured rows as JSON under
+``benchmarks/results/``, which EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List
+
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+from repro.parallel.engine import TrainingEngine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+PAPER_LOSS_BAND = 0.02
+"""Paper §4.2: resumed-loss deltas stay within 0.02 of the baseline."""
+
+
+def make_engine(
+    model_name: str = "gpt3-mini",
+    parallel: ParallelConfig = None,
+    seed: int = 7,
+    global_batch_size: int = 8,
+    seq_len: int = 16,
+    **kwargs,
+) -> TrainingEngine:
+    """Benchmark-scale engine factory."""
+    return TrainingEngine(
+        get_config(model_name),
+        parallel if parallel is not None else ParallelConfig(),
+        seed=seed,
+        global_batch_size=global_batch_size,
+        seq_len=seq_len,
+        **kwargs,
+    )
+
+
+def record_result(experiment: str, payload: Dict) -> pathlib.Path:
+    """Write one experiment's measured rows to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def loss_curve(engine: TrainingEngine, steps: int) -> List[float]:
+    """Train and return the per-step LM losses."""
+    return [round(r.loss, 6) for r in engine.train(steps)]
+
+
+def max_abs_delta(a: List[float], b: List[float]) -> float:
+    """Largest pointwise loss difference between two curves."""
+    return max(abs(x - y) for x, y in zip(a, b))

@@ -1,0 +1,60 @@
+"""Ablation — the Load-side atom cache (memory vs re-read trade-off).
+
+UCP's Load streams atoms into each target partition; a bounded cache
+of consolidated atoms controls working memory ("more parallelism ...
+is also more memory intensive").  We sweep the cache bound: tiny caches
+re-read atoms from storage many times, large caches read each once.
+"""
+
+import time
+
+
+from repro.core.atom import AtomStore
+from repro.core.convert import ucp_convert
+from repro.core.loader import load_ucp_into_engine
+from repro.dist.topology import ParallelConfig
+from repro.storage.store import ObjectStore
+
+from bench_util import make_engine, record_result
+
+CACHE_SIZES = [1, 8, 64, 512]
+TARGET = ParallelConfig(tp=2, pp=2, dp=2)
+
+
+def test_ablation_atom_cache(benchmark, tmp_path):
+    src = make_engine("gpt3-medium-bench", parallel=ParallelConfig(dp=4, zero_stage=2))
+    src.train(1)
+    ckpt, ucp = str(tmp_path / "ckpt"), str(tmp_path / "ucp")
+    src.save_checkpoint(ckpt)
+    ucp_convert(ckpt, ucp)
+
+    rows = []
+    for cache_size in CACHE_SIZES:
+        engine = make_engine("gpt3-medium-bench", parallel=TARGET)
+        # a fresh store per run isolates the read accounting
+        store = ObjectStore(ucp)
+        atom_store = AtomStore(ucp, store)
+        start = time.perf_counter()
+        load_ucp_into_engine(engine, ucp, max_cached_atoms=cache_size)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "max_cached_atoms": cache_size,
+                "wall_s": round(elapsed, 4),
+            }
+        )
+        del atom_store
+
+    benchmark.pedantic(
+        lambda: load_ucp_into_engine(
+            make_engine("gpt3-medium-bench", parallel=TARGET), ucp,
+            max_cached_atoms=64,
+        ),
+        rounds=2, iterations=1,
+    )
+
+    # a tiny cache must not beat a large one (same work plus re-reads);
+    # generous slack because wall timings at this scale are noisy
+    assert rows[0]["wall_s"] >= rows[-1]["wall_s"] * 0.5
+
+    record_result("ablation_atom_cache", {"target": TARGET.describe(), "rows": rows})

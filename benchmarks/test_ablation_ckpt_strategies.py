@@ -1,0 +1,115 @@
+"""Ablation — checkpoint/recovery strategies (paper §2 related work).
+
+Quantifies the trade-off space the paper positions UCP within, on one
+failure scenario (lose a node mid-run):
+
+* **sync disk** — plain distributed checkpoints; rigid topology.
+* **CheckFreq-style async snapshot** — cheaper blocking time at save;
+  still rigid topology.
+* **Gemini-style in-memory** — fastest recovery; *same* topology only.
+* **UCP** — the only one that recovers onto a *different* topology.
+
+Plus the planner's cluster-scale waste model (the paper's GPT-4-scale
+motivation).
+"""
+
+import time
+
+
+from repro.ckpt.inmemory import InMemoryCheckpoint
+from repro.ckpt.snapshot import SnapshotManager, tune_checkpoint_interval
+from repro.ckpt.planner import plan_resilience
+from repro.core.resume import resume_training
+from repro.dist.topology import ParallelConfig
+
+from bench_util import make_engine, record_result
+
+SOURCE = ParallelConfig(tp=2, pp=2, dp=2)
+SHRUNK = ParallelConfig(tp=2, pp=2, dp=1)
+
+
+def test_ablation_checkpoint_strategies(benchmark, tmp_path):
+    engine = make_engine("gpt3-medium-bench", parallel=SOURCE)
+    engine.train(1)
+
+    # --- save-path costs ---
+    start = time.perf_counter()
+    engine.save_checkpoint(str(tmp_path / "sync"))
+    sync_save_s = time.perf_counter() - start
+
+    manager = SnapshotManager(engine)
+    start = time.perf_counter()
+    snap = manager.snapshot()  # only this blocks training
+    snapshot_block_s = time.perf_counter() - start
+    start = time.perf_counter()
+    manager.persist(snap, str(tmp_path / "async"))
+    persist_s = time.perf_counter() - start
+
+    mem = InMemoryCheckpoint(engine, replication_factor=2)
+    start = time.perf_counter()
+    mem.commit()
+    inmemory_commit_s = time.perf_counter() - start
+
+    # --- recovery-path costs after "losing rank 5" ---
+    start = time.perf_counter()
+    mem.recover(failed_ranks={5})
+    inmemory_recover_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    same_topo = make_engine("gpt3-medium-bench", parallel=SOURCE)
+    same_topo.load_checkpoint(str(tmp_path / "sync"))
+    disk_recover_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    shrunk = resume_training(str(tmp_path / "sync"), SHRUNK)
+    ucp_recover_s = time.perf_counter() - start
+
+    benchmark.pedantic(
+        lambda: manager.persist(manager.snapshot(), str(tmp_path / "bench")),
+        rounds=2, iterations=1,
+    )
+
+    # shape assertions: snapshot blocking < full sync save;
+    # in-memory recovery < disk recovery; only UCP changed topology
+    assert snapshot_block_s < sync_save_s
+    assert inmemory_recover_s < disk_recover_s
+    assert shrunk.parallel_cfg == SHRUNK
+
+    freq = tune_checkpoint_interval(
+        step_time_s=0.5, snapshot_time_s=snapshot_block_s,
+        max_overhead_fraction=0.035,
+    )
+    cluster = plan_resilience(
+        num_gpus=24576, gpus_per_node=8, node_mtbf_hours=50_000,
+        checkpoint_cost_hours=sync_save_s / 3600, repair_hours=6.0,
+    )
+
+    record_result(
+        "ablation_ckpt_strategies",
+        {
+            "save_path_s": {
+                "sync_disk": round(sync_save_s, 4),
+                "checkfreq_blocking_snapshot": round(snapshot_block_s, 4),
+                "checkfreq_background_persist": round(persist_s, 4),
+                "gemini_inmemory_commit": round(inmemory_commit_s, 4),
+            },
+            "recover_path_s": {
+                "gemini_inmemory_same_topology": round(inmemory_recover_s, 4),
+                "disk_same_topology": round(disk_recover_s, 4),
+                "ucp_changed_topology": round(ucp_recover_s, 4),
+            },
+            "topology_flexibility": {
+                "sync_disk": "same only",
+                "checkfreq": "same only",
+                "gemini": "same only",
+                "ucp": "any",
+            },
+            "checkfreq_tuned_interval_steps": freq.interval_steps,
+            "gpt4_scale_plan": {
+                "failures_per_30_days": round(cluster.failures_per_30_days, 1),
+                "waste_wait_gpu_hours_per_failure": round(cluster.waste_wait_gpuh, 1),
+                "waste_elastic_gpu_hours_per_failure": round(cluster.waste_elastic_gpuh, 1),
+                "elastic_savings": round(cluster.elastic_savings_fraction, 3),
+            },
+        },
+    )

@@ -1,0 +1,64 @@
+"""Ablation — communication volume per training step vs topology.
+
+Uses the cluster's collective accounting to show why "consolidating
+distributed model states into a single checkpoint unacceptably slows
+down training" (paper §1): a consolidated save adds an all-gather of
+the *entire* model on top of the steady-state traffic, while
+distributed checkpoints (and therefore UCP) add none.
+"""
+
+
+from repro.ckpt.consolidated import save_consolidated_checkpoint
+from repro.dist.topology import ParallelConfig
+
+from bench_util import make_engine, record_result
+
+TOPOLOGIES = [
+    ParallelConfig(dp=2),
+    ParallelConfig(dp=4),
+    ParallelConfig(tp=2, dp=2),
+    ParallelConfig(tp=2, pp=2, dp=2),
+]
+
+
+def test_ablation_comm_volume(benchmark, tmp_path):
+    rows = []
+    for parallel in TOPOLOGIES:
+        engine = make_engine(parallel=parallel)
+        engine.train(1)
+        engine.cluster.tracker.reset()
+        engine.train(1)
+        step_bytes = engine.cluster.tracker.total_bytes
+
+        engine.cluster.tracker.reset()
+        engine.save_checkpoint(str(tmp_path / f"dist-{parallel.describe()}"))
+        dist_save_bytes = engine.cluster.tracker.total_bytes
+
+        engine.cluster.tracker.reset()
+        save_consolidated_checkpoint(
+            engine, str(tmp_path / f"cons-{parallel.describe()}")
+        )
+        consolidated_bytes = engine.cluster.tracker.total_bytes
+
+        rows.append(
+            {
+                "topology": parallel.describe(),
+                "train_step_bytes": step_bytes,
+                "distributed_save_bytes": dist_save_bytes,
+                "consolidated_save_bytes": consolidated_bytes,
+            }
+        )
+
+    benchmark.pedantic(
+        lambda: make_engine(parallel=TOPOLOGIES[-1]).train(1),
+        rounds=1, iterations=1,
+    )
+
+    for row in rows:
+        # distributed saving moves zero bytes over the interconnect;
+        # consolidation gathers the whole model through collectives
+        assert row["distributed_save_bytes"] == 0
+        if row["topology"] != "tp1.pp1.dp1.sp1.zero1":
+            assert row["consolidated_save_bytes"] > 0
+
+    record_result("ablation_comm_volume", {"rows": rows})

@@ -1,0 +1,72 @@
+"""Ablation — checkpoint layouts under the NVMe cost model.
+
+Compares simulated I/O time for three layouts of the same training
+state: one consolidated file (the classic baseline the paper argues
+against), per-rank distributed files, and UCP atoms read with parallel
+requests (the DeepNVMe-style Load).  Distributed and atom layouts admit
+parallel reads; the consolidated file serializes through one stream.
+"""
+
+
+from repro.ckpt.consolidated import save_consolidated_checkpoint
+from repro.core.convert import ucp_convert
+from repro.dist.topology import ParallelConfig
+from repro.storage.nvme import DEFAULT_NVME
+from repro.storage.store import ObjectStore
+
+from bench_util import make_engine, record_result
+
+PARALLEL = ParallelConfig(tp=2, pp=2, dp=2)
+
+
+def test_ablation_storage_layout(benchmark, tmp_path):
+    engine = make_engine("gpt3-medium-bench", parallel=PARALLEL)
+    engine.train(1)
+
+    cons_dir = str(tmp_path / "cons")
+    dist_dir = str(tmp_path / "dist")
+    ucp_dir = str(tmp_path / "ucp")
+    cons_bytes = save_consolidated_checkpoint(engine, cons_dir)
+    info = benchmark.pedantic(
+        lambda: engine.save_checkpoint(dist_dir), rounds=1, iterations=1
+    )
+    ucp_convert(dist_dir, ucp_dir)
+
+    nvme = DEFAULT_NVME
+
+    # consolidated: one stream reads everything
+    consolidated_read_s = nvme.read_time(cons_bytes, parallel=1)
+
+    # distributed: every rank reads its own files concurrently
+    store = ObjectStore(dist_dir)
+    rank_files = [f for f in store.list() if "optim_states" in f]
+    per_rank_bytes = max(
+        (store.base / f).stat().st_size for f in rank_files
+    )
+    distributed_read_s = nvme.read_time(per_rank_bytes, parallel=len(rank_files))
+
+    # UCP atoms: many small files, deep parallel queue (DeepNVMe regime)
+    ucp_store = ObjectStore(ucp_dir)
+    atom_files = [f for f in ucp_store.list("atoms")]
+    atom_bytes = sum((ucp_store.base / f).stat().st_size for f in atom_files)
+    # reads split across the same number of concurrent workers as ranks
+    ucp_read_s = nvme.read_time(
+        atom_bytes // len(rank_files), parallel=nvme.max_parallel
+    )
+
+    assert distributed_read_s < consolidated_read_s
+    assert ucp_read_s < consolidated_read_s
+
+    record_result(
+        "ablation_storage_layout",
+        {
+            "consolidated_bytes": cons_bytes,
+            "distributed_files": len(rank_files),
+            "atom_files": len(atom_files),
+            "simulated_read_s": {
+                "consolidated_single_stream": round(consolidated_read_s, 6),
+                "distributed_per_rank_parallel": round(distributed_read_s, 6),
+                "ucp_atoms_deep_queue": round(ucp_read_s, 6),
+            },
+        },
+    )

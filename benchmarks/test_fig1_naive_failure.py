@@ -1,0 +1,67 @@
+"""Fig 1 — naive distributed checkpoints break on topology changes.
+
+The paper's motivating figure: a run saved under one parallelism
+strategy cannot resume under another (runtime name/shape mismatch) with
+strict per-rank loaders.  We measure the failure across topology
+changes and benchmark the (fast) failing load path.
+"""
+
+import pytest
+
+from repro.ckpt.errors import CheckpointIncompatibleError
+from repro.dist.topology import ParallelConfig
+
+from bench_util import make_engine, record_result
+
+SOURCE = ParallelConfig(tp=2, pp=2, dp=2)
+CHANGED_TOPOLOGIES = [
+    ParallelConfig(tp=1, pp=1, dp=1),   # shrink to one GPU
+    ParallelConfig(tp=1, pp=2, dp=4),   # same world, different shape
+    ParallelConfig(tp=2, pp=2, dp=1),   # lose the DP replicas
+    ParallelConfig(tp=1, pp=1, dp=8, zero_stage=1),  # pure data parallel
+]
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    ckpt = str(tmp_path_factory.mktemp("fig1"))
+    engine = make_engine(parallel=SOURCE)
+    engine.train(2)
+    engine.save_checkpoint(ckpt)
+    return ckpt
+
+
+def test_fig1_naive_resume_fails(benchmark, checkpoint):
+    failures = []
+
+    def attempt_all():
+        failed = 0
+        for target in CHANGED_TOPOLOGIES:
+            engine = make_engine(parallel=target)
+            try:
+                engine.load_checkpoint(checkpoint)
+            except CheckpointIncompatibleError as exc:
+                failed += 1
+                failures.append(
+                    {"target": target.describe(), "error": str(exc)[:120]}
+                )
+        return failed
+
+    failed = benchmark.pedantic(attempt_all, rounds=1, iterations=1)
+    assert failed == len(CHANGED_TOPOLOGIES), (
+        "every topology change must fail the strict loader"
+    )
+
+    # the unchanged topology still loads fine
+    same = make_engine(parallel=SOURCE)
+    same.load_checkpoint(checkpoint)
+    assert same.iteration == 2
+
+    record_result(
+        "fig1_naive_failure",
+        {
+            "source": SOURCE.describe(),
+            "failed_targets": failures,
+            "same_topology_loads": True,
+        },
+    )

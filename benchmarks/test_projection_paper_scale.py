@@ -1,0 +1,77 @@
+"""Projection — the paper-scale workloads, analytically.
+
+The mini benchmarks validate behaviour; this one projects the paper's
+actual four workloads (Table 4) onto plausible cluster shapes using
+the exact layout arithmetic + the NVMe model, reporting checkpoint
+footprints and the Fig 11/12 quantities at real scale — including that
+the UCP load-overhead ratio lands near the paper's 1.14-1.37x once
+checkpoints are bandwidth-bound.
+"""
+
+
+from repro.core.projection import project_checkpoint_costs
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+
+from bench_util import record_result
+
+CONFIGS = [
+    ("gpt3-350m", ParallelConfig(tp=2, pp=2, dp=2)),
+    ("llama-7b", ParallelConfig(tp=2, pp=2, dp=2)),
+    ("mixtral-moe-42b", ParallelConfig(tp=2, pp=4, dp=2)),
+    ("bloom-176b", ParallelConfig(tp=2, pp=24, dp=8)),   # the BLOOM run's shape
+]
+
+
+def test_projection_paper_scale(benchmark):
+    projections = [
+        project_checkpoint_costs(get_config(name), parallel)
+        for name, parallel in CONFIGS
+    ]
+
+    benchmark.pedantic(
+        lambda: project_checkpoint_costs(*[
+            (get_config(n), p) for n, p in CONFIGS
+        ][-1]),
+        rounds=3, iterations=1,
+    )
+
+    rows = []
+    for proj in projections:
+        rows.append(
+            {
+                "model": proj.model_name,
+                "parallel": proj.parallel,
+                "world_size": proj.world_size,
+                "state_tb": round(proj.total_state_tb, 4),
+                "per_rank_file_gb": round(proj.bytes_per_optim_file / 1e9, 3),
+                "save_s": round(proj.save_seconds, 2),
+                "standard_load_s": round(proj.standard_load_seconds, 2),
+                "ucp_convert_s": round(proj.ucp_convert_seconds, 2),
+                "ucp_load_s": round(proj.ucp_load_seconds, 2),
+                "ucp_overhead_ratio": round(proj.ucp_overhead_ratio, 3),
+            }
+        )
+
+    by_name = {r["model"]: r for r in rows}
+    # BLOOM-176B optimizer state is ~2.1 TB (176B params x 12 bytes)
+    assert 1.8 <= by_name["bloom-176b"]["state_tb"] <= 2.6
+    # footprints are ordered by model size
+    assert (
+        by_name["gpt3-350m"]["state_tb"]
+        < by_name["llama-7b"]["state_tb"]
+        < by_name["mixtral-moe-42b"]["state_tb"]
+        < by_name["bloom-176b"]["state_tb"]
+    )
+    # at bandwidth-bound scale the UCP overhead ratio is a small factor,
+    # in the neighbourhood the paper measured (1.14-1.37x)
+    for row in rows:
+        assert 1.0 <= row["ucp_overhead_ratio"] <= 6.0, row
+
+    record_result(
+        "projection_paper_scale",
+        {
+            "rows": rows,
+            "paper_fig12_ratio_range": [1.14, 1.37],
+        },
+    )

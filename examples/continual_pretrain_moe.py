@@ -1,0 +1,67 @@
+"""Continual pre-training of a sparse MoE under a smaller GPU budget.
+
+The paper's second motivating scenario: a generic base model was
+pre-trained on a large cluster; a team wants to continue training it
+for a specialty domain — with a *different* (smaller) GPU budget and a
+fresh, lower learning-rate schedule.
+
+This example pre-trains a Mixtral-style MoE (top-2 routing, GQA
+attention, 3-dim expert tensors — UCP's hardest sub-patterns) on a
+simulated 8-GPU cluster, then continues it on 2 GPUs with a new LR
+schedule, all through one UCP conversion.
+
+Run:  python examples/continual_pretrain_moe.py
+"""
+
+import tempfile
+
+from repro import ParallelConfig, TrainingEngine, get_config, resume_training
+from repro.optim.lr_schedule import CosineLRSchedule
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        ckpt_dir = f"{workdir}/base-model"
+
+        pretrain_cfg = ParallelConfig(tp=1, pp=2, dp=4, zero_stage=1)
+        print(f"pre-training moe-mini (4 experts, top-2) on "
+              f"{pretrain_cfg.world_size} GPUs ({pretrain_cfg.describe()})")
+        base = TrainingEngine(
+            get_config("moe-mini"), pretrain_cfg, seed=21,
+            global_batch_size=8, seq_len=32,
+            lr_schedule=CosineLRSchedule(
+                max_lr=1.2e-4, min_lr=1.2e-5, warmup_steps=5, total_steps=100
+            ),
+        )
+        for result in base.train(25):
+            if result.step % 5 == 0:
+                print(f"  step {result.step:3d}  loss {result.loss:.4f}  "
+                      f"lr {result.lr:.2e}")
+        base.save_checkpoint(ckpt_dir)
+        print(f"base model checkpointed at iteration {base.iteration}")
+
+        finetune_cfg = ParallelConfig(tp=2, pp=1, dp=1, zero_stage=1)
+        print(f"\ncontinuing on {finetune_cfg.world_size} GPUs "
+              f"({finetune_cfg.describe()}) with a fresh low-LR schedule")
+        specialist = resume_training(
+            ckpt_dir,
+            finetune_cfg,
+            lr_schedule=CosineLRSchedule(
+                max_lr=2.0e-5, min_lr=2.0e-6, warmup_steps=2, total_steps=50
+            ),
+        )
+        print(f"  resumed at iteration {specialist.iteration}; expert "
+              f"tensors were re-sharded from TP=1 atoms to TP=2 fragments")
+        for result in specialist.train(15):
+            if result.step % 5 == 0:
+                print(f"  step {result.step:3d}  loss {result.loss:.4f}  "
+                      f"lr {result.lr:.2e}")
+
+        start = specialist.loss_history[0]
+        end = specialist.loss_history[-1]
+        print(f"\ncontinued training loss: {start:.4f} -> {end:.4f} "
+              f"(optimizer moments carried through the conversion)")
+
+
+if __name__ == "__main__":
+    main()

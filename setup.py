@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` requires wheel to build PEP 660 editable metadata;
+`python setup.py develop` works with bare setuptools. Configuration
+lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""Universal Checkpointing (UCP), reproduced in pure Python.
+
+A from-scratch implementation of the checkpointing system from
+"Universal Checkpointing: Efficient and Flexible Checkpointing for
+Large Scale Distributed Training" (Lian et al.), together with every
+substrate it needs: a numpy transformer-training framework, a simulated
+multi-rank cluster, TP/PP/ZeRO-DP/SP parallelism with checkpoint-exact
+state layouts, and a distributed-checkpoint store.
+
+Quickstart::
+
+    from repro import TrainingEngine, ParallelConfig, get_config, resume_training
+
+    engine = TrainingEngine(get_config("gpt3-mini"), ParallelConfig(tp=2, pp=2, dp=2))
+    engine.train(100)
+    engine.save_checkpoint("ckpt")
+
+    # later: a node died — continue on 2 GPUs instead of 8
+    engine = resume_training("ckpt", ParallelConfig(tp=1, pp=1, dp=2))
+    engine.train(100)
+"""
+
+from repro.dist.topology import ParallelConfig, Topology
+from repro.models import ModelConfig, available_models, build_model, get_config
+from repro.parallel.engine import TrainingEngine, TrainStepResult
+from repro.ckpt import (
+    CheckpointIncompatibleError,
+    load_distributed_checkpoint,
+    save_distributed_checkpoint,
+)
+from repro.core import (
+    ElasticResumeManager,
+    PatternProgram,
+    PatternRule,
+    UCPError,
+    load_ucp_into_engine,
+    program_for_config,
+    resume_training,
+    ucp_convert,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ParallelConfig",
+    "Topology",
+    "ModelConfig",
+    "available_models",
+    "build_model",
+    "get_config",
+    "TrainingEngine",
+    "TrainStepResult",
+    "CheckpointIncompatibleError",
+    "save_distributed_checkpoint",
+    "load_distributed_checkpoint",
+    "ElasticResumeManager",
+    "PatternProgram",
+    "PatternRule",
+    "UCPError",
+    "load_ucp_into_engine",
+    "program_for_config",
+    "resume_training",
+    "ucp_convert",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Checkpoint error hierarchy."""
+
+from __future__ import annotations
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint failures."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """No checkpoint (or requested tag) exists at the given path."""
+
+
+class CheckpointIncompatibleError(CheckpointError):
+    """A distributed checkpoint cannot load under the current topology.
+
+    This is the paper's Fig 1 failure: per-rank checkpoint files are
+    tightly coupled to the parallelism strategy and hardware
+    configuration that wrote them, so loading under a different
+    strategy hits missing files or name/shape mismatches.
+    """

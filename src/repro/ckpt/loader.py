@@ -1,0 +1,227 @@
+"""Strict distributed checkpoint loading.
+
+The loader demands that the checkpoint's per-rank files line up exactly
+with the engine's layout: same files present, same flat-segment names,
+offsets, and shard shapes, same partition sizes.  Any topology change
+— different TP/PP/DP/SP degrees, different ZeRO stage, different world
+size — surfaces as a :class:`CheckpointIncompatibleError`, reproducing
+the name/shape mismatch failures the paper describes for existing
+frameworks (Fig 1).  UCP is the escape hatch: convert to universal
+format, then ``engine.load_universal``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ckpt import naming
+from repro.ckpt.errors import CheckpointIncompatibleError, CheckpointNotFoundError
+from repro.dist.topology import ParallelConfig
+from repro.models.configs import ModelConfig
+from repro.storage.store import ObjectStore
+
+
+def resolve_tag(store: ObjectStore, tag: Optional[str]) -> str:
+    """The requested tag, or the one named by the ``latest`` file."""
+    if tag is not None:
+        return tag
+    try:
+        return store.read_text(naming.LATEST_FILE).strip()
+    except FileNotFoundError:
+        raise CheckpointNotFoundError(
+            f"no 'latest' file in {store.base}; is this a checkpoint dir?"
+        ) from None
+
+
+def read_job_config(directory: str, tag: Optional[str] = None) -> Dict:
+    """Read a checkpoint's job config (model/parallel configs, seeds)."""
+    store = ObjectStore(directory)
+    tag = resolve_tag(store, tag)
+    rel = f"{tag}/{naming.JOB_CONFIG_FILE}"
+    if not store.exists(rel):
+        raise CheckpointNotFoundError(f"missing {rel} in {directory}")
+    return store.load(rel)
+
+
+def _check_model_config(engine, job_config: Dict) -> None:
+    saved = ModelConfig.from_dict(job_config["model_config"])
+    if saved != engine.model_cfg:
+        raise CheckpointIncompatibleError(
+            f"checkpoint was written for model {saved.name!r}, engine runs "
+            f"{engine.model_cfg.name!r}"
+        )
+
+
+def _check_segments(expected_meta: Dict, payload_meta: Dict, path: str) -> None:
+    """Compare the engine's expected flat layout with the file's."""
+    exp_segments = expected_meta["segments"]
+    got_segments = payload_meta["segments"]
+    exp_names = [s["name"] for s in exp_segments]
+    got_names = [s["name"] for s in got_segments]
+    if exp_names != got_names:
+        missing = sorted(set(exp_names) - set(got_names))
+        unexpected = sorted(set(got_names) - set(exp_names))
+        raise CheckpointIncompatibleError(
+            f"{path}: parameter name mismatch (missing={missing[:3]}..., "
+            f"unexpected={unexpected[:3]}...); the checkpoint was saved "
+            f"under a different parallelism strategy"
+        )
+    for exp, got in zip(exp_segments, got_segments):
+        if (
+            exp["shard_shape"] != got["shard_shape"]
+            or exp["offset"] != got["offset"]
+        ):
+            raise CheckpointIncompatibleError(
+                f"{path}: shape/offset mismatch for {exp['name']!r}: engine "
+                f"expects shape {exp['shard_shape']} at offset "
+                f"{exp['offset']}, file has {got['shard_shape']} at "
+                f"{got['offset']}"
+            )
+    if expected_meta["partition_numel"] != payload_meta["partition_numel"]:
+        raise CheckpointIncompatibleError(
+            f"{path}: partition size mismatch: engine expects "
+            f"{expected_meta['partition_numel']}, file has "
+            f"{payload_meta['partition_numel']} (different DP width?)"
+        )
+
+
+def _load_per_param(engine, store: ObjectStore, tag: str, job_config: Dict) -> None:
+    """Strict load of a Megatron-classic per-parameter checkpoint.
+
+    Requires zero_stage=0 on the engine (the layout implies replicated
+    optimizer state) and the same model-parallel shape as the source.
+    """
+    cfg = engine.parallel_cfg
+    if cfg.zero_stage != 0:
+        raise CheckpointIncompatibleError(
+            "per_param checkpoints carry unpartitioned optimizer state; "
+            "the engine must run zero_stage=0 to load them strictly "
+            "(or convert to UCP for any other stage)"
+        )
+    for coord in engine.layout.mp_coords():
+        mp_rank = engine.layout.mp_rank_index(*coord)
+        rank_layout = engine.layout.rank_layout(*coord)
+        rel = f"{tag}/{naming.optim_states_name(0, mp_rank)}"
+        if not store.exists(rel):
+            raise CheckpointIncompatibleError(
+                f"missing rank file {rel}: the checkpoint was saved under "
+                f"a different topology or world size"
+            )
+        payload = store.load(rel)
+        states = payload["param_states"]
+        expected = [e.name for e in rank_layout.entries]
+        got = sorted(states["fp32"])
+        if sorted(expected) != got:
+            raise CheckpointIncompatibleError(
+                f"{rel}: parameter name mismatch; the checkpoint was "
+                f"saved under a different parallelism strategy"
+            )
+        step = int(payload["optimizer_step"])
+        for kind in ("fp32", "exp_avg", "exp_avg_sq"):
+            flat = np.zeros(rank_layout.flat_numel, dtype=np.float32)
+            for entry in rank_layout.entries:
+                shard = np.asarray(states[kind][entry.name], dtype=np.float32)
+                if tuple(shard.shape) != entry.shard_shape:
+                    raise CheckpointIncompatibleError(
+                        f"{rel}: shape mismatch for {entry.name!r}: engine "
+                        f"expects {entry.shard_shape}, file has {shard.shape}"
+                    )
+                flat[entry.offset : entry.end] = shard.reshape(-1)
+            size = rank_layout.partition_numel
+            for d in range(cfg.dp):
+                part = engine.zero.partitions[coord][d]
+                target = engine.zero._partition_array(part, kind)
+                target[...] = flat[d * size : (d + 1) * size]
+        for d in range(cfg.dp):
+            engine.zero.partitions[coord][d].state.step = step
+        scaler_state = payload.get("loss_scaler")
+        if scaler_state is not None and engine.loss_scaler is not None:
+            engine.loss_scaler.load_state_dict(scaler_state)
+
+    engine.iteration = int(job_config["iteration"])
+    engine.sync_model_from_masters()
+
+
+def load_distributed_checkpoint(
+    engine, directory: str, tag: Optional[str] = None
+) -> str:
+    """Load a distributed checkpoint into an engine with the same topology.
+
+    Returns:
+        The tag that was loaded.
+
+    Raises:
+        CheckpointNotFoundError: missing directory, tag, or rank file.
+        CheckpointIncompatibleError: any topology/layout mismatch.
+    """
+    store = ObjectStore(directory)
+    tag = resolve_tag(store, tag)
+    job_config = read_job_config(directory, tag)
+    _check_model_config(engine, job_config)
+
+    cfg: ParallelConfig = engine.parallel_cfg
+    saved_cfg = ParallelConfig.from_dict(job_config["parallel_config"])
+    if saved_cfg.zero_stage != cfg.zero_stage:
+        raise CheckpointIncompatibleError(
+            f"checkpoint used ZeRO stage {saved_cfg.zero_stage}, engine is "
+            f"configured for stage {cfg.zero_stage}"
+        )
+
+    if job_config.get("optimizer_layout", "flat") == "per_param":
+        _load_per_param(engine, store, tag, job_config)
+        return tag
+
+    from repro.ckpt.saver import _partition_meta  # layout comparison helper
+
+    for coord in engine.layout.mp_coords():
+        mp_rank = engine.layout.mp_rank_index(*coord)
+        rank_layout = engine.layout.rank_layout(*coord)
+        dp_ranks = [0] if cfg.zero_stage == 0 else list(range(cfg.dp))
+        for d in dp_ranks:
+            rel = f"{tag}/{naming.optim_states_name(d, mp_rank)}"
+            if not store.exists(rel):
+                raise CheckpointIncompatibleError(
+                    f"missing rank file {rel}: the checkpoint was saved "
+                    f"under a different topology or world size"
+                )
+            payload = store.load(rel)
+            expected = _partition_meta(rank_layout, d)
+            if cfg.zero_stage == 0:
+                expected["partition_numel"] = rank_layout.flat_numel
+            _check_segments(expected, payload["partition_meta"], rel)
+
+            fp32 = np.asarray(payload["fp32_flat_partition"], dtype=np.float32)
+            exp_avg = np.asarray(payload["exp_avg_flat_partition"], dtype=np.float32)
+            exp_avg_sq = np.asarray(
+                payload["exp_avg_sq_flat_partition"], dtype=np.float32
+            )
+            step = int(payload["optimizer_step"])
+            if cfg.zero_stage == 0:
+                size = rank_layout.partition_numel
+                for dd in range(cfg.dp):
+                    part = engine.zero.partitions[coord][dd]
+                    part.fp32[...] = fp32[dd * size : (dd + 1) * size]
+                    part.state.exp_avg[...] = exp_avg[dd * size : (dd + 1) * size]
+                    part.state.exp_avg_sq[...] = exp_avg_sq[dd * size : (dd + 1) * size]
+                    part.state.step = step
+            else:
+                part = engine.zero.partitions[coord][d]
+                if fp32.size != part.numel:
+                    raise CheckpointIncompatibleError(
+                        f"{rel}: partition has {fp32.size} elements, engine "
+                        f"expects {part.numel}"
+                    )
+                part.fp32[...] = fp32
+                part.state.exp_avg[...] = exp_avg
+                part.state.exp_avg_sq[...] = exp_avg_sq
+                part.state.step = step
+
+            scaler_state = payload.get("loss_scaler")
+            if scaler_state is not None and engine.loss_scaler is not None:
+                engine.loss_scaler.load_state_dict(scaler_state)
+
+    engine.iteration = int(job_config["iteration"])
+    engine.sync_model_from_masters()
+    return tag

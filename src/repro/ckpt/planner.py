@@ -1,0 +1,155 @@
+"""Checkpoint-interval and resilience planning.
+
+The paper motivates UCP with cluster-scale arithmetic: jobs like GPT-4
+run on ~25,000 GPUs for ~100 days, node failures are routine, and
+without flexible resumption every failure stalls the whole job until
+the hardware is repaired.  This module makes that arithmetic
+executable:
+
+* Young/Daly optimal checkpoint interval from checkpoint cost and
+  cluster MTBF;
+* expected wasted GPU-hours per failure for three recovery policies —
+  wait-for-repair (rigid checkpoints), elastic-continue (UCP on the
+  surviving nodes), and in-memory recovery (Gemini, same-topology
+  only);
+* cluster MTBF composition from per-node rates.
+
+Used by the checkpoint-strategies benchmark and the failover example.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+def cluster_mtbf_hours(node_mtbf_hours: float, num_nodes: int) -> float:
+    """MTBF of the whole cluster: independent exponential node failures."""
+    if node_mtbf_hours <= 0 or num_nodes < 1:
+        raise ValueError("node_mtbf_hours must be > 0 and num_nodes >= 1")
+    return node_mtbf_hours / num_nodes
+
+
+def young_daly_interval_hours(
+    checkpoint_cost_hours: float, mtbf_hours: float
+) -> float:
+    """Young/Daly first-order optimum: sqrt(2 * C * MTBF)."""
+    if checkpoint_cost_hours <= 0 or mtbf_hours <= 0:
+        raise ValueError("costs and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_cost_hours * mtbf_hours)
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureCostModel:
+    """Inputs for per-failure waste accounting.
+
+    Attributes:
+        num_gpus: cluster size.
+        checkpoint_interval_hours: wall time between checkpoints.
+        repair_hours: time to bring a failed node back.
+        restart_hours: process restart + checkpoint load time.
+        failed_fraction: share of GPUs a typical failure removes.
+    """
+
+    num_gpus: int
+    checkpoint_interval_hours: float
+    repair_hours: float
+    restart_hours: float = 0.1
+    failed_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if min(self.checkpoint_interval_hours, self.repair_hours) < 0:
+            raise ValueError("times must be >= 0")
+        if not 0 < self.failed_fraction <= 1:
+            raise ValueError("failed_fraction must be in (0, 1]")
+
+    @property
+    def lost_progress_hours(self) -> float:
+        """Expected progress lost at the failure instant: half an interval."""
+        return self.checkpoint_interval_hours / 2.0
+
+
+def wasted_gpu_hours_wait_for_repair(model: FailureCostModel) -> float:
+    """Rigid distributed checkpoints: the whole job idles until repair.
+
+    Waste = all GPUs idle during (repair + restart), plus the re-done
+    half interval of progress.
+    """
+    idle = (model.repair_hours + model.restart_hours) * model.num_gpus
+    redo = model.lost_progress_hours * model.num_gpus
+    return idle + redo
+
+
+def wasted_gpu_hours_elastic(model: FailureCostModel, conversion_hours: float = 0.05) -> float:
+    """UCP elastic continuation: survivors resume on a reduced topology.
+
+    Waste = the failed GPUs idle during repair (unavoidable), the whole
+    job stalled only for restart + conversion, plus the re-done half
+    interval.
+    """
+    failed_gpus = model.num_gpus * model.failed_fraction
+    idle_failed = model.repair_hours * failed_gpus
+    stall = (model.restart_hours + conversion_hours) * model.num_gpus
+    redo = model.lost_progress_hours * model.num_gpus
+    return idle_failed + stall + redo
+
+
+def wasted_gpu_hours_inmemory(model: FailureCostModel, recover_hours: float = 0.02) -> float:
+    """Gemini in-memory recovery — but only once spare hardware exists.
+
+    In-memory recovery needs a same-size replacement immediately; if a
+    hot spare pool covers the failure, waste is just the recovery stall
+    (no lost interval: Gemini checkpoints every iteration).  Without
+    spares it degenerates to wait-for-repair.
+    """
+    return recover_hours * model.num_gpus
+
+
+@dataclasses.dataclass(frozen=True)
+class ResiliencePlan:
+    """Summary comparison for one cluster configuration."""
+
+    interval_hours: float
+    mtbf_hours: float
+    failures_per_30_days: float
+    waste_wait_gpuh: float
+    waste_elastic_gpuh: float
+    waste_inmemory_gpuh: float
+
+    @property
+    def elastic_savings_fraction(self) -> float:
+        """Share of waste UCP elasticity eliminates vs waiting."""
+        if self.waste_wait_gpuh == 0:
+            return 0.0
+        return 1.0 - self.waste_elastic_gpuh / self.waste_wait_gpuh
+
+
+def plan_resilience(
+    num_gpus: int,
+    gpus_per_node: int,
+    node_mtbf_hours: float,
+    checkpoint_cost_hours: float,
+    repair_hours: float,
+) -> ResiliencePlan:
+    """End-to-end planning: interval, failure rate, and per-failure waste."""
+    if gpus_per_node < 1 or num_gpus % gpus_per_node != 0:
+        raise ValueError("num_gpus must be a positive multiple of gpus_per_node")
+    nodes = num_gpus // gpus_per_node
+    mtbf = cluster_mtbf_hours(node_mtbf_hours, nodes)
+    interval = young_daly_interval_hours(checkpoint_cost_hours, mtbf)
+    model = FailureCostModel(
+        num_gpus=num_gpus,
+        checkpoint_interval_hours=interval,
+        repair_hours=repair_hours,
+        failed_fraction=gpus_per_node / num_gpus,
+    )
+    return ResiliencePlan(
+        interval_hours=interval,
+        mtbf_hours=mtbf,
+        failures_per_30_days=30 * 24 / mtbf,
+        waste_wait_gpuh=wasted_gpu_hours_wait_for_repair(model),
+        waste_elastic_gpuh=wasted_gpu_hours_elastic(model),
+        waste_inmemory_gpuh=wasted_gpu_hours_inmemory(model),
+    )

@@ -1,0 +1,174 @@
+"""Command-line interface: inspect, convert, plan, verify.
+
+Mirrors the operational surface DeepSpeed ships for UCP (the
+``ds_to_universal``-style converter plus inspection tools)::
+
+    python -m repro models
+    python -m repro inspect  <dir>
+    python -m repro convert  <ckpt_dir> <ucp_dir> [--tag T] [--workers N]
+    python -m repro plan     <ckpt_dir> --world N [--batch B]
+    python -m repro verify   <dir>
+
+Every command prints human-readable text and returns a process exit
+code (0 success, 1 failure), so it scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.ckpt.loader import read_job_config
+from repro.core.convert import ucp_convert
+from repro.core.patterns import program_for_config
+from repro.core.resume import ElasticResumeManager
+from repro.dist.topology import ParallelConfig
+from repro.models import available_models, get_config
+from repro.models.configs import ModelConfig
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List registered model configurations."""
+    print(f"{'name':22s} {'family':8s} {'layers':>6s} {'hidden':>7s} "
+          f"{'heads':>6s} {'experts':>7s}")
+    for name in available_models():
+        cfg = get_config(name)
+        print(f"{name:22s} {cfg.family:8s} {cfg.num_layers:6d} "
+              f"{cfg.hidden:7d} {cfg.num_heads:6d} {cfg.num_experts:7d}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Summarize a checkpoint or UCP directory."""
+    from repro.core.inspect import inspect_directory
+
+    summary = inspect_directory(args.directory)
+    if summary.kind == "unknown":
+        print(f"unrecognized directory ({summary.num_files} files)")
+        return 1
+    kind_label = "UCP" if summary.kind == "ucp" else summary.kind
+    print(f"{kind_label} checkpoint")
+    if summary.tag is not None:
+        print(f"  tag:        {summary.tag}")
+    if summary.model is not None:
+        print(f"  model:      {summary.model.name} ({summary.model.family})")
+    print(f"  iteration:  {summary.iteration}")
+    if summary.parallel is not None:
+        role = "source" if summary.kind == "ucp" else "topology"
+        print(f"  {role}:     {summary.parallel.describe()} "
+              f"({summary.parallel.world_size} ranks)")
+    print(f"  files:      {summary.num_files} "
+          f"({summary.total_bytes / 1e6:.1f} MB)")
+    if summary.census is not None:
+        label = "atoms" if summary.kind == "ucp" else "parameters"
+        print(f"  {label}:      {summary.census.total_params} "
+              f"({summary.census.total_elements:,} elements)")
+        for pattern in sorted(summary.census.counts):
+            print(f"    {pattern:20s} {summary.census.counts[pattern]:4d} params, "
+                  f"{summary.census.elements[pattern]:,} elements")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Convert a distributed checkpoint to UCP format."""
+    job = read_job_config(args.ckpt_dir, args.tag)
+    model = ModelConfig.from_dict(job["model_config"])
+    program = program_for_config(model, average_replicas=args.average_replicas)
+    report = ucp_convert(
+        args.ckpt_dir,
+        args.ucp_dir,
+        tag=args.tag,
+        program=program,
+        workers=args.workers,
+    )
+    print(f"converted {report.source_tag}: {report.num_files} rank files -> "
+          f"{report.num_params} atoms ({report.atom_bytes / 1e6:.1f} MB) "
+          f"in {report.total_seconds:.2f}s "
+          f"(extract {report.extract_seconds:.2f}s, "
+          f"union {report.union_seconds:.2f}s, "
+          f"write {report.write_seconds:.2f}s)")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Plan a resume topology for a new world size."""
+    job = read_job_config(args.ckpt_dir, None)
+    source = ParallelConfig.from_dict(job["parallel_config"])
+    batch = args.batch if args.batch else job["global_batch_size"]
+    manager = ElasticResumeManager(args.ckpt_dir, global_batch_size=batch)
+    plan = manager.plan_resize(source, args.world)
+    print(f"source:  {source.describe()} ({source.world_size} ranks)")
+    print(f"target:  {plan.target.describe()} "
+          f"({plan.target.world_size} of {args.world} ranks)")
+    print(f"reason:  {plan.reason}")
+    if plan.target == source:
+        print("note:    topologies match; resume loads directly (no conversion)")
+    else:
+        print("note:    resume will convert to UCP first (lazy, cached)")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Read every object in a directory, validating checksums."""
+    from repro.core.inspect import verify_directory
+
+    report = verify_directory(args.directory)
+    if report.total == 0:
+        print(f"no .npt objects under {args.directory}")
+        return 1
+    print(f"verified {report.total - len(report.corrupt)}/{report.total} objects")
+    for rel, err in report.corrupt:
+        print(f"  CORRUPT {rel}: {err[:100]}")
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Universal Checkpointing tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list model configurations").set_defaults(
+        func=cmd_models
+    )
+
+    p = sub.add_parser("inspect", help="summarize a checkpoint directory")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("convert", help="distributed checkpoint -> UCP")
+    p.add_argument("ckpt_dir")
+    p.add_argument("ucp_dir")
+    p.add_argument("--tag", default=None, help="source tag (default: latest)")
+    p.add_argument("--workers", type=int, default=0, help="thread count")
+    p.add_argument(
+        "--average-replicas",
+        action="store_true",
+        help="classify norms as params_to_average (independent updates)",
+    )
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("plan", help="plan a resume topology")
+    p.add_argument("ckpt_dir")
+    p.add_argument("--world", type=int, required=True, help="new rank count")
+    p.add_argument("--batch", type=int, default=0, help="global batch override")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("verify", help="checksum-verify every object")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

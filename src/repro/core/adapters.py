@@ -1,0 +1,242 @@
+"""Cross-framework checkpoint adapters.
+
+The paper's UCP accepts checkpoints from frameworks that use DeepSpeed
+as a backend (HuggingFace Accelerate, PyTorch Lightning) — their
+checkpoints differ mainly in *parameter naming*.  An adapter is a
+bidirectional name mapping; ``import_foreign_state`` turns a foreign
+weights-only state dict into a loadable UCP directory (fresh optimizer
+moments), enabling continued training of externally-produced models.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.atom import AtomCheckpoint, AtomStore
+from repro.core.errors import UCPIncompatibleError
+from repro.core.metadata import UCPMetadata
+from repro.core.patterns import program_for_config
+from repro.models.configs import ModelConfig
+from repro.parallel.tp import build_shard_specs
+from repro.storage.store import ObjectStore
+
+
+class FrameworkAdapter:
+    """Bidirectional parameter-name translation for one framework."""
+
+    def __init__(
+        self,
+        name: str,
+        to_canonical: Callable[[str], Optional[str]],
+        from_canonical: Callable[[str], str],
+    ) -> None:
+        self.name = name
+        self._to_canonical = to_canonical
+        self._from_canonical = from_canonical
+
+    def canonical_name(self, foreign: str) -> Optional[str]:
+        """Canonical name for a foreign name (None = not recognized)."""
+        return self._to_canonical(foreign)
+
+    def foreign_name(self, canonical: str) -> str:
+        """Foreign name for a canonical name."""
+        return self._from_canonical(canonical)
+
+    def translate_state(self, foreign_state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Rename a whole foreign state dict to canonical names.
+
+        Raises:
+            UCPIncompatibleError: a key the adapter does not recognize.
+        """
+        out = {}
+        for key, value in foreign_state.items():
+            canonical = self.canonical_name(key)
+            if canonical is None:
+                raise UCPIncompatibleError(
+                    f"adapter {self.name!r} does not recognize parameter "
+                    f"{key!r}"
+                )
+            out[canonical] = value
+        return out
+
+
+def _lightning_to_canonical(name: str) -> Optional[str]:
+    if name.startswith("model."):
+        return name[len("model."):]
+    return None
+
+
+LIGHTNING_ADAPTER = FrameworkAdapter(
+    name="pytorch-lightning",
+    to_canonical=_lightning_to_canonical,
+    from_canonical=lambda name: f"model.{name}",
+)
+"""PyTorch-Lightning-style checkpoints prefix every key with ``model.``."""
+
+
+_HF_PATTERNS = [
+    (r"^transformer\.wte\.weight$", "embedding.weight"),
+    (r"^transformer\.wpe\.weight$", "pos_embedding.weight"),
+    (r"^transformer\.ln_f\.weight$", "final_norm.weight"),
+    (r"^transformer\.ln_f\.bias$", "final_norm.bias"),
+    (r"^lm_head\.weight$", "lm_head"),
+    (r"^transformer\.h\.(\d+)\.ln_1\.weight$", r"blocks.\1.norm1.weight"),
+    (r"^transformer\.h\.(\d+)\.ln_1\.bias$", r"blocks.\1.norm1.bias"),
+    (r"^transformer\.h\.(\d+)\.ln_2\.weight$", r"blocks.\1.norm2.weight"),
+    (r"^transformer\.h\.(\d+)\.ln_2\.bias$", r"blocks.\1.norm2.bias"),
+    (r"^transformer\.h\.(\d+)\.attn\.c_attn\.weight$", r"blocks.\1.attn.qkv.weight"),
+    (r"^transformer\.h\.(\d+)\.attn\.c_attn\.bias$", r"blocks.\1.attn.qkv.bias"),
+    (r"^transformer\.h\.(\d+)\.attn\.c_proj\.weight$", r"blocks.\1.attn.out.weight"),
+    (r"^transformer\.h\.(\d+)\.attn\.c_proj\.bias$", r"blocks.\1.attn.out.bias"),
+    (r"^transformer\.h\.(\d+)\.mlp\.c_fc\.weight$", r"blocks.\1.ffn.up.weight"),
+    (r"^transformer\.h\.(\d+)\.mlp\.c_fc\.bias$", r"blocks.\1.ffn.up.bias"),
+    (r"^transformer\.h\.(\d+)\.mlp\.c_proj\.weight$", r"blocks.\1.ffn.down.weight"),
+    (r"^transformer\.h\.(\d+)\.mlp\.c_proj\.bias$", r"blocks.\1.ffn.down.bias"),
+]
+
+def _hf_to_canonical(name: str) -> Optional[str]:
+    for pattern, replacement in _HF_PATTERNS:
+        if re.match(pattern, name):
+            return re.sub(pattern, replacement, name)
+    return None
+
+
+_HF_REVERSE = [
+    (
+        re.compile("^" + canonical.replace(r"\1", r"(\d+)") + "$"),
+        foreign.strip("^$").replace(r"(\d+)", r"\1").replace("\\.", "."),
+    )
+    for foreign, canonical in _HF_PATTERNS
+]
+
+
+def _hf_from_canonical(name: str) -> str:
+    for compiled, template in _HF_REVERSE:
+        match = compiled.match(name)
+        if match:
+            if match.groups():
+                return template.replace(r"\1", match.group(1))
+            return template
+    raise UCPIncompatibleError(f"no HF name for canonical {name!r}")
+
+
+HF_GPT2_ADAPTER = FrameworkAdapter(
+    name="huggingface-gpt2",
+    to_canonical=_hf_to_canonical,
+    from_canonical=_hf_from_canonical,
+)
+"""HuggingFace GPT-2-style naming (transformer.h.N.attn.c_attn...)."""
+
+ADAPTERS: Dict[str, FrameworkAdapter] = {
+    LIGHTNING_ADAPTER.name: LIGHTNING_ADAPTER,
+    HF_GPT2_ADAPTER.name: HF_GPT2_ADAPTER,
+}
+
+
+def available_adapters() -> List[str]:
+    """Registered adapter names."""
+    return sorted(ADAPTERS)
+
+
+def export_weights(
+    ucp_dir: str,
+    adapter: Optional[FrameworkAdapter] = None,
+) -> Dict[str, np.ndarray]:
+    """Export a UCP checkpoint as a weights-only state dict.
+
+    The reverse of :func:`import_foreign_state`, covering the
+    weight-only conversion use case the paper notes Megatron-LM stops
+    at: atoms already hold consolidated, padding-free fp32 weights, so
+    export is a read + rename.
+
+    Args:
+        ucp_dir: a UCP directory.
+        adapter: rename keys into a foreign scheme; None keeps
+            canonical names.
+    """
+    store = ObjectStore(ucp_dir)
+    metadata = UCPMetadata.load(store)
+    atom_store = AtomStore(ucp_dir, store)
+    out: Dict[str, np.ndarray] = {}
+    for name in metadata.param_names():
+        key = adapter.foreign_name(name) if adapter is not None else name
+        out[key] = atom_store.read_state(name, "fp32")
+    return out
+
+
+def import_foreign_state(
+    foreign_state: Dict[str, np.ndarray],
+    adapter: FrameworkAdapter,
+    model_cfg: ModelConfig,
+    ucp_dir: str,
+    iteration: int = 0,
+) -> UCPMetadata:
+    """Build a UCP directory from a foreign weights-only state dict.
+
+    Adam moments initialize to zero (a foreign checkpoint carries no
+    optimizer state); the result loads into any target topology via
+    :func:`repro.core.loader.load_ucp_into_engine`, which is how the
+    continual-pretraining example consumes HF-style checkpoints.
+    """
+    canonical = adapter.translate_state(foreign_state)
+    specs = build_shard_specs(model_cfg)
+    missing = sorted(set(specs) - set(canonical))
+    if missing:
+        raise UCPIncompatibleError(
+            f"foreign state lacks parameters {missing[:5]}... for model "
+            f"{model_cfg.name!r}"
+        )
+
+    store = ObjectStore(ucp_dir)
+    atom_store = AtomStore(ucp_dir, store)
+    params: Dict[str, Dict] = {}
+    for name, spec in specs.items():
+        values = np.asarray(canonical[name], dtype=np.float32)
+        if tuple(values.shape) == spec.logical_shape and spec.has_padding:
+            slices = tuple(slice(0, d) for d in spec.unpadded_shape)
+            values = values[slices]
+        if tuple(values.shape) != spec.unpadded_shape:
+            raise UCPIncompatibleError(
+                f"{name!r}: foreign tensor has shape {values.shape}, model "
+                f"expects {spec.unpadded_shape} (or padded "
+                f"{spec.logical_shape})"
+            )
+        atom = AtomCheckpoint(
+            name=name,
+            states={
+                "fp32": values,
+                "exp_avg": np.zeros_like(values),
+                "exp_avg_sq": np.zeros_like(values),
+            },
+            spec=spec.to_dict(),
+        )
+        atom_store.write(atom)
+        params[name] = {
+            "shape": list(atom.shape),
+            "spec": atom.spec,
+            "kinds": sorted(atom.states),
+        }
+
+    from repro.optim.adam import Adam
+
+    metadata = UCPMetadata(
+        iteration=iteration,
+        optimizer_step=0,
+        model_config=model_cfg.to_dict(),
+        source_parallel_config={"tp": 1, "pp": 1, "dp": 1, "sp": 1, "zero_stage": 1},
+        params=params,
+        adam=Adam().hyperparameters(),
+        training={
+            "seed": 0,
+            "data_seed": 0,
+            "global_batch_size": 0,
+            "seq_len": 0,
+            "mp_policy": {"compute_dtype": "fp32"},
+        },
+        pattern_program=program_for_config(model_cfg).to_dict(),
+    )
+    metadata.save(store)
+    return metadata

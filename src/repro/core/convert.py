@@ -1,0 +1,214 @@
+"""Distributed checkpoint -> UCP conversion (paper Algorithm 1).
+
+The converter runs lazily and on demand — only when a resume needs a
+different parallelism strategy — so normal training pays nothing for
+UCP (the paper's zero-save-overhead claim).  Phases:
+
+1. **Extract** every ``optim_states`` rank file into parameter-state
+   fragments (independent per file; optionally threaded).
+2. **Union** each parameter's fragments by its pattern from the UCP
+   language program (independent per parameter; optionally threaded —
+   the paper's parallelism/memory trade-off).
+3. **StripPadding** and write one atom per parameter, plus global
+   metadata.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import re
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.ckpt.loader import read_job_config, resolve_tag
+from repro.core.atom import STATE_KINDS, AtomCheckpoint, AtomStore
+from repro.core.errors import PatternMatchError, UCPFormatError
+from repro.core.metadata import UCPMetadata
+from repro.core.ops import ParamFragment, extract, strip_padding, union
+from repro.core.patterns import PatternProgram, program_for_config
+from repro.dist.topology import ParallelConfig
+from repro.models.configs import ModelConfig
+from repro.parallel.tp import ShardSpec
+from repro.storage.store import ObjectStore
+
+_OPTIM_FILE_RE = re.compile(r"^zero_dp_rank_(\d+)_mp_rank_(\d+)_optim_states\.npt$")
+
+
+@dataclasses.dataclass(frozen=True)
+class ConversionReport:
+    """Metrics from one conversion run."""
+
+    source_tag: str
+    num_files: int
+    num_params: int
+    atom_bytes: int
+    extract_seconds: float
+    union_seconds: float
+    write_seconds: float
+    simulated_read_s: float
+    simulated_write_s: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock conversion time."""
+        return self.extract_seconds + self.union_seconds + self.write_seconds
+
+
+def _optim_files(store: ObjectStore, tag: str) -> List[str]:
+    files = []
+    for rel in store.list(tag):
+        base = rel.split("/")[-1]
+        if _OPTIM_FILE_RE.match(base):
+            files.append(rel)
+    if not files:
+        raise UCPFormatError(f"no optimizer-state files under tag {tag!r}")
+    return files
+
+
+def _map_maybe_parallel(fn, items, workers: int):
+    if workers and workers > 1:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    return [fn(item) for item in items]
+
+
+def ucp_convert(
+    ckpt_dir: str,
+    ucp_dir: str,
+    tag: Optional[str] = None,
+    program: Optional[PatternProgram] = None,
+    workers: int = 0,
+    verify_replicas: bool = True,
+    strict_spec_check: bool = True,
+) -> ConversionReport:
+    """Convert a distributed checkpoint into UCP atom format.
+
+    Args:
+        ckpt_dir: source distributed-checkpoint directory.
+        ucp_dir: output UCP directory (created).
+        tag: source tag; defaults to the checkpoint's ``latest``.
+        program: UCP-language pattern program; defaults to the built-in
+            program for the checkpoint's model family.
+        workers: >1 enables threaded Extract/Union/write phases.
+        verify_replicas: fail if replicated copies are not bit-equal.
+        strict_spec_check: cross-check the program's classification
+            against the sharding metadata recorded at save time.
+    """
+    src_store = ObjectStore(ckpt_dir)
+    src_tag = resolve_tag(src_store, tag)
+    job_config = read_job_config(ckpt_dir, src_tag)
+    model_cfg = ModelConfig.from_dict(job_config["model_config"])
+    source_cfg = ParallelConfig.from_dict(job_config["parallel_config"])
+    if program is None:
+        program = program_for_config(
+            model_cfg, expert_parallel=source_cfg.expert_parallel
+        )
+
+    # --- Extract (parallel across rank files) ---
+    t0 = time.perf_counter()
+    files = _optim_files(src_store, src_tag)
+    payloads = _map_maybe_parallel(src_store.load, files, workers)
+
+    fragments: Dict[Tuple[str, str], List[ParamFragment]] = {}
+    shapes: Dict[str, Dict] = {}
+    optimizer_step = 0
+    loss_scaler = None
+    adam_hyper: Dict = {}
+    for payload in payloads:
+        optimizer_step = max(optimizer_step, int(payload["optimizer_step"]))
+        adam_hyper = payload["adam"]
+        if payload.get("loss_scaler") is not None:
+            loss_scaler = payload["loss_scaler"]
+        for name, saved_spec in payload["sharding"].items():
+            shapes[name] = saved_spec
+        for fragment in extract(payload):
+            fragments.setdefault((fragment.name, fragment.kind), []).append(fragment)
+    t1 = time.perf_counter()
+
+    # --- resolve specs through the UCP-language program ---
+    names = sorted({name for name, _ in fragments})
+    specs: Dict[str, ShardSpec] = {}
+    for name in names:
+        saved = shapes.get(name)
+        if saved is None:
+            raise UCPFormatError(f"no sharding metadata for {name!r}")
+        spec = program.resolve_spec(
+            name,
+            tuple(saved["logical_shape"]),
+            tuple(saved["unpadded_shape"]),
+        )
+        if strict_spec_check:
+            saved_spec = ShardSpec.from_dict(
+                {k: saved[k] for k in
+                 ("pattern", "logical_shape", "unpadded_shape", "fragmenter")}
+            )
+            if (saved_spec.pattern, saved_spec.fragmenter) != (
+                spec.pattern, spec.fragmenter
+            ):
+                raise PatternMatchError(
+                    f"pattern program classifies {name!r} as {spec.pattern} "
+                    f"({spec.fragmenter}), but the checkpoint was saved as "
+                    f"{saved_spec.pattern} ({saved_spec.fragmenter})"
+                )
+        specs[name] = spec
+
+    # --- Union + StripPadding (parallel across parameters) ---
+    def consolidate(name: str) -> AtomCheckpoint:
+        states = {}
+        for kind in STATE_KINDS:
+            parts = fragments.get((name, kind))
+            if not parts:
+                raise UCPFormatError(f"no {kind} fragments for {name!r}")
+            merged = union(
+                parts, specs[name], source_cfg.tp, verify_replicas=verify_replicas
+            )
+            states[kind] = strip_padding(merged, specs[name])
+        return AtomCheckpoint(name=name, states=states, spec=specs[name].to_dict())
+
+    atoms = _map_maybe_parallel(consolidate, names, workers)
+    t2 = time.perf_counter()
+
+    # --- write atoms + metadata ---
+    dst_store = ObjectStore(ucp_dir)
+    atom_store = AtomStore(ucp_dir, dst_store)
+    atom_bytes = sum(_map_maybe_parallel(atom_store.write, atoms, workers))
+
+    metadata = UCPMetadata(
+        iteration=int(job_config["iteration"]),
+        optimizer_step=optimizer_step,
+        model_config=model_cfg.to_dict(),
+        source_parallel_config=source_cfg.to_dict(),
+        params={
+            atom.name: {
+                "shape": list(atom.shape),
+                "spec": atom.spec,
+                "kinds": sorted(atom.states),
+            }
+            for atom in atoms
+        },
+        adam=adam_hyper,
+        training={
+            "seed": job_config["seed"],
+            "data_seed": job_config["data_seed"],
+            "global_batch_size": job_config["global_batch_size"],
+            "seq_len": job_config["seq_len"],
+            "mp_policy": job_config["mp_policy"],
+        },
+        pattern_program=program.to_dict(),
+        loss_scaler=loss_scaler,
+    )
+    atom_bytes += metadata.save(dst_store)
+    t3 = time.perf_counter()
+
+    return ConversionReport(
+        source_tag=src_tag,
+        num_files=len(files),
+        num_params=len(atoms),
+        atom_bytes=atom_bytes,
+        extract_seconds=t1 - t0,
+        union_seconds=t2 - t1,
+        write_seconds=t3 - t2,
+        simulated_read_s=src_store.simulated_read_s,
+        simulated_write_s=dst_store.simulated_write_s,
+    )

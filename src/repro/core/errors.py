@@ -1,0 +1,25 @@
+"""UCP error hierarchy."""
+
+from __future__ import annotations
+
+
+class UCPError(RuntimeError):
+    """Base class for Universal Checkpointing failures."""
+
+
+class PatternMatchError(UCPError):
+    """A parameter matched no rule in the pattern program, or its
+    fragments are inconsistent with the matched pattern."""
+
+
+class AtomMissingError(UCPError):
+    """A required atom checkpoint file is absent from the UCP directory."""
+
+
+class UCPFormatError(UCPError):
+    """A UCP directory is malformed or from an unsupported version."""
+
+
+class UCPIncompatibleError(UCPError):
+    """The UCP checkpoint cannot be loaded into the requested target
+    (e.g. it was created from a different model architecture)."""

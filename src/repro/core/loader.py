@@ -1,0 +1,76 @@
+"""Target-side UCP loading.
+
+Fills a :class:`TrainingEngine`'s ZeRO partitions from atom checkpoints
+under an *arbitrary* target parallelism strategy: ``gen_ucp_metadata``
+computes the target partition map from the same layout code the engine
+itself uses, then ``load`` streams atoms into every (mp, dp) partition.
+After loading, the fp32 flat state is re-broadcast into the model's
+working-precision weights (the paper's ``fp16_partitioned_groups_flat``
+rebroadcast), so the target may even run a different mixed-precision
+dtype than the source.
+"""
+
+from __future__ import annotations
+
+from repro.core.atom import STATE_KINDS, AtomStore
+from repro.core.errors import UCPIncompatibleError
+from repro.core.metadata import UCPMetadata
+from repro.core.ops import AtomShardCache, gen_ucp_metadata, load
+from repro.models.configs import ModelConfig
+from repro.storage.store import ObjectStore
+
+
+def load_ucp_into_engine(engine, ucp_dir: str, max_cached_atoms: int = 64) -> UCPMetadata:
+    """Resume an engine (any topology) from a UCP checkpoint.
+
+    Args:
+        engine: target :class:`repro.parallel.engine.TrainingEngine`.
+        ucp_dir: UCP directory produced by :func:`repro.core.convert.ucp_convert`.
+        max_cached_atoms: working-memory bound for the atom cache.
+
+    Returns:
+        The UCP metadata that was loaded.
+
+    Raises:
+        UCPIncompatibleError: model architecture mismatch.
+    """
+    store = ObjectStore(ucp_dir)
+    metadata = UCPMetadata.load(store)
+    saved_model = ModelConfig.from_dict(metadata.model_config)
+    if saved_model != engine.model_cfg:
+        raise UCPIncompatibleError(
+            f"UCP checkpoint holds model {saved_model.name!r}; the target "
+            f"engine runs {engine.model_cfg.name!r}"
+        )
+
+    expected = set(engine.layout.shard_specs)
+    present = set(metadata.params)
+    if expected - present:
+        raise UCPIncompatibleError(
+            f"UCP checkpoint is missing atoms for "
+            f"{sorted(expected - present)[:5]}..."
+        )
+
+    plan = gen_ucp_metadata(engine.model_cfg, engine.parallel_cfg)
+    atom_store = AtomStore(ucp_dir, store)
+    cache = AtomShardCache(atom_store, plan, max_atoms=max_cached_atoms)
+
+    dp = engine.parallel_cfg.dp
+    step = metadata.optimizer_step
+    for coord in engine.layout.mp_coords():
+        pp_stage, sp_rank, tp_rank = coord
+        for d in range(dp):
+            partition = engine.zero.partitions[coord][d]
+            for kind in STATE_KINDS:
+                values = load(
+                    atom_store, plan, kind, pp_stage, sp_rank, tp_rank, d, cache=cache
+                )
+                target = engine.zero._partition_array(partition, kind)
+                target[...] = values
+            partition.state.step = step
+
+    engine.iteration = metadata.iteration
+    if metadata.loss_scaler is not None and engine.loss_scaler is not None:
+        engine.loss_scaler.load_state_dict(metadata.loss_scaler)
+    engine.sync_model_from_masters()
+    return metadata

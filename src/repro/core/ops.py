@@ -1,0 +1,429 @@
+"""The UCP transformation operations (paper Table 2).
+
+* :func:`extract`      — distributed checkpoint file -> parameter fragments
+* :func:`union`        — fragments of one parameter -> consolidated tensor
+* :func:`strip_padding`— remove structural padding from a consolidated tensor
+* :func:`gen_ucp_metadata` — target strategy -> partition map (:class:`LoadPlan`)
+* :func:`load`         — stream atoms into one target rank's flat partition
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.atom import STATE_KINDS, AtomStore
+from repro.core.errors import PatternMatchError, UCPFormatError
+from repro.dist.topology import ParallelConfig
+from repro.models.configs import ModelConfig
+from repro.parallel.layout import ModelParallelLayout, PartitionSlice
+from repro.parallel.sp import average_param_copies
+from repro.parallel.tp import (
+    PATTERN_FRAGMENT,
+    PATTERN_REPLICATED,
+    PATTERN_TO_AVERAGE,
+    PATTERN_UNIQUE,
+    ShardSpec,
+)
+
+_KIND_TO_FIELD = {
+    "fp32": "fp32_flat_partition",
+    "exp_avg": "exp_avg_flat_partition",
+    "exp_avg_sq": "exp_avg_sq_flat_partition",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamFragment:
+    """One contiguous piece of one parameter state from one rank file.
+
+    ``shard_start:shard_end`` locate the piece inside the *flattened TP
+    shard* the owning model-parallel rank held; grid coordinates record
+    where the piece came from.
+    """
+
+    name: str
+    kind: str
+    data: np.ndarray
+    shard_start: int
+    shard_end: int
+    pp_stage: int
+    sp_rank: int
+    tp_rank: int
+    dp_rank: int
+    shard_shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 1:
+            raise UCPFormatError("fragment data must be 1-D")
+        if self.shard_end - self.shard_start != self.data.size:
+            raise UCPFormatError(
+                f"fragment of {self.name!r}: range "
+                f"[{self.shard_start}, {self.shard_end}) does not match "
+                f"{self.data.size} elements"
+            )
+
+
+def extract(payload: Dict, kinds: Sequence[str] = STATE_KINDS) -> List[ParamFragment]:
+    """Extract parameter-state fragments from one optimizer-states file.
+
+    The paper's *Extract*: returns the list of parameter states
+    contained in a distributed checkpoint file.  Runs independently per
+    file, so a converter may call it in parallel across files.
+
+    Dispatches on the file schema: DeepSpeed-style flattened ZeRO
+    partitions (``fp32_flat_partition`` + partition metadata) and
+    Megatron-classic per-parameter dictionaries (``param_states``) both
+    extract into the same fragment representation — which is what lets
+    one Union serve either source format.
+
+    Args:
+        payload: a deserialized ``zero_dp_rank_*_optim_states`` object.
+        kinds: which state kinds to extract.
+    """
+    if "param_states" in payload:
+        return _extract_per_param(payload, kinds)
+    meta = payload["partition_meta"]
+    dp_rank = int(meta["dp_rank"])
+    partition_numel = int(meta["partition_numel"])
+    part_start = dp_rank * partition_numel
+    part_end = part_start + partition_numel
+    pp_stage = int(payload.get("pp_stage", 0))
+    sp_rank = int(payload.get("sp_rank", 0))
+    tp_rank = int(payload.get("tp_rank", 0))
+
+    fragments: List[ParamFragment] = []
+    for kind in kinds:
+        field = _KIND_TO_FIELD.get(kind)
+        if field is None:
+            raise KeyError(f"unknown state kind {kind!r}")
+        flat = np.asarray(payload[field], dtype=np.float32)
+        if flat.size != partition_numel:
+            raise UCPFormatError(
+                f"partition array has {flat.size} elements, metadata says "
+                f"{partition_numel}"
+            )
+        for segment in meta["segments"]:
+            seg_start = int(segment["offset"])
+            seg_end = seg_start + int(segment["numel"])
+            start = max(seg_start, part_start)
+            end = min(seg_end, part_end)
+            if start >= end:
+                continue
+            fragments.append(
+                ParamFragment(
+                    name=segment["name"],
+                    kind=kind,
+                    data=flat[start - part_start : end - part_start].copy(),
+                    shard_start=start - seg_start,
+                    shard_end=end - seg_start,
+                    pp_stage=pp_stage,
+                    sp_rank=sp_rank,
+                    tp_rank=tp_rank,
+                    dp_rank=dp_rank,
+                    shard_shape=tuple(segment["shard_shape"]),
+                )
+            )
+    return fragments
+
+
+def _extract_per_param(payload: Dict, kinds: Sequence[str]) -> List[ParamFragment]:
+    """Extract from a Megatron-classic per-parameter state file."""
+    pp_stage = int(payload.get("pp_stage", 0))
+    sp_rank = int(payload.get("sp_rank", 0))
+    tp_rank = int(payload.get("tp_rank", 0))
+    states = payload["param_states"]
+    fragments: List[ParamFragment] = []
+    for kind in kinds:
+        if kind not in states:
+            raise KeyError(f"state kind {kind!r} missing from param_states")
+        for name, shard in states[kind].items():
+            arr = np.asarray(shard, dtype=np.float32)
+            fragments.append(
+                ParamFragment(
+                    name=name,
+                    kind=kind,
+                    data=arr.reshape(-1).copy(),
+                    shard_start=0,
+                    shard_end=int(arr.size),
+                    pp_stage=pp_stage,
+                    sp_rank=sp_rank,
+                    tp_rank=tp_rank,
+                    dp_rank=0,
+                    shard_shape=tuple(arr.shape),
+                )
+            )
+    return fragments
+
+
+def _assemble_shard(pieces: List[ParamFragment]) -> np.ndarray:
+    """Reassemble one rank's full TP shard from its dp-split pieces."""
+    pieces = sorted(pieces, key=lambda f: f.shard_start)
+    expected = 1
+    for d in pieces[0].shard_shape:
+        expected *= d
+    cursor = 0
+    chunks = []
+    for piece in pieces:
+        if piece.shard_start != cursor:
+            raise UCPFormatError(
+                f"shard of {piece.name!r} has a gap: next piece starts at "
+                f"{piece.shard_start}, expected {cursor}"
+            )
+        chunks.append(piece.data)
+        cursor = piece.shard_end
+    if cursor != expected:
+        raise UCPFormatError(
+            f"shard of {pieces[0].name!r} incomplete: {cursor} of "
+            f"{expected} elements"
+        )
+    return np.concatenate(chunks).reshape(pieces[0].shard_shape)
+
+
+def union(
+    fragments: List[ParamFragment],
+    spec: ShardSpec,
+    tp_degree: int,
+    verify_replicas: bool = True,
+) -> np.ndarray:
+    """Consolidate all fragments of one (parameter, state) pair.
+
+    The paper's *Union*: a pattern-specific merge.  Fragments first
+    reassemble into per-rank TP shards (undoing the ZeRO dp-split), then
+    the pattern decides: replicated -> first copy (others verified
+    equal), params_to_average -> elementwise mean, fragment ->
+    sub-pattern join across TP ranks, unique -> the single copy.
+    """
+    if not fragments:
+        raise UCPFormatError("union of zero fragments")
+    name = fragments[0].name
+    kind = fragments[0].kind
+    if any(f.name != name or f.kind != kind for f in fragments):
+        raise UCPFormatError("union received fragments of mixed parameters")
+
+    by_coord: Dict[Tuple[int, int, int], List[ParamFragment]] = {}
+    for fragment in fragments:
+        key = (fragment.pp_stage, fragment.sp_rank, fragment.tp_rank)
+        by_coord.setdefault(key, []).append(fragment)
+    shards = {
+        coord: _assemble_shard(pieces) for coord, pieces in sorted(by_coord.items())
+    }
+
+    if spec.pattern == PATTERN_UNIQUE:
+        if len(shards) != 1:
+            raise PatternMatchError(
+                f"{name!r} is unique_params but {len(shards)} ranks hold it"
+            )
+        return next(iter(shards.values()))
+
+    if spec.pattern == PATTERN_REPLICATED:
+        copies = list(shards.values())
+        first = copies[0]
+        if verify_replicas:
+            for other in copies[1:]:
+                if not np.array_equal(first, other):
+                    raise PatternMatchError(
+                        f"{name!r} is replicated_params but rank copies "
+                        f"differ; use params_to_average for independently "
+                        f"updated parameters"
+                    )
+        return first
+
+    if spec.pattern == PATTERN_TO_AVERAGE:
+        return average_param_copies(list(shards.values()))
+
+    if spec.pattern == PATTERN_FRAGMENT:
+        # per TP rank, fragments are replicated across SP and (for tied
+        # embeddings) across PP; take the lowest-coordinate copy
+        per_tp: Dict[int, np.ndarray] = {}
+        for (pp, sp, tp), shard in sorted(shards.items()):
+            per_tp.setdefault(tp, shard)
+        observed = sorted(per_tp)
+        if observed != list(range(tp_degree)):
+            raise PatternMatchError(
+                f"{name!r}: expected TP shards 0..{tp_degree - 1}, "
+                f"got {observed}"
+            )
+        if tp_degree == 1:
+            return per_tp[0]
+        return spec.fragmenter.join([per_tp[tp] for tp in range(tp_degree)])
+
+    raise PatternMatchError(f"unhandled pattern {spec.pattern!r}")
+
+
+def strip_padding(values: np.ndarray, spec: ShardSpec) -> np.ndarray:
+    """Remove structural padding from a consolidated tensor.
+
+    The paper's *StripPadding*: atoms never store padding (vocab rows
+    added for TP divisibility, alignment padding never reaches here
+    because flat segments exclude it).
+    """
+    if tuple(values.shape) != spec.logical_shape:
+        raise UCPFormatError(
+            f"expected consolidated shape {spec.logical_shape}, got "
+            f"{values.shape}"
+        )
+    if not spec.has_padding:
+        return values
+    slices = tuple(slice(0, dim) for dim in spec.unpadded_shape)
+    return values[slices].copy()
+
+
+def add_padding(values: np.ndarray, spec: ShardSpec) -> np.ndarray:
+    """Inverse of :func:`strip_padding`: re-pad with zeros for a target.
+
+    Zeros are exact for both weights and Adam moments: padding rows are
+    never touched by forward/backward, so their true state is zero.
+    """
+    if tuple(values.shape) != spec.unpadded_shape:
+        raise UCPFormatError(
+            f"expected unpadded shape {spec.unpadded_shape}, got "
+            f"{values.shape}"
+        )
+    if not spec.has_padding:
+        return values
+    out = np.zeros(spec.logical_shape, dtype=values.dtype)
+    out[tuple(slice(0, dim) for dim in values.shape)] = values
+    return out
+
+
+@dataclasses.dataclass
+class LoadPlan:
+    """The target partition map produced by :func:`gen_ucp_metadata`.
+
+    Wraps the target's :class:`ModelParallelLayout`: for every target
+    rank and DP partition, which atom slices fill which flat ranges
+    (padding re-introduced per the paper's *GenUcpMetadata*).
+    """
+
+    model_cfg: ModelConfig
+    target_cfg: ParallelConfig
+    layout: ModelParallelLayout
+
+    def partition_assignment(
+        self, pp_stage: int, sp_rank: int, tp_rank: int, dp_rank: int
+    ) -> List[PartitionSlice]:
+        """Atom slices composing one (mp rank, dp rank) flat partition."""
+        return self.layout.rank_layout(pp_stage, sp_rank, tp_rank).slices_in_partition(
+            dp_rank
+        )
+
+    def total_partitions(self) -> int:
+        """Number of (mp, dp) partitions across the target job."""
+        return len(self.layout.mp_coords()) * self.target_cfg.dp
+
+
+def gen_ucp_metadata(
+    model_cfg: ModelConfig, target_cfg: ParallelConfig
+) -> LoadPlan:
+    """Compute the target-side partition metadata (paper's GenUcpMetadata).
+
+    Calculates, for the *Target* strategy, each parameter's new shape
+    and location — TP shard shapes, flat offsets, alignment padding,
+    and ZeRO partition boundaries.
+    """
+    return LoadPlan(
+        model_cfg=model_cfg,
+        target_cfg=target_cfg,
+        layout=ModelParallelLayout(model_cfg, target_cfg),
+    )
+
+
+class AtomShardCache:
+    """Caches consolidated atoms and their computed target TP shards.
+
+    ``Load`` touches each atom once per (state kind, tp rank) instead of
+    once per partition slice; ``max_atoms`` bounds working memory, the
+    knob the paper describes as the parallelism/memory trade-off.
+    """
+
+    def __init__(
+        self,
+        atom_store: AtomStore,
+        plan: LoadPlan,
+        max_atoms: int = 64,
+        parallel_reads: int = 8,
+    ) -> None:
+        if max_atoms < 1:
+            raise ValueError(f"max_atoms must be >= 1, got {max_atoms}")
+        if parallel_reads < 1:
+            raise ValueError(f"parallel_reads must be >= 1, got {parallel_reads}")
+        self.atom_store = atom_store
+        self.plan = plan
+        self.max_atoms = max_atoms
+        # queue depth for the storage cost model: DeepNVMe-style batched
+        # reads amortize per-file latency across concurrent requests
+        self.parallel_reads = parallel_reads
+        self._padded: Dict[Tuple[str, str], np.ndarray] = {}
+        self._shards: Dict[Tuple[str, str, int], np.ndarray] = {}
+
+    def _evict(self, cache: Dict) -> None:
+        while len(cache) >= self.max_atoms:
+            cache.pop(next(iter(cache)))
+
+    def _padded_state(self, name: str, kind: str) -> np.ndarray:
+        key = (name, kind)
+        cached = self._padded.get(key)
+        if cached is not None:
+            return cached
+        spec = self.plan.layout.spec(name)
+        values = np.asarray(
+            self.atom_store.read_state(name, kind, parallel=self.parallel_reads),
+            dtype=np.float32,
+        )
+        if tuple(values.shape) != spec.unpadded_shape:
+            raise UCPFormatError(
+                f"atom {name!r} ({kind}) has shape {values.shape}; target "
+                f"expects unpadded {spec.unpadded_shape}"
+            )
+        padded = add_padding(values, spec)
+        self._evict(self._padded)
+        self._padded[key] = padded
+        return padded
+
+    def shard_flat(self, name: str, kind: str, tp_rank: int) -> np.ndarray:
+        """The flattened target TP shard of one atom state."""
+        key = (name, kind, tp_rank)
+        cached = self._shards.get(key)
+        if cached is not None:
+            return cached
+        spec = self.plan.layout.spec(name)
+        padded = self._padded_state(name, kind)
+        tp = self.plan.target_cfg.tp
+        if spec.fragmenter is not None and tp > 1:
+            shard = spec.fragmenter.shard(padded, tp, tp_rank)
+        else:
+            shard = padded
+        flat = np.ascontiguousarray(shard, dtype=np.float32).reshape(-1)
+        self._evict(self._shards)
+        self._shards[key] = flat
+        return flat
+
+
+def load(
+    atom_store: AtomStore,
+    plan: LoadPlan,
+    kind: str,
+    pp_stage: int,
+    sp_rank: int,
+    tp_rank: int,
+    dp_rank: int,
+    cache: Optional[AtomShardCache] = None,
+) -> np.ndarray:
+    """Materialize one target rank's flat partition of one state kind.
+
+    The paper's *Load*: streams atom checkpoints into the rank's flat
+    buffer in layer order, alignment padding re-added (zeros).
+    """
+    rank_layout = plan.layout.rank_layout(pp_stage, sp_rank, tp_rank)
+    partition = np.zeros(rank_layout.partition_numel, dtype=np.float32)
+    if cache is None:
+        cache = AtomShardCache(atom_store, plan)
+    for piece in rank_layout.slices_in_partition(dp_rank):
+        flat = cache.shard_flat(piece.name, kind, tp_rank)
+        partition[piece.local_start : piece.local_end] = flat[
+            piece.shard_start : piece.shard_end
+        ]
+    return partition

@@ -1,0 +1,205 @@
+"""The UCP language: declarative parameter-pattern programs.
+
+A :class:`PatternProgram` is an ordered list of rules, each mapping a
+parameter-name regex to one of the paper's Table 1 patterns
+(``unique_params`` / ``replicated_params`` / ``fragment_params`` /
+``params_to_average``), optionally with a fragment sub-pattern
+(Fig 5: even, fused variable-size sections, expert tensors, padded
+vocab).  The converter classifies every parameter through the program;
+an unmatched parameter is an error, not a silent skip.
+
+``program_for_config`` writes the program a developer would write for
+this repo's transformer families — a dozen generic rules covering every
+architecture in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import PatternMatchError
+from repro.models.configs import ModelConfig
+from repro.parallel.sharding import (
+    EvenFragment,
+    ExpertFragment,
+    ExpertParallelFragment,
+    Fragmenter,
+    FusedSectionsFragment,
+    VocabFragment,
+)
+from repro.parallel.tp import (
+    ALL_PATTERNS,
+    PATTERN_FRAGMENT,
+    PATTERN_REPLICATED,
+    PATTERN_TO_AVERAGE,
+    ShardSpec,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternRule:
+    """One rule: parameter-name regex -> pattern (+ sub-pattern)."""
+
+    regex: str
+    pattern: str
+    fragmenter: Optional[Fragmenter] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ALL_PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.pattern == PATTERN_FRAGMENT and self.fragmenter is None:
+            raise ValueError(
+                f"rule {self.regex!r}: fragment_params needs a fragmenter"
+            )
+        object.__setattr__(self, "_compiled", re.compile(self.regex))
+
+    def matches(self, name: str) -> bool:
+        """Whether this rule applies to a parameter name."""
+        return self._compiled.search(name) is not None
+
+    def to_dict(self) -> Dict:
+        """JSON form."""
+        return {
+            "regex": self.regex,
+            "pattern": self.pattern,
+            "fragmenter": None if self.fragmenter is None else self.fragmenter.to_dict(),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PatternRule":
+        """Inverse of :meth:`to_dict`."""
+        frag = payload.get("fragmenter")
+        return cls(
+            regex=payload["regex"],
+            pattern=payload["pattern"],
+            fragmenter=None if frag is None else Fragmenter.from_dict(frag),
+            label=payload.get("label", ""),
+        )
+
+
+class PatternProgram:
+    """An ordered rule list; first matching rule wins."""
+
+    def __init__(self, rules: List[PatternRule]) -> None:
+        if not rules:
+            raise ValueError("a pattern program needs at least one rule")
+        self.rules = list(rules)
+
+    def match(self, name: str) -> PatternRule:
+        """The first rule matching a parameter name.
+
+        Raises:
+            PatternMatchError: when no rule matches — every parameter
+                must be classified explicitly.
+        """
+        for rule in self.rules:
+            if rule.matches(name):
+                return rule
+        raise PatternMatchError(
+            f"parameter {name!r} matched no pattern rule; add a rule to "
+            f"the program (have {len(self.rules)} rules)"
+        )
+
+    def resolve_spec(
+        self,
+        name: str,
+        logical_shape: Tuple[int, ...],
+        unpadded_shape: Optional[Tuple[int, ...]] = None,
+    ) -> ShardSpec:
+        """Build a full :class:`ShardSpec` for one parameter.
+
+        Shapes come from checkpoint metadata; the rule supplies the
+        pattern and sub-pattern.
+        """
+        rule = self.match(name)
+        unpadded = tuple(unpadded_shape) if unpadded_shape else tuple(logical_shape)
+        if rule.pattern == PATTERN_FRAGMENT and isinstance(rule.fragmenter, VocabFragment):
+            unpadded = (rule.fragmenter.logical_rows,) + tuple(logical_shape[1:])
+        return ShardSpec(
+            pattern=rule.pattern,
+            logical_shape=tuple(logical_shape),
+            unpadded_shape=unpadded,
+            fragmenter=rule.fragmenter,
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON form (embedded in UCP metadata for provenance)."""
+        return {"rules": [r.to_dict() for r in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PatternProgram":
+        """Inverse of :meth:`to_dict`."""
+        return cls([PatternRule.from_dict(r) for r in payload["rules"]])
+
+
+def program_for_config(
+    cfg: ModelConfig,
+    average_replicas: bool = False,
+    expert_parallel: bool = False,
+) -> PatternProgram:
+    """The pattern program for this repo's transformer families.
+
+    Args:
+        cfg: model configuration (supplies head/expert geometry for the
+            variable-size sub-patterns).
+        average_replicas: classify norm parameters as
+            ``params_to_average`` instead of ``replicated_params`` —
+            for SP/TP variants that update them independently per rank.
+        expert_parallel: the source sharded MoE tensors along the
+            expert axis (whole experts per rank) rather than inside
+            each expert.
+    """
+    head_dim = cfg.head_dim
+    q_size = cfg.num_heads * head_dim
+    kv_size = cfg.num_kv_heads * head_dim
+    qkv_sections = FusedSectionsFragment(dim=0, section_sizes=(q_size, kv_size, kv_size))
+    vocab_frag = VocabFragment(logical_rows=cfg.vocab_size)
+    norm_pattern = PATTERN_TO_AVERAGE if average_replicas else PATTERN_REPLICATED
+
+    rules = [
+        PatternRule(r"^embedding\.weight$", PATTERN_FRAGMENT, vocab_frag,
+                    label="vocab-parallel embedding"),
+        PatternRule(r"^lm_head$", PATTERN_FRAGMENT, vocab_frag,
+                    label="vocab-parallel LM head"),
+        PatternRule(r"^pos_embedding\.weight$", PATTERN_REPLICATED,
+                    label="learned positions"),
+        PatternRule(r"\.attn\.qkv\.(weight|bias)$", PATTERN_FRAGMENT, qkv_sections,
+                    label="fused QKV (variable sections under GQA)"),
+        PatternRule(r"\.attn\.out\.weight$", PATTERN_FRAGMENT, EvenFragment(dim=1),
+                    label="row-parallel attention output"),
+        PatternRule(r"\.attn\.out\.bias$", PATTERN_REPLICATED,
+                    label="attention output bias"),
+        PatternRule(r"\.ffn\.router\.proj\.weight$", PATTERN_REPLICATED,
+                    label="MoE router"),
+    ]
+    if expert_parallel:
+        rules += [
+            PatternRule(r"\.ffn\.(gate|up|down)_weight$", PATTERN_FRAGMENT,
+                        ExpertParallelFragment(expert_axis=0),
+                        label="MoE expert-parallel (whole experts per rank)"),
+        ]
+    else:
+        rules += [
+            PatternRule(r"\.ffn\.(gate|up)_weight$", PATTERN_FRAGMENT,
+                        ExpertFragment(expert_axis=0, shard_dim=1),
+                        label="MoE expert up/gate (3-dim)"),
+            PatternRule(r"\.ffn\.down_weight$", PATTERN_FRAGMENT,
+                        ExpertFragment(expert_axis=0, shard_dim=2),
+                        label="MoE expert down (3-dim)"),
+        ]
+    rules += [
+        PatternRule(r"\.ffn\.(gate|up)\.weight$", PATTERN_FRAGMENT, EvenFragment(dim=0),
+                    label="column-parallel FFN up/gate"),
+        PatternRule(r"\.ffn\.up\.bias$", PATTERN_FRAGMENT, EvenFragment(dim=0),
+                    label="column-parallel FFN bias"),
+        PatternRule(r"\.ffn\.down\.weight$", PATTERN_FRAGMENT, EvenFragment(dim=1),
+                    label="row-parallel FFN down"),
+        PatternRule(r"\.ffn\.down\.bias$", PATTERN_REPLICATED,
+                    label="FFN down bias"),
+        PatternRule(r"norm", norm_pattern, label="normalization gains/biases"),
+    ]
+    return PatternProgram(rules)

@@ -1,0 +1,12 @@
+"""Synthetic training data (the Pile substitute).
+
+A deterministic token stream whose *global batch at step t* is a pure
+function of (seed, step, sample index) — independent of topology — so a
+run resumed under a different parallelism strategy sees exactly the
+training data it would have seen without the resume.
+"""
+
+from repro.data.corpus import SyntheticCorpus
+from repro.data.dataloader import Batch, DataLoader
+
+__all__ = ["SyntheticCorpus", "Batch", "DataLoader"]

@@ -1,0 +1,68 @@
+"""Topology-aware data loader.
+
+The *global* batch for step t is fixed; each data-parallel replica reads
+the contiguous slice of samples its DP rank owns.  Changing DP width
+across a resume re-slices the same global batch, so the training data
+stream is invariant to the parallelism strategy (required for the
+paper's loss-continuity experiments).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.data.corpus import SyntheticCorpus
+
+
+@dataclasses.dataclass(frozen=True)
+class Batch:
+    """One micro-batch: inputs and next-token targets."""
+
+    inputs: np.ndarray  # [samples, seq_len] int64
+    targets: np.ndarray  # [samples, seq_len] int64
+
+    @property
+    def num_samples(self) -> int:
+        """Sample count in this batch."""
+        return int(self.inputs.shape[0])
+
+
+class DataLoader:
+    """Deterministic per-step batch slicing over a synthetic corpus."""
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        global_batch_size: int,
+        dp_world: int = 1,
+    ) -> None:
+        if global_batch_size <= 0:
+            raise ValueError(f"global_batch_size must be > 0, got {global_batch_size}")
+        if dp_world <= 0 or global_batch_size % dp_world != 0:
+            raise ValueError(
+                f"global batch {global_batch_size} must divide evenly across "
+                f"dp={dp_world} replicas"
+            )
+        self.corpus = corpus
+        self.global_batch_size = global_batch_size
+        self.dp_world = dp_world
+
+    @property
+    def per_replica(self) -> int:
+        """Samples each DP replica processes per step."""
+        return self.global_batch_size // self.dp_world
+
+    def global_batch(self, step: int) -> Batch:
+        """The full step batch, as a DP=1 run would see it."""
+        data = self.corpus.batch(step, first_sample=0, count=self.global_batch_size)
+        return Batch(inputs=data[:, :-1], targets=data[:, 1:])
+
+    def replica_batch(self, step: int, dp_rank: int) -> Batch:
+        """The slice of the step batch that one DP replica consumes."""
+        if not 0 <= dp_rank < self.dp_world:
+            raise IndexError(f"dp_rank {dp_rank} out of range for dp={self.dp_world}")
+        first = dp_rank * self.per_replica
+        data = self.corpus.batch(step, first_sample=first, count=self.per_replica)
+        return Batch(inputs=data[:, :-1], targets=data[:, 1:])

@@ -1,0 +1,36 @@
+"""Simulated distributed runtime.
+
+Replaces NCCL + multi-process launch with an in-process cluster: a rank
+grid (:class:`Topology`) mapping global ranks to (TP, PP, DP, SP)
+coordinates, process groups over that grid, and deterministic collectives
+with byte-level traffic accounting.  Determinism (fixed reduction order)
+is what lets the reproduction assert bit-equality where the paper could
+only assert a 0.02 loss band.
+"""
+
+from repro.dist.topology import AxisName, ParallelConfig, RankCoord, Topology
+from repro.dist.process_group import ProcessGroup
+from repro.dist.collectives import (
+    CommRecord,
+    CommTracker,
+    all_gather,
+    all_reduce,
+    broadcast,
+    reduce_scatter,
+)
+from repro.dist.cluster import Cluster
+
+__all__ = [
+    "AxisName",
+    "ParallelConfig",
+    "RankCoord",
+    "Topology",
+    "ProcessGroup",
+    "CommRecord",
+    "CommTracker",
+    "all_gather",
+    "all_reduce",
+    "broadcast",
+    "reduce_scatter",
+    "Cluster",
+]

@@ -1,0 +1,191 @@
+"""Rank topology: mapping global ranks onto the (TP, PP, DP, SP) grid.
+
+Follows the Megatron-LM/DeepSpeed convention of rank-order nesting:
+tensor-parallel ranks are innermost (adjacent global ranks share a TP
+group), then sequence-parallel, then pipeline, then data-parallel
+outermost.  Checkpoint file naming and UCP metadata both key off these
+coordinates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterator, List, Tuple
+
+AxisName = str
+
+_AXES: Tuple[AxisName, ...] = ("dp", "pp", "sp", "tp")
+"""Axis nesting order, outermost first."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ParallelConfig:
+    """A parallelism strategy: degrees along each axis plus the ZeRO stage.
+
+    ``tp * pp * dp * sp`` is the world size (GPU count).  ``zero_stage``
+    in {0, 1, 2, 3} selects how optimizer state (and, for stage 3, the
+    parameters themselves) shard across the DP axis.
+
+    ``expert_parallel`` switches MoE expert tensors from tensor-slicing
+    (every rank holds a slice of every expert) to expert parallelism
+    (each TP-group rank holds whole experts, split along the expert
+    axis) — the DeepSpeed-MoE layout, and this reproduction's example
+    of the paper's "easily add new patterns" extensibility claim.
+    """
+
+    tp: int = 1
+    pp: int = 1
+    dp: int = 1
+    sp: int = 1
+    zero_stage: int = 1
+    expert_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        for axis in ("tp", "pp", "dp", "sp"):
+            degree = getattr(self, axis)
+            if degree < 1:
+                raise ValueError(f"{axis} degree must be >= 1, got {degree}")
+        if self.zero_stage not in (0, 1, 2, 3):
+            raise ValueError(f"zero_stage must be in 0..3, got {self.zero_stage}")
+        if self.zero_stage == 3 and (self.tp > 1 or self.pp > 1):
+            raise ValueError(
+                "ZeRO-3 fully shards parameters across DP and does not "
+                "compose with TP/PP in this reproduction (matching the "
+                "paper's evaluated configurations)"
+            )
+
+    @property
+    def world_size(self) -> int:
+        """Total number of ranks (simulated GPUs)."""
+        return self.tp * self.pp * self.dp * self.sp
+
+    def degree(self, axis: AxisName) -> int:
+        """Parallel degree along one axis."""
+        if axis not in _AXES:
+            raise KeyError(f"unknown axis {axis!r}; expected one of {_AXES}")
+        return int(getattr(self, axis))
+
+    def describe(self) -> str:
+        """Short human-readable tag, e.g. ``tp2.pp2.dp2.sp1.zero1``
+        (suffixed ``.ep`` under expert parallelism)."""
+        base = (
+            f"tp{self.tp}.pp{self.pp}.dp{self.dp}.sp{self.sp}"
+            f".zero{self.zero_stage}"
+        )
+        return f"{base}.ep" if self.expert_parallel else base
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-friendly representation."""
+        return {
+            "tp": self.tp,
+            "pp": self.pp,
+            "dp": self.dp,
+            "sp": self.sp,
+            "zero_stage": self.zero_stage,
+            "expert_parallel": self.expert_parallel,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "ParallelConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            tp=int(payload["tp"]),
+            pp=int(payload["pp"]),
+            dp=int(payload["dp"]),
+            sp=int(payload.get("sp", 1)),
+            zero_stage=int(payload.get("zero_stage", 1)),
+            expert_parallel=bool(payload.get("expert_parallel", False)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RankCoord:
+    """A rank's coordinates on the parallelism grid."""
+
+    tp: int
+    pp: int
+    dp: int
+    sp: int
+
+    def axis(self, name: AxisName) -> int:
+        """Coordinate along one axis."""
+        if name not in _AXES:
+            raise KeyError(f"unknown axis {name!r}")
+        return int(getattr(self, name))
+
+
+class Topology:
+    """Bidirectional map between global ranks and grid coordinates."""
+
+    def __init__(self, config: ParallelConfig) -> None:
+        self.config = config
+        self._coord_of: List[RankCoord] = []
+        self._rank_of: Dict[RankCoord, int] = {}
+        axes_degrees = [config.degree(a) for a in _AXES]
+        for rank, idx in enumerate(itertools.product(*(range(d) for d in axes_degrees))):
+            coord_kwargs = dict(zip(_AXES, idx))
+            coord = RankCoord(**coord_kwargs)
+            self._coord_of.append(coord)
+            self._rank_of[coord] = rank
+
+    @property
+    def world_size(self) -> int:
+        """Number of ranks."""
+        return self.config.world_size
+
+    def ranks(self) -> Iterator[int]:
+        """All global ranks in order."""
+        return iter(range(self.world_size))
+
+    def coord(self, rank: int) -> RankCoord:
+        """Grid coordinates of a global rank."""
+        if not 0 <= rank < self.world_size:
+            raise IndexError(f"rank {rank} out of range for world {self.world_size}")
+        return self._coord_of[rank]
+
+    def rank(self, coord: RankCoord) -> int:
+        """Global rank of grid coordinates."""
+        try:
+            return self._rank_of[coord]
+        except KeyError:
+            raise IndexError(f"coordinate {coord} not on grid {self.config.describe()}") from None
+
+    def group_ranks(self, axis: AxisName, rank: int) -> List[int]:
+        """Global ranks of the ``axis`` group containing ``rank``.
+
+        E.g. ``group_ranks("tp", r)`` is r's tensor-parallel group, in
+        increasing coordinate order along that axis.
+        """
+        base = self.coord(rank)
+        members = []
+        for i in range(self.config.degree(axis)):
+            coord = dataclasses.replace(base, **{axis: i})
+            members.append(self.rank(coord))
+        return members
+
+    def groups(self, axis: AxisName) -> List[List[int]]:
+        """All distinct groups along one axis."""
+        seen = set()
+        out: List[List[int]] = []
+        for rank in self.ranks():
+            group = tuple(self.group_ranks(axis, rank))
+            if group not in seen:
+                seen.add(group)
+                out.append(list(group))
+        return out
+
+    def model_parallel_rank(self, rank: int) -> int:
+        """Combined (tp, pp, sp) index, ignoring the DP coordinate.
+
+        Ranks sharing a model-parallel rank hold identical model shards
+        (they are DP replicas of each other); distributed checkpoints are
+        keyed by this index (DeepSpeed's ``mp_rank_XX`` files).
+        """
+        coord = self.coord(rank)
+        cfg = self.config
+        return (coord.pp * cfg.sp + coord.sp) * cfg.tp + coord.tp
+
+    def model_parallel_size(self) -> int:
+        """Number of distinct model-parallel ranks."""
+        return self.config.tp * self.config.pp * self.config.sp

@@ -1,0 +1,24 @@
+"""Model zoo: the four architectures from the paper's evaluation.
+
+Each family builds a :class:`repro.nn.TransformerLM`; the paper-scale
+configurations from Table 4 are registered alongside scaled-down "mini"
+configurations used by tests and benchmarks.
+"""
+
+from repro.models.configs import ModelConfig
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    available_models,
+    build_model,
+    get_config,
+    register_model,
+)
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_REGISTRY",
+    "available_models",
+    "build_model",
+    "get_config",
+    "register_model",
+]

@@ -1,0 +1,134 @@
+"""Construct a :class:`TransformerLM` from a :class:`ModelConfig`.
+
+All weights are initialized by (seed, dotted-parameter-name), so two
+builds with the same seed produce identical tensors regardless of the
+parallelism strategy they will later be sharded under — the property
+the paper's multiple-Source experiment (Fig 7) relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.configs import ModelConfig
+from repro.nn.attention import CausalSelfAttention
+from repro.nn.block import TransformerBlock
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding, LearnedPositionalEmbedding, padded_vocab_size
+from repro.nn.init import normal_init, zeros_init
+from repro.nn.mlp import MLP, SwiGLUMLP
+from repro.nn.moe import MoELayer
+from repro.nn.norm import LayerNorm, RMSNorm
+from repro.nn.transformer import TransformerLM
+
+
+def _make_norm(cfg: ModelConfig):
+    if cfg.norm == "layernorm":
+        return LayerNorm(cfg.hidden)
+    if cfg.norm == "rmsnorm":
+        return RMSNorm(cfg.hidden)
+    raise ValueError(f"unknown norm {cfg.norm!r}")
+
+
+def _make_attention(cfg: ModelConfig, seed: int, layer: int) -> CausalSelfAttention:
+    prefix = f"blocks.{layer}.attn"
+    qkv_out = (cfg.num_heads + 2 * cfg.num_kv_heads) * cfg.head_dim
+    use_bias = cfg.family in ("gpt3", "bloom")
+    return CausalSelfAttention(
+        hidden=cfg.hidden,
+        num_heads=cfg.num_heads,
+        num_kv_heads=cfg.num_kv_heads,
+        qkv_weight=normal_init(seed, f"{prefix}.qkv.weight", (qkv_out, cfg.hidden)),
+        out_weight=normal_init(
+            seed,
+            f"{prefix}.out.weight",
+            (cfg.hidden, cfg.num_heads * cfg.head_dim),
+            std=0.02 / np.sqrt(2.0 * cfg.num_layers),
+        ),
+        use_rope=cfg.positional == "rope",
+        use_alibi=cfg.positional == "alibi",
+        qkv_bias=zeros_init((qkv_out,)) if use_bias else None,
+        out_bias=zeros_init((cfg.hidden,)) if use_bias else None,
+    )
+
+
+def _make_ffn(cfg: ModelConfig, seed: int, layer: int):
+    prefix = f"blocks.{layer}.ffn"
+    residual_std = 0.02 / np.sqrt(2.0 * cfg.num_layers)
+    if cfg.is_moe:
+        e, i, h = cfg.num_experts, cfg.intermediate, cfg.hidden
+        return MoELayer(
+            hidden=h,
+            intermediate=i,
+            num_experts=e,
+            top_k=cfg.top_k,
+            router_weight=normal_init(seed, f"{prefix}.router.proj.weight", (e, h)),
+            gate_weight=normal_init(seed, f"{prefix}.gate_weight", (e, i, h)),
+            up_weight=normal_init(seed, f"{prefix}.up_weight", (e, i, h)),
+            down_weight=normal_init(
+                seed, f"{prefix}.down_weight", (e, h, i), std=residual_std
+            ),
+        )
+    if cfg.activation == "swiglu":
+        return SwiGLUMLP(
+            hidden=cfg.hidden,
+            intermediate=cfg.intermediate,
+            gate_weight=normal_init(seed, f"{prefix}.gate.weight", (cfg.intermediate, cfg.hidden)),
+            up_weight=normal_init(seed, f"{prefix}.up.weight", (cfg.intermediate, cfg.hidden)),
+            down_weight=normal_init(
+                seed, f"{prefix}.down.weight", (cfg.hidden, cfg.intermediate), std=residual_std
+            ),
+        )
+    use_bias = cfg.family in ("gpt3", "bloom")
+    return MLP(
+        hidden=cfg.hidden,
+        intermediate=cfg.intermediate,
+        up_weight=normal_init(seed, f"{prefix}.up.weight", (cfg.intermediate, cfg.hidden)),
+        down_weight=normal_init(
+            seed, f"{prefix}.down.weight", (cfg.hidden, cfg.intermediate), std=residual_std
+        ),
+        up_bias=zeros_init((cfg.intermediate,)) if use_bias else None,
+        down_bias=zeros_init((cfg.hidden,)) if use_bias else None,
+    )
+
+
+def build_transformer(cfg: ModelConfig, seed: int = 0) -> TransformerLM:
+    """Build a fully initialized model for one config."""
+    padded = padded_vocab_size(cfg.vocab_size, cfg.vocab_pad_to)
+    embedding = Embedding(
+        cfg.vocab_size,
+        cfg.hidden,
+        normal_init(seed, "embedding.weight", (padded, cfg.hidden)),
+    )
+    pos = None
+    if cfg.positional == "learned":
+        pos = LearnedPositionalEmbedding(
+            cfg.max_seq,
+            cfg.hidden,
+            normal_init(seed, "pos_embedding.weight", (cfg.max_seq, cfg.hidden)),
+        )
+    def _make_block(layer: int) -> TransformerBlock:
+        attn_drop = ffn_drop = None
+        if cfg.dropout > 0.0:
+            attn_drop = Dropout(cfg.dropout, name=f"blocks.{layer}.attn")
+            ffn_drop = Dropout(cfg.dropout, name=f"blocks.{layer}.ffn")
+        return TransformerBlock(
+            norm1=_make_norm(cfg),
+            attn=_make_attention(cfg, seed, layer),
+            norm2=_make_norm(cfg),
+            ffn=_make_ffn(cfg, seed, layer),
+            attn_dropout=attn_drop,
+            ffn_dropout=ffn_drop,
+        )
+
+    blocks = [_make_block(layer) for layer in range(cfg.num_layers)]
+    head = None
+    if not cfg.tied_head:
+        head = normal_init(seed, "lm_head", (padded, cfg.hidden))
+    return TransformerLM(
+        embedding=embedding,
+        blocks=blocks,
+        final_norm=_make_norm(cfg),
+        pos_embedding=pos,
+        lm_head_weight=head,
+    )

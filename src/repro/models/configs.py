@@ -1,0 +1,87 @@
+"""Model configuration dataclass."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyperparameters for one model.
+
+    Attributes:
+        name: registry key.
+        family: "gpt3" | "llama" | "bloom" | "moe".
+        num_layers / hidden / num_heads: transformer dimensions.
+        num_kv_heads: key/value heads (< num_heads enables GQA).
+        intermediate: FFN inner width.
+        vocab_size: logical vocabulary.
+        vocab_pad_to: pad the embedding table height to a multiple of
+            this (Megatron's make-divisible-by-TP convention); 1 disables.
+        max_seq: maximum sequence length (learned-positional families).
+        num_experts / top_k: MoE settings (num_experts == 1 means dense).
+        tied_head: share embedding and LM head weights.
+        norm: "layernorm" | "rmsnorm".
+        positional: "learned" | "rope" | "alibi".
+        activation: "gelu" | "swiglu".
+        dropout: residual dropout rate (0 disables; masks are keyed by
+            (seed, step, layer) so resumes stay exact).
+    """
+
+    name: str
+    family: str
+    num_layers: int
+    hidden: int
+    num_heads: int
+    num_kv_heads: int
+    intermediate: int
+    vocab_size: int
+    vocab_pad_to: int
+    max_seq: int
+    num_experts: int = 1
+    top_k: int = 1
+    tied_head: bool = True
+    norm: str = "layernorm"
+    positional: str = "learned"
+    activation: str = "gelu"
+    dropout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.num_heads != 0:
+            raise ValueError(
+                f"hidden {self.hidden} not divisible by heads {self.num_heads}"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                f"heads {self.num_heads} not divisible by kv heads "
+                f"{self.num_kv_heads}"
+            )
+        if self.family == "moe" and self.num_experts < 2:
+            raise ValueError("moe family requires num_experts >= 2")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden // self.num_heads
+
+    @property
+    def is_moe(self) -> bool:
+        """Whether FFN layers are mixture-of-experts."""
+        return self.num_experts > 1
+
+    @property
+    def uses_gqa(self) -> bool:
+        """Whether attention uses grouped-query heads."""
+        return self.num_kv_heads != self.num_heads
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ModelConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)

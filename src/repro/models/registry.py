@@ -1,0 +1,114 @@
+"""Named model configurations: Table 4 scales plus mini test scales."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.models.builder import build_transformer
+from repro.models.configs import ModelConfig
+from repro.nn.transformer import TransformerLM
+
+MODEL_REGISTRY: Dict[str, ModelConfig] = {}
+
+
+def register_model(config: ModelConfig) -> ModelConfig:
+    """Add a config to the registry (name must be unique)."""
+    if config.name in MODEL_REGISTRY:
+        raise ValueError(f"model {config.name!r} already registered")
+    MODEL_REGISTRY[config.name] = config
+    return config
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a registered config by name."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+
+
+def available_models() -> List[str]:
+    """Sorted registry keys."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, seed: int = 0) -> TransformerLM:
+    """Build a registered model with deterministic initialization."""
+    return build_transformer(get_config(name), seed=seed)
+
+
+# --- Paper Table 4 configurations (full scale, for reference/analysis) ---
+
+register_model(ModelConfig(
+    name="gpt3-350m", family="gpt3", num_layers=24, hidden=1024,
+    num_heads=16, num_kv_heads=16, intermediate=4096, vocab_size=50257,
+    vocab_pad_to=128, max_seq=2048,
+    norm="layernorm", positional="learned", activation="gelu",
+))
+register_model(ModelConfig(
+    name="llama-7b", family="llama", num_layers=32, hidden=4096,
+    num_heads=32, num_kv_heads=32, intermediate=11008, vocab_size=32000,
+    vocab_pad_to=128, max_seq=2048, tied_head=False,
+    norm="rmsnorm", positional="rope", activation="swiglu",
+))
+register_model(ModelConfig(
+    name="bloom-176b", family="bloom", num_layers=70, hidden=14336,
+    num_heads=112, num_kv_heads=112, intermediate=57344, vocab_size=250880,
+    vocab_pad_to=128, max_seq=2048,
+    norm="layernorm", positional="alibi", activation="gelu",
+))
+register_model(ModelConfig(
+    name="mixtral-moe-42b", family="moe", num_layers=32, hidden=4096,
+    num_heads=32, num_kv_heads=8, intermediate=14336, vocab_size=32000,
+    vocab_pad_to=128, max_seq=2048, num_experts=8, top_k=2, tied_head=False,
+    norm="rmsnorm", positional="rope", activation="swiglu",
+))
+
+# --- Mini configurations: same structure, laptop scale ---
+# Layer counts are multiples of 4 so PP in {1, 2, 4} divides evenly;
+# heads are multiples of 4 so TP in {1, 2, 4} divides evenly.
+
+register_model(ModelConfig(
+    name="gpt3-mini", family="gpt3", num_layers=4, hidden=64,
+    num_heads=4, num_kv_heads=4, intermediate=256, vocab_size=211,
+    vocab_pad_to=16, max_seq=64,
+    norm="layernorm", positional="learned", activation="gelu",
+))
+register_model(ModelConfig(
+    name="llama-mini", family="llama", num_layers=4, hidden=64,
+    num_heads=4, num_kv_heads=2, intermediate=176, vocab_size=211,
+    vocab_pad_to=16, max_seq=64, tied_head=False,
+    norm="rmsnorm", positional="rope", activation="swiglu",
+))
+register_model(ModelConfig(
+    name="bloom-mini", family="bloom", num_layers=8, hidden=64,
+    num_heads=4, num_kv_heads=4, intermediate=256, vocab_size=211,
+    vocab_pad_to=16, max_seq=64,
+    norm="layernorm", positional="alibi", activation="gelu",
+))
+register_model(ModelConfig(
+    name="moe-mini", family="moe", num_layers=4, hidden=64,
+    num_heads=4, num_kv_heads=2, intermediate=128, vocab_size=211,
+    vocab_pad_to=16, max_seq=64, num_experts=4, top_k=2, tied_head=False,
+    norm="rmsnorm", positional="rope", activation="swiglu",
+))
+
+# Medium configurations for the cost benchmarks (Fig 11 / Fig 12), where
+# checkpoint byte volume must differ meaningfully across "model sizes".
+register_model(ModelConfig(
+    name="gpt3-small-bench", family="gpt3", num_layers=4, hidden=128,
+    num_heads=4, num_kv_heads=4, intermediate=512, vocab_size=503,
+    vocab_pad_to=16, max_seq=64,
+))
+register_model(ModelConfig(
+    name="gpt3-medium-bench", family="gpt3", num_layers=8, hidden=256,
+    num_heads=8, num_kv_heads=8, intermediate=1024, vocab_size=1009,
+    vocab_pad_to=16, max_seq=64,
+))
+register_model(ModelConfig(
+    name="gpt3-large-bench", family="gpt3", num_layers=12, hidden=384,
+    num_heads=12, num_kv_heads=12, intermediate=1536, vocab_size=2003,
+    vocab_pad_to=16, max_seq=64,
+))

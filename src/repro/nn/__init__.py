@@ -1,0 +1,53 @@
+"""Mini DNN training framework (numpy, manual backprop).
+
+Implements the model architectures the paper evaluates — GPT-3-style
+decoders, LLaMA-style (RMSNorm / SwiGLU / GQA / RoPE), BLOOM-style, and
+Mixtral-style MoE — with exact manual backward passes, so the
+reproduction trains real models whose checkpoints have the same
+structural features (fused variable-size QKV, 3-dim expert tensors,
+padded vocab embeddings) that make UCP's transformation problem hard.
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding, LearnedPositionalEmbedding
+from repro.nn.norm import LayerNorm, RMSNorm
+from repro.nn.attention import CausalSelfAttention
+from repro.nn.mlp import MLP, SwiGLUMLP
+from repro.nn.moe import MoELayer, TopKRouter
+from repro.nn.block import TransformerBlock
+from repro.nn.transformer import TransformerLM
+from repro.nn.functional import (
+    cross_entropy,
+    cross_entropy_grad,
+    gelu,
+    gelu_grad,
+    silu,
+    silu_grad,
+    softmax,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "LearnedPositionalEmbedding",
+    "LayerNorm",
+    "RMSNorm",
+    "CausalSelfAttention",
+    "MLP",
+    "SwiGLUMLP",
+    "MoELayer",
+    "TopKRouter",
+    "TransformerBlock",
+    "TransformerLM",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "gelu",
+    "gelu_grad",
+    "silu",
+    "silu_grad",
+    "softmax",
+]

@@ -1,0 +1,159 @@
+"""Causal self-attention: multi-head and grouped-query (GQA).
+
+The QKV projection is stored as one fused weight of shape
+``[(num_q_heads + 2 * num_kv_heads) * head_dim, hidden]`` — the layout
+the paper's Fig 5 highlights: under tensor parallelism the fused tensor
+splits into *variable-size* Q/K/V fragments, which UCP handles with a
+dedicated fragment sub-pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+class CausalSelfAttention(Module):
+    """Fused-QKV causal attention with optional GQA and RoPE.
+
+    Args:
+        hidden: model hidden size.
+        num_heads: number of query heads.
+        num_kv_heads: number of key/value heads (== num_heads for MHA;
+            a divisor of num_heads for GQA).
+        qkv_weight: fused projection, [(nq + 2*nkv) * head_dim, hidden].
+        out_weight: output projection, [hidden, nq * head_dim].
+        use_rope: apply rotary embeddings to q/k (LLaMA/Mixtral style).
+        qkv_bias / out_bias: optional biases (GPT/BLOOM style).
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        num_kv_heads: int,
+        qkv_weight: np.ndarray,
+        out_weight: np.ndarray,
+        use_rope: bool = False,
+        use_alibi: bool = False,
+        qkv_bias: Optional[np.ndarray] = None,
+        out_bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        if hidden % num_heads != 0:
+            raise ValueError(f"hidden {hidden} not divisible by heads {num_heads}")
+        if num_heads % num_kv_heads != 0:
+            raise ValueError(
+                f"num_heads {num_heads} not divisible by num_kv_heads {num_kv_heads}"
+            )
+        self.hidden = hidden
+        self.num_heads = num_heads
+        self.num_kv_heads = num_kv_heads
+        if use_rope and use_alibi:
+            raise ValueError("RoPE and ALiBi are mutually exclusive")
+        self.head_dim = hidden // num_heads
+        self.group_size = num_heads // num_kv_heads
+        self.use_rope = use_rope
+        self.use_alibi = use_alibi
+        qkv_out = (num_heads + 2 * num_kv_heads) * self.head_dim
+        self.qkv = Linear(hidden, qkv_out, qkv_weight, qkv_bias)
+        self.out = Linear(num_heads * self.head_dim, hidden, out_weight, out_bias)
+        self._cache: Optional[tuple] = None
+
+    @property
+    def q_size(self) -> int:
+        """Rows of the fused weight belonging to Q."""
+        return self.num_heads * self.head_dim
+
+    @property
+    def kv_size(self) -> int:
+        """Rows of the fused weight belonging to each of K and V."""
+        return self.num_kv_heads * self.head_dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Attention over [batch, seq, hidden]."""
+        batch, seq, _ = x.shape
+        hd, nq, nkv, g = self.head_dim, self.num_heads, self.num_kv_heads, self.group_size
+
+        qkv = self.qkv(x)
+        q = qkv[..., : self.q_size].reshape(batch, seq, nq, hd)
+        k = qkv[..., self.q_size : self.q_size + self.kv_size].reshape(batch, seq, nkv, hd)
+        v = qkv[..., self.q_size + self.kv_size :].reshape(batch, seq, nkv, hd)
+
+        if self.use_rope:
+            cos, sin = F.rope_tables(seq, hd)
+            q = F.apply_rope(q, cos, sin)
+            k = F.apply_rope(k, cos, sin)
+        else:
+            cos = sin = None
+
+        # expand kv heads to match query heads (GQA repeat)
+        k_exp = np.repeat(k, g, axis=2)
+        v_exp = np.repeat(v, g, axis=2)
+
+        # [batch, heads, seq, head_dim]
+        qt = q.transpose(0, 2, 1, 3)
+        kt = k_exp.transpose(0, 2, 1, 3)
+        vt = v_exp.transpose(0, 2, 1, 3)
+
+        scale = np.float32(1.0 / np.sqrt(hd))
+        scores = (qt @ kt.transpose(0, 1, 3, 2)) * scale + F.causal_mask(seq)
+        if self.use_alibi:
+            # constant additive bias: backward is unchanged
+            scores = scores + F.alibi_bias(seq, nq)[None]
+        probs = F.softmax(scores, axis=-1)
+        context = probs @ vt  # [batch, heads, seq, head_dim]
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, nq * hd)
+        y = self.out(merged)
+        self._cache = (qt, kt, vt, probs, scale, cos, sin, (batch, seq))
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward through projection, softmax-attention, RoPE, QKV."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        qt, kt, vt, probs, scale, cos, sin, (batch, seq) = self._cache
+        hd, nq, nkv, g = self.head_dim, self.num_heads, self.num_kv_heads, self.group_size
+
+        grad_merged = self.out.backward(grad_out)
+        grad_context = grad_merged.reshape(batch, seq, nq, hd).transpose(0, 2, 1, 3)
+
+        grad_probs = grad_context @ vt.transpose(0, 1, 3, 2)
+        grad_vt = probs.transpose(0, 1, 3, 2) @ grad_context
+
+        # softmax backward (rows of probs sum to 1)
+        tmp = (grad_probs * probs).sum(axis=-1, keepdims=True)
+        grad_scores = probs * (grad_probs - tmp)
+
+        grad_qt = (grad_scores @ kt) * scale
+        grad_kt = (grad_scores.transpose(0, 1, 3, 2) @ qt) * scale
+
+        # [batch, seq, heads, head_dim]
+        grad_q = grad_qt.transpose(0, 2, 1, 3)
+        grad_k_exp = grad_kt.transpose(0, 2, 1, 3)
+        grad_v_exp = grad_vt.transpose(0, 2, 1, 3)
+
+        # GQA repeat backward: sum gradients within each query-head group
+        grad_k = grad_k_exp.reshape(batch, seq, nkv, g, hd).sum(axis=3)
+        grad_v = grad_v_exp.reshape(batch, seq, nkv, g, hd).sum(axis=3)
+
+        if self.use_rope:
+            grad_q = F.apply_rope_grad(grad_q, cos, sin)
+            grad_k = F.apply_rope_grad(grad_k, cos, sin)
+
+        grad_qkv = np.concatenate(
+            [
+                grad_q.reshape(batch, seq, self.q_size),
+                grad_k.reshape(batch, seq, self.kv_size),
+                grad_v.reshape(batch, seq, self.kv_size),
+            ],
+            axis=-1,
+        )
+        grad_in = self.qkv.backward(grad_qkv)
+        self._cache = None
+        return grad_in

@@ -1,0 +1,64 @@
+"""Pre-norm transformer block: attention + (MLP | MoE) with residuals."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class TransformerBlock(Module):
+    """``x + attn(norm1(x))`` then ``h + ffn(norm2(h))``.
+
+    The norm layers, attention, and FFN are injected so the same block
+    serves GPT (LayerNorm + GELU MLP), LLaMA (RMSNorm + SwiGLU + GQA),
+    BLOOM, and Mixtral (RMSNorm + MoE) architectures.
+    """
+
+    def __init__(
+        self,
+        norm1: Module,
+        attn: Module,
+        norm2: Module,
+        ffn: Module,
+        attn_dropout: Optional[Module] = None,
+        ffn_dropout: Optional[Module] = None,
+    ) -> None:
+        super().__init__()
+        self.norm1 = norm1
+        self.attn = attn
+        self.norm2 = norm2
+        self.ffn = ffn
+        if attn_dropout is not None:
+            self.attn_dropout = attn_dropout
+        else:
+            object.__setattr__(self, "attn_dropout", None)
+        if ffn_dropout is not None:
+            self.ffn_dropout = ffn_dropout
+        else:
+            object.__setattr__(self, "ffn_dropout", None)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the block over [batch, seq, hidden]."""
+        branch = self.attn(self.norm1(x))
+        if self.attn_dropout is not None:
+            branch = self.attn_dropout(branch)
+        h = x + branch
+        branch = self.ffn(self.norm2(h))
+        if self.ffn_dropout is not None:
+            branch = self.ffn_dropout(branch)
+        return h + branch
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward through both residual branches."""
+        grad_branch = grad_out
+        if self.ffn_dropout is not None:
+            grad_branch = self.ffn_dropout.backward(grad_branch)
+        grad_h = grad_out + self.norm2.backward(self.ffn.backward(grad_branch))
+        grad_branch = grad_h
+        if self.attn_dropout is not None:
+            grad_branch = self.attn_dropout.backward(grad_branch)
+        grad_x = grad_h + self.norm1.backward(self.attn.backward(grad_branch))
+        return grad_x

@@ -1,0 +1,73 @@
+"""Deterministic dropout, keyed by (seed, global step, layer name).
+
+Real frameworks must checkpoint RNG state to make resumes exact; this
+framework sidesteps the problem the same way it does for data order —
+the mask is a pure function of (seed, step, layer), so resuming at
+step *t* regenerates exactly the masks the uninterrupted run would
+have used, and checkpoints carry no RNG state at all.
+
+The engine advances the shared step context before each forward; eval
+paths disable dropout via :func:`dropout_disabled`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.init import generator_for
+from repro.nn.module import Module
+
+_context = {"seed": 0, "step": 0, "enabled": True}
+
+
+def set_dropout_context(seed: int, step: int) -> None:
+    """Bind the mask stream for the upcoming forward passes."""
+    _context["seed"] = seed
+    _context["step"] = step
+
+
+@contextlib.contextmanager
+def dropout_disabled():
+    """Temporarily disable dropout (evaluation passes)."""
+    previous = _context["enabled"]
+    _context["enabled"] = False
+    try:
+        yield
+    finally:
+        _context["enabled"] = previous
+
+
+class Dropout(Module):
+    """Inverted dropout with a deterministic per-(step, layer) mask."""
+
+    def __init__(self, rate: float, name: str) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.name = name
+        self._cache_mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Zero a ``rate`` fraction of elements, scaling the survivors."""
+        if self.rate == 0.0 or not _context["enabled"]:
+            self._cache_mask = None
+            return x
+        gen = generator_for(
+            _context["seed"], f"dropout:{self.name}:{_context['step']}"
+        )
+        keep = np.float32(1.0 - self.rate)
+        mask = (gen.random(x.shape) < keep).astype(np.float32) / keep
+        self._cache_mask = mask
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Gradients flow only through the kept elements."""
+        if self._cache_mask is None:
+            return grad_out
+        grad = grad_out * self._cache_mask
+        self._cache_mask = None
+        return grad

@@ -1,0 +1,105 @@
+"""Token and learned positional embeddings.
+
+Vocabulary embeddings are padded to a multiple of ``vocab_pad_to`` (the
+Megatron convention that makes the table divisible by any TP degree) —
+one of the padding sources UCP's ``StripPadding`` must remove.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+def padded_vocab_size(vocab_size: int, pad_to: int) -> int:
+    """Round vocab up to a multiple of ``pad_to`` (0 disables padding)."""
+    if pad_to <= 1:
+        return vocab_size
+    return ((vocab_size + pad_to - 1) // pad_to) * pad_to
+
+
+class Embedding(Module):
+    """Token embedding lookup with scatter-add backward.
+
+    Attributes:
+        vocab_size: the *logical* vocabulary (token ids range over this).
+        padded_size: the stored table height, >= vocab_size.
+    """
+
+    def __init__(self, vocab_size: int, hidden: int, weight: np.ndarray) -> None:
+        super().__init__()
+        weight = np.asarray(weight, dtype=np.float32)
+        if weight.ndim != 2 or weight.shape[1] != hidden or weight.shape[0] < vocab_size:
+            raise ValueError(
+                f"embedding weight shape {weight.shape} incompatible with "
+                f"vocab {vocab_size}, hidden {hidden}"
+            )
+        self.vocab_size = vocab_size
+        self.hidden = hidden
+        self.padded_size = int(weight.shape[0])
+        self.weight = Parameter(weight)
+        self._cache_ids: Optional[np.ndarray] = None
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Lookup rows for [batch, seq] int ids -> [batch, seq, hidden]."""
+        ids = np.asarray(token_ids, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.vocab_size:
+            raise IndexError(
+                f"token id out of range [0, {self.vocab_size}) in input"
+            )
+        self._cache_ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Scatter-add gradients into the table; embeddings have no input grad."""
+        if self._cache_ids is None:
+            raise RuntimeError("backward called before forward")
+        ids = self._cache_ids
+        grad = np.zeros_like(self.weight.data)
+        np.add.at(grad, ids.reshape(-1), grad_out.reshape(-1, self.hidden))
+        self.weight.accumulate_grad(grad)
+        self._cache_ids = None
+        return np.zeros(grad_out.shape[:-1] + (0,), dtype=np.float32)
+
+
+class LearnedPositionalEmbedding(Module):
+    """GPT-style learned absolute position embedding."""
+
+    def __init__(self, max_positions: int, hidden: int, weight: np.ndarray) -> None:
+        super().__init__()
+        weight = np.asarray(weight, dtype=np.float32)
+        if weight.shape != (max_positions, hidden):
+            raise ValueError(
+                f"positional weight shape {weight.shape} != "
+                f"({max_positions}, {hidden})"
+            )
+        self.max_positions = max_positions
+        self.hidden = hidden
+        self.weight = Parameter(weight)
+        self._cache_shape: Optional[tuple] = None
+
+    def forward(self, batch: int, seq_len: int) -> np.ndarray:
+        """Positions 0..seq_len-1 broadcast over the batch."""
+        if seq_len > self.max_positions:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max positions "
+                f"{self.max_positions}"
+            )
+        self._cache_shape = (batch, seq_len)
+        return np.broadcast_to(
+            self.weight.data[:seq_len], (batch, seq_len, self.hidden)
+        ).copy()
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Sum gradients over the batch into the first seq_len rows."""
+        if self._cache_shape is None:
+            raise RuntimeError("backward called before forward")
+        _, seq_len = self._cache_shape
+        grad = np.zeros_like(self.weight.data)
+        grad[:seq_len] = grad_out.sum(axis=0)
+        self.weight.accumulate_grad(grad)
+        self._cache_shape = None
+        return np.zeros((0,), dtype=np.float32)

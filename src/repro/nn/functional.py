@@ -1,0 +1,143 @@
+"""Stateless tensor functions with matching gradient functions.
+
+All math is float32; reductions follow numpy's deterministic order so a
+given (seed, topology) training run is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_SQRT_2_OVER_PI = np.float32(np.sqrt(2.0 / np.pi))
+_GELU_COEF = np.float32(0.044715)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU (the GPT-2/3 variant)."""
+    x = np.asarray(x, dtype=np.float32)
+    inner = _SQRT_2_OVER_PI * (x + _GELU_COEF * x * x * x)
+    return np.float32(0.5) * x * (np.float32(1.0) + np.tanh(inner))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """d gelu(x) / dx for the tanh approximation."""
+    x = np.asarray(x, dtype=np.float32)
+    x3 = x * x * x
+    inner = _SQRT_2_OVER_PI * (x + _GELU_COEF * x3)
+    tanh_inner = np.tanh(inner)
+    sech2 = np.float32(1.0) - tanh_inner * tanh_inner
+    d_inner = _SQRT_2_OVER_PI * (np.float32(1.0) + np.float32(3.0) * _GELU_COEF * x * x)
+    return np.float32(0.5) * (np.float32(1.0) + tanh_inner) + np.float32(0.5) * x * sech2 * d_inner
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation, used by LLaMA's gated MLP."""
+    x = np.asarray(x, dtype=np.float32)
+    return x / (np.float32(1.0) + np.exp(-x))
+
+
+def silu_grad(x: np.ndarray) -> np.ndarray:
+    """d silu(x) / dx."""
+    x = np.asarray(x, dtype=np.float32)
+    sig = np.float32(1.0) / (np.float32(1.0) + np.exp(-x))
+    return sig * (np.float32(1.0) + x * (np.float32(1.0) - sig))
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    logits = np.asarray(logits, dtype=np.float32)
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean token-level cross-entropy (LM loss).
+
+    Args:
+        logits: [batch, seq, vocab] float32.
+        targets: [batch, seq] int token ids.
+    """
+    probs = softmax(logits, axis=-1)
+    batch, seq, _ = probs.shape
+    flat = probs.reshape(batch * seq, -1)
+    idx = np.asarray(targets, dtype=np.int64).reshape(-1)
+    picked = flat[np.arange(flat.shape[0]), idx]
+    # clip to avoid log(0) from fp32 underflow on confident wrong tokens
+    picked = np.maximum(picked, np.float32(1e-30))
+    return float(np.mean(-np.log(picked)))
+
+
+def cross_entropy_grad(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. logits: (softmax - onehot)/N."""
+    probs = softmax(logits, axis=-1)
+    batch, seq, vocab = probs.shape
+    grad = probs.reshape(batch * seq, vocab)
+    idx = np.asarray(targets, dtype=np.int64).reshape(-1)
+    grad[np.arange(grad.shape[0]), idx] -= np.float32(1.0)
+    grad /= np.float32(batch * seq)
+    return grad.reshape(batch, seq, vocab)
+
+
+def rope_tables(seq_len: int, head_dim: int, base: float = 10000.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Rotary position embedding cos/sin tables.
+
+    Returns:
+        (cos, sin), each [seq_len, head_dim // 2] float32.
+    """
+    if head_dim % 2 != 0:
+        raise ValueError(f"RoPE needs an even head_dim, got {head_dim}")
+    half = head_dim // 2
+    inv_freq = np.float32(1.0) / (
+        np.float32(base) ** (np.arange(0, half, dtype=np.float32) / np.float32(half))
+    )
+    angles = np.outer(np.arange(seq_len, dtype=np.float32), inv_freq)
+    return np.cos(angles, dtype=np.float32), np.sin(angles, dtype=np.float32)
+
+
+def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Apply rotary embedding to [batch, seq, heads, head_dim] tensors."""
+    half = x.shape[-1] // 2
+    x1, x2 = x[..., :half], x[..., half:]
+    c = cos[None, :, None, :]
+    s = sin[None, :, None, :]
+    return np.concatenate([x1 * c - x2 * s, x1 * s + x2 * c], axis=-1)
+
+
+def apply_rope_grad(grad: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Backward of :func:`apply_rope` (rotation by the negative angle)."""
+    return apply_rope(grad, cos, -sin)
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive causal mask: 0 on/below the diagonal, -inf above."""
+    mask = np.zeros((seq_len, seq_len), dtype=np.float32)
+    mask[np.triu_indices(seq_len, k=1)] = -np.float32(np.inf)
+    return mask
+
+
+def alibi_slopes(num_heads: int) -> np.ndarray:
+    """ALiBi head slopes: the geometric sequence 2^(-8h/H).
+
+    BLOOM's positional scheme — instead of position embeddings, each
+    attention head penalizes distant keys linearly with a head-specific
+    slope.  Parameter-free, so checkpoints carry no positional state.
+    """
+    if num_heads < 1:
+        raise ValueError(f"num_heads must be >= 1, got {num_heads}")
+    exponents = np.arange(1, num_heads + 1, dtype=np.float32)
+    return np.float32(2.0) ** (-np.float32(8.0) * exponents / np.float32(num_heads))
+
+
+def alibi_bias(seq_len: int, num_heads: int) -> np.ndarray:
+    """Additive attention bias [heads, seq, seq]: -slope * distance.
+
+    Zero on the diagonal, increasingly negative toward older keys;
+    future positions are handled by the causal mask, not here.
+    """
+    slopes = alibi_slopes(num_heads)
+    positions = np.arange(seq_len, dtype=np.float32)
+    distance = positions[:, None] - positions[None, :]  # i - j
+    return -slopes[:, None, None] * np.maximum(distance, 0.0)

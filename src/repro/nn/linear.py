@@ -1,0 +1,71 @@
+"""Fully connected layer with manual backward."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """``y = x @ W.T + b`` with weight shape [out_features, in_features].
+
+    The [out, in] orientation matches Megatron/PyTorch so row/column
+    tensor-parallel sharding dims line up with the paper's description.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        weight = np.asarray(weight, dtype=np.float32)
+        if weight.shape != (out_features, in_features):
+            raise ValueError(
+                f"weight shape {weight.shape} != ({out_features}, {in_features})"
+            )
+        self.weight = Parameter(weight)
+        self.bias: Optional[Parameter]
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float32)
+            if bias.shape != (out_features,):
+                raise ValueError(f"bias shape {bias.shape} != ({out_features},)")
+            self.bias = Parameter(bias)
+        else:
+            object.__setattr__(self, "bias", None)
+        self._cache_x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the affine map over the last axis of ``x``."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"input last dim {x.shape[-1]} != in_features {self.in_features}"
+            )
+        self._cache_x = x
+        y = x @ self.weight.data.T
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate weight/bias grads; return grad w.r.t. the input."""
+        if self._cache_x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_x
+        grad_out = np.asarray(grad_out, dtype=np.float32)
+        flat_x = x.reshape(-1, self.in_features)
+        flat_g = grad_out.reshape(-1, self.out_features)
+        self.weight.accumulate_grad(flat_g.T @ flat_x)
+        if self.bias is not None:
+            self.bias.accumulate_grad(flat_g.sum(axis=0))
+        grad_in = grad_out @ self.weight.data
+        self._cache_x = None
+        return grad_in

@@ -1,0 +1,87 @@
+"""Feed-forward blocks: GELU MLP (GPT/BLOOM) and SwiGLU (LLaMA)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+class MLP(Module):
+    """Two-layer GELU MLP: ``down(gelu(up(x)))``."""
+
+    def __init__(
+        self,
+        hidden: int,
+        intermediate: int,
+        up_weight: np.ndarray,
+        down_weight: np.ndarray,
+        up_bias: Optional[np.ndarray] = None,
+        down_bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.intermediate = intermediate
+        self.up = Linear(hidden, intermediate, up_weight, up_bias)
+        self.down = Linear(intermediate, hidden, down_weight, down_bias)
+        self._cache_pre: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the MLP over the last axis."""
+        pre = self.up(x)
+        self._cache_pre = pre
+        return self.down(F.gelu(pre))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward through down-proj, GELU, up-proj."""
+        if self._cache_pre is None:
+            raise RuntimeError("backward called before forward")
+        grad_act = self.down.backward(grad_out)
+        grad_pre = grad_act * F.gelu_grad(self._cache_pre)
+        self._cache_pre = None
+        return self.up.backward(grad_pre)
+
+
+class SwiGLUMLP(Module):
+    """LLaMA-style gated MLP: ``down(silu(gate(x)) * up(x))``."""
+
+    def __init__(
+        self,
+        hidden: int,
+        intermediate: int,
+        gate_weight: np.ndarray,
+        up_weight: np.ndarray,
+        down_weight: np.ndarray,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.intermediate = intermediate
+        self.gate = Linear(hidden, intermediate, gate_weight)
+        self.up = Linear(hidden, intermediate, up_weight)
+        self.down = Linear(intermediate, hidden, down_weight)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the gated MLP over the last axis."""
+        g = self.gate(x)
+        u = self.up(x)
+        act = F.silu(g)
+        self._cache = (g, u, act)
+        return self.down(act * u)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward through the gated product."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        g, u, act = self._cache
+        grad_prod = self.down.backward(grad_out)
+        grad_u = grad_prod * act
+        grad_act = grad_prod * u
+        grad_g = grad_act * F.silu_grad(g)
+        grad_in = self.up.backward(grad_u) + self.gate.backward(grad_g)
+        self._cache = None
+        return grad_in

@@ -1,0 +1,161 @@
+"""Module / Parameter base classes for the manual-backprop framework.
+
+Modules own named :class:`Parameter` objects and child modules; names
+compose hierarchically (``blocks.3.attn.qkv.weight``) exactly like
+PyTorch state-dict keys, because those dotted names are what distributed
+checkpoints record and what UCP atom checkpoints are keyed by.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Tensor shape."""
+        return tuple(self.data.shape)
+
+    @property
+    def numel(self) -> int:
+        """Element count."""
+        return int(self.data.size)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add a gradient contribution (sums across micro-batches)."""
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+
+class Module:
+    """Base class: tracks parameters and children in definition order."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+
+    def __setattr__(self, name: str, value: object) -> None:
+        params = self.__dict__.get("_parameters")
+        modules = self.__dict__.get("_modules")
+        if isinstance(value, Parameter):
+            if params is None:
+                raise AttributeError(
+                    "call Module.__init__() before assigning parameters"
+                )
+            params[name] = value
+        elif isinstance(value, Module):
+            if modules is None:
+                raise AttributeError(
+                    "call Module.__init__() before assigning submodules"
+                )
+            modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield (dotted name, parameter) pairs in definition order."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters, in definition order."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total trainable element count."""
+        return sum(p.numel for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameter tensors, keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter tensors by dotted name.
+
+        Args:
+            state: name -> array mapping.
+            strict: when True, missing or unexpected keys raise.
+        """
+        own = dict(self.named_parameters())
+        if strict:
+            missing = sorted(set(own) - set(state))
+            unexpected = sorted(set(state) - set(own))
+            if missing or unexpected:
+                raise KeyError(
+                    f"state_dict mismatch: missing={missing}, "
+                    f"unexpected={unexpected}"
+                )
+        for name, values in state.items():
+            if name not in own:
+                continue
+            param = own[name]
+            values = np.asarray(values, dtype=np.float32)
+            if values.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: parameter is "
+                    f"{param.data.shape}, checkpoint has {values.shape}"
+                )
+            param.data[...] = values
+
+    def forward(self, *args, **kwargs):
+        """Compute outputs; subclasses cache what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate gradients; accumulates into parameter ``.grad``."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable list of child modules (e.g. transformer blocks)."""
+
+    def __init__(self, modules: Optional[List[Module]] = None) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        """Add a child module at the next index."""
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)

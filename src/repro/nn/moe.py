@@ -1,0 +1,194 @@
+"""Mixture-of-Experts layer (Mixtral-style top-k routing).
+
+Expert weights are stored as single 3-D tensors of shape
+``[n_experts, out, in]`` — the layout the paper's Fig 5 uses to motivate
+UCP's expert fragment sub-pattern (TP shards these tensors along the
+``out`` dimension *within each expert*).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+
+
+class TopKRouter(Module):
+    """Softmax-over-experts router with deterministic top-k selection."""
+
+    def __init__(self, hidden: int, num_experts: int, top_k: int, weight: np.ndarray) -> None:
+        super().__init__()
+        if not 1 <= top_k <= num_experts:
+            raise ValueError(f"top_k {top_k} out of range for {num_experts} experts")
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.proj = Linear(hidden, num_experts, weight)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x_flat: np.ndarray):
+        """Route [tokens, hidden] -> (expert ids, gates, full probs).
+
+        Returns:
+            topk_idx: [tokens, top_k] selected expert indices
+                (descending probability, index as tie-break).
+            gates: [tokens, top_k] renormalized gate weights.
+            probs: [tokens, num_experts] full softmax, for backward.
+        """
+        logits = self.proj(x_flat)
+        probs = F.softmax(logits, axis=-1)
+        order = np.argsort(-probs, axis=-1, kind="stable")
+        topk_idx = order[:, : self.top_k]
+        rows = np.arange(probs.shape[0])[:, None]
+        topk_probs = probs[rows, topk_idx]
+        denom = topk_probs.sum(axis=-1, keepdims=True)
+        gates = topk_probs / denom
+        self._cache = (probs, topk_idx, topk_probs, denom)
+        return topk_idx, gates, probs
+
+    def backward(self, grad_gates: np.ndarray) -> np.ndarray:
+        """Backward from gate-weight grads to the router input.
+
+        Args:
+            grad_gates: [tokens, top_k] gradient w.r.t. the renormalized
+                gate values.
+        """
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, topk_idx, topk_probs, denom = self._cache
+        tokens = probs.shape[0]
+        rows = np.arange(tokens)[:, None]
+
+        # renormalization backward: gates = topk_probs / denom
+        dot = (grad_gates * topk_probs).sum(axis=-1, keepdims=True)
+        grad_topk_probs = grad_gates / denom - dot / (denom * denom)
+
+        grad_probs = np.zeros_like(probs)
+        grad_probs[rows, topk_idx] = grad_topk_probs
+
+        # softmax backward
+        tmp = (grad_probs * probs).sum(axis=-1, keepdims=True)
+        grad_logits = probs * (grad_probs - tmp)
+        self._cache = None
+        return self.proj.backward(grad_logits)
+
+
+class MoELayer(Module):
+    """Sparse MoE FFN: top-k routed SwiGLU experts.
+
+    Args:
+        hidden: model hidden size.
+        intermediate: per-expert FFN intermediate size.
+        num_experts: expert count E.
+        top_k: experts activated per token.
+        router_weight: [E, hidden].
+        gate_weight / up_weight: [E, intermediate, hidden].
+        down_weight: [E, hidden, intermediate].
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        intermediate: int,
+        num_experts: int,
+        top_k: int,
+        router_weight: np.ndarray,
+        gate_weight: np.ndarray,
+        up_weight: np.ndarray,
+        down_weight: np.ndarray,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.intermediate = intermediate
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.router = TopKRouter(hidden, num_experts, top_k, router_weight)
+
+        def _check(name: str, arr: np.ndarray, shape) -> np.ndarray:
+            arr = np.asarray(arr, dtype=np.float32)
+            if arr.shape != shape:
+                raise ValueError(f"{name} shape {arr.shape} != {shape}")
+            return arr
+
+        e, i, h = num_experts, intermediate, hidden
+        self.gate_weight = Parameter(_check("gate_weight", gate_weight, (e, i, h)))
+        self.up_weight = Parameter(_check("up_weight", up_weight, (e, i, h)))
+        self.down_weight = Parameter(_check("down_weight", down_weight, (e, h, i)))
+        self._cache: Optional[tuple] = None
+
+    def _expert_forward(self, expert: int, x_tok: np.ndarray):
+        """SwiGLU forward for one expert over its routed tokens."""
+        g = x_tok @ self.gate_weight.data[expert].T
+        u = x_tok @ self.up_weight.data[expert].T
+        act = F.silu(g)
+        y = (act * u) @ self.down_weight.data[expert].T
+        return y, (g, u, act)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Route and mix: [batch, seq, hidden] -> same shape."""
+        batch, seq, hidden = x.shape
+        x_flat = x.reshape(-1, hidden)
+        topk_idx, gates, _ = self.router(x_flat)
+
+        y_flat = np.zeros_like(x_flat)
+        expert_caches = {}
+        expert_outputs = {}
+        for expert in range(self.num_experts):
+            tok_rows, k_slots = np.nonzero(topk_idx == expert)
+            if tok_rows.size == 0:
+                continue
+            x_tok = x_flat[tok_rows]
+            y_tok, cache = self._expert_forward(expert, x_tok)
+            w = gates[tok_rows, k_slots][:, None]
+            np.add.at(y_flat, tok_rows, w * y_tok)
+            expert_caches[expert] = (tok_rows, k_slots, x_tok, cache)
+            expert_outputs[expert] = y_tok
+
+        self._cache = (x.shape, topk_idx, gates, expert_caches, expert_outputs)
+        return y_flat.reshape(batch, seq, hidden)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward through experts, gating, and the router."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, topk_idx, gates, expert_caches, expert_outputs = self._cache
+        grad_flat = grad_out.reshape(-1, self.hidden)
+        grad_x = np.zeros((grad_flat.shape[0], self.hidden), dtype=np.float32)
+        grad_gates = np.zeros_like(gates)
+
+        grad_gate_w = np.zeros_like(self.gate_weight.data)
+        grad_up_w = np.zeros_like(self.up_weight.data)
+        grad_down_w = np.zeros_like(self.down_weight.data)
+
+        for expert, (tok_rows, k_slots, x_tok, cache) in expert_caches.items():
+            g, u, act = cache
+            y_tok = expert_outputs[expert]
+            g_out = grad_flat[tok_rows]
+            w = gates[tok_rows, k_slots][:, None]
+
+            # gate-weight gradient: d/d gate of (gate * y_tok) . grad
+            grad_gates[tok_rows, k_slots] += (g_out * y_tok).sum(axis=-1)
+
+            grad_y_tok = g_out * w
+            # down projection backward
+            grad_prod = grad_y_tok @ self.down_weight.data[expert]
+            grad_down_w[expert] += grad_y_tok.T @ (act * u)
+            # gated product backward
+            grad_u = grad_prod * act
+            grad_act = grad_prod * u
+            grad_g = grad_act * F.silu_grad(g)
+            grad_up_w[expert] += grad_u.T @ x_tok
+            grad_gate_w[expert] += grad_g.T @ x_tok
+            grad_x_tok = grad_u @ self.up_weight.data[expert] + grad_g @ self.gate_weight.data[expert]
+            np.add.at(grad_x, tok_rows, grad_x_tok)
+
+        self.gate_weight.accumulate_grad(grad_gate_w)
+        self.up_weight.accumulate_grad(grad_up_w)
+        self.down_weight.accumulate_grad(grad_down_w)
+
+        grad_x += self.router.backward(grad_gates)
+        self._cache = None
+        return grad_x.reshape(x_shape)

@@ -1,0 +1,84 @@
+"""LayerNorm (GPT/BLOOM) and RMSNorm (LLaMA/Mixtral) with backward."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Per-token layer normalization over the hidden dimension."""
+
+    def __init__(self, hidden: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.eps = np.float32(eps)
+        self.weight = Parameter(np.ones(hidden, dtype=np.float32))
+        self.bias = Parameter(np.zeros(hidden, dtype=np.float32))
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Normalize the last axis, then scale and shift."""
+        x = np.asarray(x, dtype=np.float32)
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        inv_std = np.float32(1.0) / np.sqrt(var + self.eps)
+        norm = centered * inv_std
+        self._cache = (norm, inv_std)
+        return norm * self.weight.data + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Standard layernorm backward."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        norm, inv_std = self._cache
+        grad_out = np.asarray(grad_out, dtype=np.float32)
+        axes = tuple(range(grad_out.ndim - 1))
+        self.weight.accumulate_grad((grad_out * norm).sum(axis=axes))
+        self.bias.accumulate_grad(grad_out.sum(axis=axes))
+        g = grad_out * self.weight.data
+        grad_in = (
+            g - g.mean(axis=-1, keepdims=True)
+            - norm * (g * norm).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        self._cache = None
+        return grad_in
+
+
+class RMSNorm(Module):
+    """Root-mean-square norm (no centering, no bias) as in LLaMA."""
+
+    def __init__(self, hidden: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.eps = np.float32(eps)
+        self.weight = Parameter(np.ones(hidden, dtype=np.float32))
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Scale by 1/rms(x) then apply the gain."""
+        x = np.asarray(x, dtype=np.float32)
+        ms = (x * x).mean(axis=-1, keepdims=True)
+        inv_rms = np.float32(1.0) / np.sqrt(ms + self.eps)
+        norm = x * inv_rms
+        self._cache = (x, norm, inv_rms)
+        return norm * self.weight.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """RMSNorm backward."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, norm, inv_rms = self._cache
+        grad_out = np.asarray(grad_out, dtype=np.float32)
+        axes = tuple(range(grad_out.ndim - 1))
+        self.weight.accumulate_grad((grad_out * norm).sum(axis=axes))
+        g = grad_out * self.weight.data
+        # d/dx [ x * inv_rms ] = inv_rms * (g - norm * mean(g * norm))
+        grad_in = inv_rms * (g - norm * (g * norm).mean(axis=-1, keepdims=True))
+        del x
+        self._cache = None
+        return grad_in

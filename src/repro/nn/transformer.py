@@ -1,0 +1,166 @@
+"""Decoder-only transformer language model.
+
+Supports the architectural axes the paper evaluates: learned positional
+embeddings (GPT/BLOOM) vs RoPE (LLaMA/Mixtral), tied vs untied LM head,
+LayerNorm vs RMSNorm, dense MLP vs MoE FFN, MHA vs GQA — all behind one
+class so checkpoints from every model family flow through the same
+save/convert/load pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.embedding import Embedding, LearnedPositionalEmbedding
+from repro.nn.module import Module, ModuleList, Parameter
+
+
+class TransformerLM(Module):
+    """Embedding -> blocks -> final norm -> LM head.
+
+    Args:
+        embedding: token embedding (vocab possibly padded).
+        blocks: transformer blocks in layer order.
+        final_norm: the output norm module.
+        pos_embedding: optional learned positional embedding.
+        lm_head_weight: untied head weight [padded_vocab, hidden];
+            None ties the head to the embedding table.
+    """
+
+    def __init__(
+        self,
+        embedding: Embedding,
+        blocks: List[Module],
+        final_norm: Module,
+        pos_embedding: Optional[LearnedPositionalEmbedding] = None,
+        lm_head_weight: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.embedding = embedding
+        if pos_embedding is not None:
+            self.pos_embedding = pos_embedding
+        else:
+            object.__setattr__(self, "pos_embedding", None)
+        self.blocks = ModuleList(blocks)
+        self.final_norm = final_norm
+        self.tied_head = lm_head_weight is None
+        if lm_head_weight is not None:
+            self.lm_head = Parameter(np.asarray(lm_head_weight, dtype=np.float32))
+        else:
+            object.__setattr__(self, "lm_head", None)
+        self._cache_hidden: Optional[np.ndarray] = None
+
+    @property
+    def vocab_size(self) -> int:
+        """Logical vocabulary size (token-id range)."""
+        return self.embedding.vocab_size
+
+    @property
+    def num_layers(self) -> int:
+        """Transformer block count."""
+        return len(self.blocks)
+
+    def _head_weight(self) -> np.ndarray:
+        """The (possibly tied) LM head matrix, padded rows included."""
+        if self.tied_head:
+            return self.embedding.weight.data
+        return self.lm_head.data
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Token ids [batch, seq] -> logits [batch, seq, vocab]."""
+        ids = np.asarray(token_ids, dtype=np.int64)
+        batch, seq = ids.shape
+        h = self.embedding(ids)
+        if self.pos_embedding is not None:
+            h = h + self.pos_embedding(batch, seq)
+        for block in self.blocks:
+            h = block(h)
+        h = self.final_norm(h)
+        self._cache_hidden = h
+        # padded vocab rows are excluded from the logits
+        logits = h @ self._head_weight()[: self.vocab_size].T
+        return logits
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backward from logits gradient through the whole network."""
+        if self._cache_hidden is None:
+            raise RuntimeError("backward called before forward")
+        h = self._cache_hidden
+        batch, seq, _ = grad_logits.shape
+        head = self._head_weight()
+
+        flat_g = grad_logits.reshape(batch * seq, self.vocab_size)
+        flat_h = h.reshape(batch * seq, -1)
+        grad_head = np.zeros_like(head)
+        grad_head[: self.vocab_size] = flat_g.T @ flat_h
+        if self.tied_head:
+            self.embedding.weight.accumulate_grad(grad_head)
+        else:
+            self.lm_head.accumulate_grad(grad_head)
+
+        grad_h = (flat_g @ head[: self.vocab_size]).reshape(h.shape)
+        grad_h = self.final_norm.backward(grad_h)
+        for block in reversed(list(self.blocks)):
+            grad_h = block.backward(grad_h)
+        if self.pos_embedding is not None:
+            self.pos_embedding.backward(grad_h)
+        self.embedding.backward(grad_h)
+        self._cache_hidden = None
+
+    def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> float:
+        """Forward + mean cross-entropy (no backward)."""
+        logits = self.forward(token_ids)
+        return F.cross_entropy(logits, targets)
+
+    def loss_and_backward(self, token_ids: np.ndarray, targets: np.ndarray) -> float:
+        """One full training step's math: forward, loss, backward."""
+        logits = self.forward(token_ids)
+        loss = F.cross_entropy(logits, targets)
+        self.backward(F.cross_entropy_grad(logits, targets))
+        return loss
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 0.0,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Autoregressive decoding from a prompt.
+
+        Greedy when ``temperature`` is 0; otherwise samples from the
+        temperature-scaled distribution with a seeded generator, so
+        generation is reproducible — the property the resume tests use
+        to show a UCP-resharded model is behaviourally identical.
+
+        Args:
+            prompt: [seq] or [batch, seq] int token ids.
+            max_new_tokens: tokens to append.
+            temperature: 0 = greedy; > 0 = sampled.
+            seed: sampling seed (ignored when greedy).
+        """
+        if max_new_tokens < 1:
+            raise ValueError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+        if temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {temperature}")
+        tokens = np.asarray(prompt, dtype=np.int64)
+        squeeze = tokens.ndim == 1
+        if squeeze:
+            tokens = tokens[None, :]
+        gen = np.random.default_rng(seed)
+        for _ in range(max_new_tokens):
+            logits = self.forward(tokens)[:, -1, :]
+            if temperature == 0.0:
+                next_tokens = logits.argmax(axis=-1)
+            else:
+                probs = F.softmax(logits / np.float32(temperature), axis=-1)
+                next_tokens = np.array(
+                    [gen.choice(self.vocab_size, p=row) for row in probs]
+                )
+            tokens = np.concatenate(
+                [tokens, next_tokens[:, None].astype(np.int64)], axis=1
+            )
+        return tokens[0] if squeeze else tokens

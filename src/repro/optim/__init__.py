@@ -1,0 +1,22 @@
+"""Optimizers and mixed-precision training substrate.
+
+Adam keeps fp32 master weights plus ``exp_avg`` / ``exp_avg_sq`` moments
+— the exact three per-parameter states UCP's atom checkpoints persist
+(``fp32.pt``, ``exp_avg.pt``, ``exp_avg_sq.pt`` in the paper §3.1).
+"""
+
+from repro.optim.adam import Adam, AdamParamState
+from repro.optim.grad_clip import clip_grad_norm, global_grad_norm
+from repro.optim.lr_schedule import CosineLRSchedule, ConstantLRSchedule
+from repro.optim.mixed_precision import LossScaler, MixedPrecisionPolicy
+
+__all__ = [
+    "Adam",
+    "AdamParamState",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "CosineLRSchedule",
+    "ConstantLRSchedule",
+    "LossScaler",
+    "MixedPrecisionPolicy",
+]

@@ -1,0 +1,125 @@
+"""Adam optimizer with fp32 master state.
+
+The optimizer operates on *flat 1-D buffers*, not on model parameters
+directly: ZeRO partitions hand each rank a slice of the flattened fp32
+master weights and its matching moment slices, and updates must be
+computable on any such slice.  Keeping the update elementwise (which
+Adam is) makes the sliced update bit-identical to the unsliced one —
+the property that lets UCP repartition optimizer state freely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class AdamParamState:
+    """Adam state for one flat buffer (or one slice of one)."""
+
+    exp_avg: np.ndarray
+    exp_avg_sq: np.ndarray
+    step: int = 0
+
+    @classmethod
+    def zeros(cls, numel: int) -> "AdamParamState":
+        """Fresh state for a buffer of ``numel`` elements."""
+        return cls(
+            exp_avg=np.zeros(numel, dtype=np.float32),
+            exp_avg_sq=np.zeros(numel, dtype=np.float32),
+        )
+
+    def clone(self) -> "AdamParamState":
+        """Deep copy."""
+        return AdamParamState(
+            exp_avg=self.exp_avg.copy(),
+            exp_avg_sq=self.exp_avg_sq.copy(),
+            step=self.step,
+        )
+
+
+class Adam:
+    """Elementwise Adam with decoupled weight decay (AdamW-style).
+
+    Hyperparameters default to the paper's Table 4 values
+    (beta1=0.9, beta2=0.95, weight_decay=0.1).
+    """
+
+    def __init__(
+        self,
+        lr: float = 3e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.95,
+        eps: float = 1e-8,
+        weight_decay: float = 0.1,
+    ) -> None:
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.lr = lr
+        self.beta1 = np.float32(beta1)
+        self.beta2 = np.float32(beta2)
+        self.eps = np.float32(eps)
+        self.weight_decay = np.float32(weight_decay)
+
+    def step(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        state: AdamParamState,
+        lr: float = None,
+    ) -> None:
+        """Update ``params`` in place from ``grads``, advancing ``state``.
+
+        Args:
+            params: flat fp32 master weights (mutated).
+            grads: flat fp32 gradients, same length.
+            state: the buffer's Adam state (mutated).
+            lr: per-step learning rate override (LR schedules).
+        """
+        if params.shape != grads.shape:
+            raise ValueError(
+                f"params shape {params.shape} != grads shape {grads.shape}"
+            )
+        if params.shape != state.exp_avg.shape:
+            raise ValueError(
+                f"params shape {params.shape} != state shape "
+                f"{state.exp_avg.shape}"
+            )
+        effective_lr = np.float32(self.lr if lr is None else lr)
+        state.step += 1
+        t = state.step
+        state.exp_avg *= self.beta1
+        state.exp_avg += (np.float32(1.0) - self.beta1) * grads
+        state.exp_avg_sq *= self.beta2
+        state.exp_avg_sq += (np.float32(1.0) - self.beta2) * grads * grads
+        bias1 = np.float32(1.0) - self.beta1 ** np.float32(t)
+        bias2 = np.float32(1.0) - self.beta2 ** np.float32(t)
+        m_hat = state.exp_avg / bias1
+        v_hat = state.exp_avg_sq / bias2
+        if self.weight_decay > 0:
+            params -= effective_lr * self.weight_decay * params
+        params -= effective_lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def hyperparameters(self) -> Dict[str, float]:
+        """JSON-friendly hyperparameter record (stored in checkpoints)."""
+        return {
+            "lr": float(self.lr),
+            "beta1": float(self.beta1),
+            "beta2": float(self.beta2),
+            "eps": float(self.eps),
+            "weight_decay": float(self.weight_decay),
+        }
+
+    @classmethod
+    def from_hyperparameters(cls, payload: Dict[str, float]) -> "Adam":
+        """Inverse of :meth:`hyperparameters`."""
+        return cls(
+            lr=payload["lr"],
+            beta1=payload["beta1"],
+            beta2=payload["beta2"],
+            eps=payload["eps"],
+            weight_decay=payload["weight_decay"],
+        )

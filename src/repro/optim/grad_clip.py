@@ -1,0 +1,38 @@
+"""Global gradient-norm clipping.
+
+The global norm is computed over *all* shards of the model — under any
+parallelism strategy each rank contributes its local sum of squares and
+the total is all-reduced — so clipping is identical across topologies
+(up to float accumulation order), keeping loss curves comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+
+def global_grad_norm(grads: Iterable[np.ndarray]) -> float:
+    """L2 norm over the concatenation of all gradient arrays."""
+    total = np.float64(0.0)
+    for grad in grads:
+        g = np.asarray(grad, dtype=np.float32)
+        total += np.float64(np.sum(g.astype(np.float64) ** 2))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(grads: List[np.ndarray], max_norm: float) -> float:
+    """Scale gradients in place so their global norm is <= ``max_norm``.
+
+    Returns:
+        The pre-clip global norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = global_grad_norm(grads)
+    if norm > max_norm:
+        scale = np.float32(max_norm / (norm + 1e-6))
+        for grad in grads:
+            grad *= scale
+    return norm

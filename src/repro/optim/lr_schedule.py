@@ -1,0 +1,62 @@
+"""Learning-rate schedules.
+
+The schedule is a pure function of the global step, which checkpoints
+record; resuming from UCP at step *t* therefore continues the schedule
+exactly where the source run left off.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ConstantLRSchedule:
+    """A fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        """LR for a global step (0-based)."""
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        return self.lr
+
+
+class CosineLRSchedule:
+    """Linear warmup followed by cosine decay to a floor (Table 4 style)."""
+
+    def __init__(
+        self,
+        max_lr: float,
+        min_lr: float,
+        warmup_steps: int,
+        total_steps: int,
+    ) -> None:
+        if warmup_steps < 0 or total_steps <= 0:
+            raise ValueError("warmup_steps must be >= 0 and total_steps > 0")
+        if warmup_steps >= total_steps:
+            raise ValueError(
+                f"warmup ({warmup_steps}) must be shorter than total "
+                f"({total_steps})"
+            )
+        if min_lr > max_lr:
+            raise ValueError(f"min_lr {min_lr} > max_lr {max_lr}")
+        self.max_lr = max_lr
+        self.min_lr = min_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        """LR for a global step (0-based)."""
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.max_lr * (step + 1) / self.warmup_steps
+        if step >= self.total_steps:
+            return self.min_lr
+        progress = (step - self.warmup_steps) / max(
+            1, self.total_steps - self.warmup_steps
+        )
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.max_lr - self.min_lr) * cosine

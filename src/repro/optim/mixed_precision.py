@@ -1,0 +1,93 @@
+"""Mixed-precision training policy and dynamic loss scaling.
+
+The model computes with fp16/bf16 *working copies* of the fp32 master
+weights; UCP checkpoints only the fp32 masters, which is why a run can
+switch between fp16 and bf16 MPT across a resume (paper §3.1).  After a
+UCP load, the updated fp32 flat buffer is re-broadcast into the working
+copies (the paper's ``fp16_partitioned_groups_flat`` rebroadcast).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from repro.tensor.dtypes import DType, FP32, cast, dtype_from_name
+
+
+@dataclasses.dataclass
+class MixedPrecisionPolicy:
+    """Which dtype the model computes in; masters are always fp32."""
+
+    compute_dtype: DType = FP32
+
+    def working_copy(self, master: np.ndarray) -> np.ndarray:
+        """Produce the model-side copy of a master tensor."""
+        return cast(master, self.compute_dtype)
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-friendly record for checkpoints."""
+        return {"compute_dtype": self.compute_dtype.name}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, str]) -> "MixedPrecisionPolicy":
+        """Inverse of :meth:`to_dict`."""
+        return cls(compute_dtype=dtype_from_name(payload["compute_dtype"]))
+
+
+class LossScaler:
+    """Dynamic loss scaling for fp16 training.
+
+    Scales the loss before backward; if any gradient overflows (inf/nan),
+    the step is skipped and the scale halves.  After ``growth_interval``
+    clean steps the scale doubles.  bf16/fp32 runs use scale 1.
+    """
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**16,
+        growth_interval: int = 2000,
+        min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
+    ) -> None:
+        if init_scale < min_scale:
+            raise ValueError("init_scale below min_scale")
+        self.scale = float(init_scale)
+        self.growth_interval = growth_interval
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self._clean_steps = 0
+
+    def scale_loss_grad(self, grad: np.ndarray) -> np.ndarray:
+        """Scale the loss gradient before backward."""
+        return grad * np.float32(self.scale)
+
+    def unscale(self, grad: np.ndarray) -> np.ndarray:
+        """Remove the scale from accumulated gradients."""
+        return grad / np.float32(self.scale)
+
+    def check_overflow(self, grad: np.ndarray) -> bool:
+        """True if the gradient contains inf or nan."""
+        return not bool(np.isfinite(grad).all())
+
+    def update(self, found_overflow: bool) -> None:
+        """Advance the dynamic scale after a step attempt."""
+        if found_overflow:
+            self.scale = max(self.min_scale, self.scale / 2.0)
+            self._clean_steps = 0
+        else:
+            self._clean_steps += 1
+            if self._clean_steps >= self.growth_interval:
+                self.scale = min(self.max_scale, self.scale * 2.0)
+                self._clean_steps = 0
+
+    def state_dict(self) -> Dict[str, float]:
+        """Checkpointable state."""
+        return {"scale": self.scale, "clean_steps": self._clean_steps}
+
+    def load_state_dict(self, payload: Dict[str, float]) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.scale = float(payload["scale"])
+        self._clean_steps = int(payload["clean_steps"])

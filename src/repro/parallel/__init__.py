@@ -1,0 +1,55 @@
+"""Parallelism strategies over the simulated cluster.
+
+Implements the four axes the paper transforms between — tensor-slicing
+parallelism (TP), pipeline parallelism (PP), ZeRO-style data parallelism
+(stages 0-3), and sequence parallelism (SP) — with checkpoint-accurate
+state layouts: fused variable-size QKV fragments, expert-tensor
+fragments, vocab-padded embeddings, and aligned flat fp32 partitions.
+"""
+
+from repro.parallel.sharding import (
+    EvenFragment,
+    ExpertFragment,
+    ExpertParallelFragment,
+    Fragmenter,
+    FusedSectionsFragment,
+    VocabFragment,
+)
+from repro.parallel.tp import ShardSpec, build_shard_specs
+from repro.parallel.pp import StagePlan, build_stage_plan
+from repro.parallel.layout import ModelParallelLayout, RankShardLayout
+from repro.parallel.zero import ZeroOptimizer, ZeroPartition
+from repro.parallel.engine import TrainingEngine, TrainStepResult
+from repro.parallel.schedule import (
+    ScheduleReport,
+    analytic_bubble_fraction,
+    simulate_1f1b,
+    simulate_gpipe,
+)
+from repro.parallel.memory import MemoryEstimate, estimate_rank_memory, fits_budget
+
+__all__ = [
+    "EvenFragment",
+    "ExpertFragment",
+    "ExpertParallelFragment",
+    "Fragmenter",
+    "FusedSectionsFragment",
+    "VocabFragment",
+    "ShardSpec",
+    "build_shard_specs",
+    "StagePlan",
+    "build_stage_plan",
+    "ModelParallelLayout",
+    "RankShardLayout",
+    "ZeroOptimizer",
+    "ZeroPartition",
+    "TrainingEngine",
+    "TrainStepResult",
+    "ScheduleReport",
+    "analytic_bubble_fraction",
+    "simulate_1f1b",
+    "simulate_gpipe",
+    "MemoryEstimate",
+    "estimate_rank_memory",
+    "fits_budget",
+]

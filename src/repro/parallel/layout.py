@@ -1,0 +1,240 @@
+"""Model-parallel state layout: the single source of truth for where
+every parameter fragment lives.
+
+For a (model config, parallel config) pair, :class:`ModelParallelLayout`
+computes, per model-parallel rank (pp stage × sp rank × tp rank):
+
+* the ordered list of parameter shards that rank owns (TP sharding via
+  :mod:`repro.parallel.tp`, PP ownership via :mod:`repro.parallel.pp`);
+* the flat fp32 buffer layout — offsets, alignment padding, and the
+  equal-size partitions ZeRO distributes across data-parallel ranks.
+
+Both the training engine (to build its optimizer state) and UCP's
+``GenUcpMetadata`` (to compute a *target* partition map) use this class,
+which is what makes source and target layouts provably consistent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.dist.topology import ParallelConfig
+from repro.models.configs import ModelConfig
+from repro.parallel.pp import StagePlan, build_stage_plan
+from repro.parallel.tp import PATTERN_FRAGMENT, ShardSpec, build_shard_specs
+from repro.tensor.flat import DEFAULT_ALIGNMENT
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardEntry:
+    """One parameter shard inside a rank's flat buffer."""
+
+    name: str
+    shard_shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def numel(self) -> int:
+        """Elements in the shard."""
+        n = 1
+        for d in self.shard_shape:
+            n *= d
+        return n
+
+    @property
+    def end(self) -> int:
+        """One past the shard's last flat element."""
+        return self.offset + self.numel
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionSlice:
+    """Intersection of one parameter shard with one DP partition.
+
+    Attributes:
+        name: parameter name.
+        partition: dp partition index.
+        local_start / local_end: element range inside the partition.
+        shard_start / shard_end: element range inside the flattened shard.
+    """
+
+    name: str
+    partition: int
+    local_start: int
+    local_end: int
+    shard_start: int
+    shard_end: int
+
+
+class RankShardLayout:
+    """Flat-buffer layout for one model-parallel rank."""
+
+    def __init__(
+        self,
+        pp_stage: int,
+        sp_rank: int,
+        tp_rank: int,
+        entries: List[ShardEntry],
+        dp_degree: int,
+        alignment: int = DEFAULT_ALIGNMENT,
+    ) -> None:
+        self.pp_stage = pp_stage
+        self.sp_rank = sp_rank
+        self.tp_rank = tp_rank
+        self.entries = entries
+        self.dp_degree = dp_degree
+        self.alignment = alignment
+        self._by_name = {e.name: e for e in entries}
+        payload = entries[-1].end if entries else 0
+        unit = alignment * dp_degree
+        self.flat_numel = ((payload + unit - 1) // unit) * unit if payload else 0
+        self.padding = self.flat_numel - payload
+        self.partition_numel = self.flat_numel // dp_degree if dp_degree else 0
+
+    @property
+    def payload_numel(self) -> int:
+        """Flat length excluding alignment padding."""
+        return self.flat_numel - self.padding
+
+    def entry(self, name: str) -> ShardEntry:
+        """Shard entry for a parameter name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"parameter {name!r} not owned by pp={self.pp_stage} "
+                f"sp={self.sp_rank} tp={self.tp_rank}"
+            ) from None
+
+    def owns(self, name: str) -> bool:
+        """Whether this rank's buffer contains the parameter."""
+        return name in self._by_name
+
+    def partition_slices(self, name: str) -> List[PartitionSlice]:
+        """How one shard scatters across the DP partitions.
+
+        A ZeRO partition boundary can cut a parameter anywhere, so a
+        shard may span several partitions; this returns the pieces in
+        ascending order.
+        """
+        e = self.entry(name)
+        out: List[PartitionSlice] = []
+        size = self.partition_numel
+        if size == 0:
+            return out
+        first = e.offset // size
+        last = (e.end - 1) // size if e.numel else first
+        for part in range(first, last + 1):
+            p_start, p_end = part * size, (part + 1) * size
+            start = max(e.offset, p_start)
+            end = min(e.end, p_end)
+            if start >= end:
+                continue
+            out.append(
+                PartitionSlice(
+                    name=name,
+                    partition=part,
+                    local_start=start - p_start,
+                    local_end=end - p_start,
+                    shard_start=start - e.offset,
+                    shard_end=end - e.offset,
+                )
+            )
+        return out
+
+    def slices_in_partition(self, partition: int) -> List[PartitionSlice]:
+        """All parameter pieces inside one DP partition, in flat order."""
+        if not 0 <= partition < self.dp_degree:
+            raise IndexError(
+                f"partition {partition} out of range (dp={self.dp_degree})"
+            )
+        out: List[PartitionSlice] = []
+        for e in self.entries:
+            for ps in self.partition_slices(e.name):
+                if ps.partition == partition:
+                    out.append(ps)
+        return out
+
+
+class ModelParallelLayout:
+    """Layouts for every model-parallel rank of a training configuration."""
+
+    def __init__(
+        self,
+        model_cfg: ModelConfig,
+        parallel_cfg: ParallelConfig,
+        alignment: int = DEFAULT_ALIGNMENT,
+    ) -> None:
+        self.model_cfg = model_cfg
+        self.parallel_cfg = parallel_cfg
+        self.alignment = alignment
+        self.shard_specs: Dict[str, ShardSpec] = build_shard_specs(
+            model_cfg, expert_parallel=parallel_cfg.expert_parallel
+        )
+        names = list(self.shard_specs)
+        self.stage_plan: StagePlan = build_stage_plan(model_cfg, names, parallel_cfg.pp)
+        self._ranks: Dict[Tuple[int, int, int], RankShardLayout] = {}
+        for pp_stage in range(parallel_cfg.pp):
+            stage_params = self.stage_plan.params_of_stage(pp_stage)
+            for sp_rank in range(parallel_cfg.sp):
+                for tp_rank in range(parallel_cfg.tp):
+                    entries: List[ShardEntry] = []
+                    offset = 0
+                    for name in stage_params:
+                        spec = self.shard_specs[name]
+                        shape = spec.shard_shape(parallel_cfg.tp)
+                        entry = ShardEntry(name=name, shard_shape=shape, offset=offset)
+                        entries.append(entry)
+                        offset = entry.end
+                    self._ranks[(pp_stage, sp_rank, tp_rank)] = RankShardLayout(
+                        pp_stage=pp_stage,
+                        sp_rank=sp_rank,
+                        tp_rank=tp_rank,
+                        entries=entries,
+                        dp_degree=parallel_cfg.dp,
+                        alignment=alignment,
+                    )
+
+    def rank_layout(self, pp_stage: int, sp_rank: int, tp_rank: int) -> RankShardLayout:
+        """Layout for one model-parallel rank."""
+        try:
+            return self._ranks[(pp_stage, sp_rank, tp_rank)]
+        except KeyError:
+            raise IndexError(
+                f"(pp={pp_stage}, sp={sp_rank}, tp={tp_rank}) not on grid "
+                f"{self.parallel_cfg.describe()}"
+            ) from None
+
+    def mp_rank_index(self, pp_stage: int, sp_rank: int, tp_rank: int) -> int:
+        """Flat model-parallel rank index (matches Topology ordering)."""
+        cfg = self.parallel_cfg
+        return (pp_stage * cfg.sp + sp_rank) * cfg.tp + tp_rank
+
+    def mp_coords(self) -> List[Tuple[int, int, int]]:
+        """All (pp, sp, tp) coordinates in mp-rank order."""
+        cfg = self.parallel_cfg
+        return [
+            (pp, sp, tp)
+            for pp in range(cfg.pp)
+            for sp in range(cfg.sp)
+            for tp in range(cfg.tp)
+        ]
+
+    def owners_of(self, name: str) -> List[Tuple[int, int, int]]:
+        """Every (pp, sp, tp) coordinate whose buffer holds ``name``."""
+        return [coord for coord in self.mp_coords() if self._ranks[coord].owns(name)]
+
+    def spec(self, name: str) -> ShardSpec:
+        """Shard spec for a parameter name."""
+        try:
+            return self.shard_specs[name]
+        except KeyError:
+            raise KeyError(f"unknown parameter {name!r}") from None
+
+    def is_tp_sharded(self, name: str) -> bool:
+        """Whether TP actually fragments this parameter (degree > 1)."""
+        return (
+            self.parallel_cfg.tp > 1
+            and self.spec(name).pattern == PATTERN_FRAGMENT
+        )

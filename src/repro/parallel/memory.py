@@ -1,0 +1,122 @@
+"""Per-rank memory estimation for candidate topologies.
+
+Implements the ZeRO paper's memory arithmetic over this repository's
+exact layouts: a rank holds its working-precision parameter shard, a
+gradient buffer, its slice of the fp32 master + Adam moments (divided
+by DP for stages >= 1), and activations bounded by the pipeline
+schedule (1F1B keeps at most ``min(m, p)`` micro-batches live).
+
+The elastic resume planner uses this to reject targets that do not fit
+a per-GPU memory budget — resuming onto fewer GPUs is only possible if
+the resharded state still fits, a constraint the paper's elastic
+scenarios live under.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dist.topology import ParallelConfig
+from repro.models.configs import ModelConfig
+from repro.parallel.layout import ModelParallelLayout
+
+_FP32 = 4
+_MASTER_AND_MOMENTS = 12  # fp32 master + exp_avg + exp_avg_sq
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryEstimate:
+    """Bytes per rank, broken down by component."""
+
+    params_bytes: int
+    grads_bytes: int
+    optimizer_bytes: int
+    activations_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all components."""
+        return (
+            self.params_bytes
+            + self.grads_bytes
+            + self.optimizer_bytes
+            + self.activations_bytes
+        )
+
+    @property
+    def total_gb(self) -> float:
+        """Total in gigabytes."""
+        return self.total_bytes / 1e9
+
+
+def estimate_rank_memory(
+    model_cfg: ModelConfig,
+    parallel_cfg: ParallelConfig,
+    micro_batch_size: int = 1,
+    seq_len: int = 2048,
+    micro_batches: int = 4,
+    compute_bytes_per_element: int = 2,
+) -> MemoryEstimate:
+    """Worst-rank memory for one (model, topology) pair.
+
+    Args:
+        model_cfg / parallel_cfg: the candidate configuration.
+        micro_batch_size: samples per micro-batch per replica.
+        seq_len: training sequence length.
+        micro_batches: gradient-accumulation depth (bounds 1F1B
+            in-flight activations).
+        compute_bytes_per_element: 2 for fp16/bf16 working weights,
+            4 for fp32 training.
+    """
+    layout = ModelParallelLayout(model_cfg, parallel_cfg)
+    worst_payload = max(
+        layout.rank_layout(*coord).payload_numel for coord in layout.mp_coords()
+    )
+    dp = parallel_cfg.dp
+
+    if parallel_cfg.zero_stage == 3:
+        params = worst_payload * compute_bytes_per_element // dp
+    else:
+        params = worst_payload * compute_bytes_per_element
+
+    if parallel_cfg.zero_stage >= 2:
+        grads = worst_payload * compute_bytes_per_element // dp
+    else:
+        grads = worst_payload * compute_bytes_per_element
+
+    if parallel_cfg.zero_stage >= 1:
+        optimizer = worst_payload * _MASTER_AND_MOMENTS // dp
+    else:
+        optimizer = worst_payload * _MASTER_AND_MOMENTS
+
+    # activations: hidden states per layer of this rank's pipeline
+    # stage, times the schedule's in-flight micro-batch bound.  The
+    # constant 8 approximates attention + MLP intermediates relative to
+    # one hidden-state tensor (post-checkpointing regime).
+    layers_per_stage = -(-model_cfg.num_layers // parallel_cfg.pp)
+    hidden_per_token = model_cfg.hidden * compute_bytes_per_element
+    per_micro = micro_batch_size * seq_len * hidden_per_token * layers_per_stage * 8
+    if parallel_cfg.tp > 1:
+        per_micro //= parallel_cfg.tp
+    in_flight = min(micro_batches, parallel_cfg.pp)
+    activations = per_micro * in_flight
+
+    return MemoryEstimate(
+        params_bytes=int(params),
+        grads_bytes=int(grads),
+        optimizer_bytes=int(optimizer),
+        activations_bytes=int(activations),
+    )
+
+
+def fits_budget(
+    model_cfg: ModelConfig,
+    parallel_cfg: ParallelConfig,
+    budget_gb: float,
+    **estimate_kwargs,
+) -> bool:
+    """Whether the worst rank stays under a per-GPU memory budget."""
+    if budget_gb <= 0:
+        raise ValueError(f"budget must be positive, got {budget_gb}")
+    estimate = estimate_rank_memory(model_cfg, parallel_cfg, **estimate_kwargs)
+    return estimate.total_gb <= budget_gb

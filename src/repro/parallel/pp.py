@@ -1,0 +1,107 @@
+"""Pipeline-parallel stage assignment.
+
+Blocks partition contiguously across stages; the embedding (and learned
+positional table) live on stage 0, the final norm and LM head on the
+last stage.  With a *tied* LM head and PP > 1 the word embedding is
+replicated on both the first and last stage (the Megatron convention —
+both copies receive the full embedding gradient and stay identical),
+which is exactly the paper's "replicated_params with PP degree > 1"
+case.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.models.configs import ModelConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePlan:
+    """Which pipeline stage(s) own each parameter.
+
+    Attributes:
+        num_stages: PP degree.
+        stage_blocks: block index ranges per stage, [(start, end)).
+        owners: parameter name -> tuple of owning stages (usually one;
+            two for a tied embedding replicated on first + last stage).
+    """
+
+    num_stages: int
+    stage_blocks: Tuple[Tuple[int, int], ...]
+    owners: Dict[str, Tuple[int, ...]]
+
+    def stages_of(self, name: str) -> Tuple[int, ...]:
+        """Owning stages for a parameter name."""
+        try:
+            return self.owners[name]
+        except KeyError:
+            raise KeyError(f"parameter {name!r} not in stage plan") from None
+
+    def params_of_stage(self, stage: int) -> List[str]:
+        """Parameter names owned by one stage, in canonical order."""
+        if not 0 <= stage < self.num_stages:
+            raise IndexError(f"stage {stage} out of range (pp={self.num_stages})")
+        return [name for name, stages in self.owners.items() if stage in stages]
+
+    def is_replicated_across_pp(self, name: str) -> bool:
+        """True when more than one stage owns the parameter."""
+        return len(self.stages_of(name)) > 1
+
+
+def _split_blocks(num_layers: int, num_stages: int) -> List[Tuple[int, int]]:
+    """Contiguous block ranges per stage, near-equal sizes."""
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    if num_layers < num_stages:
+        raise ValueError(
+            f"cannot place {num_layers} layers on {num_stages} pipeline stages"
+        )
+    base, extra = divmod(num_layers, num_stages)
+    ranges, start = [], 0
+    for stage in range(num_stages):
+        size = base + (1 if stage < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def build_stage_plan(
+    cfg: ModelConfig, param_names: List[str], num_stages: int
+) -> StagePlan:
+    """Assign every parameter of a model to its pipeline stage(s).
+
+    Args:
+        cfg: model configuration.
+        param_names: dotted names in canonical (definition) order.
+        num_stages: PP degree.
+    """
+    ranges = _split_blocks(cfg.num_layers, num_stages)
+    block_stage = {}
+    for stage, (start, end) in enumerate(ranges):
+        for block in range(start, end):
+            block_stage[block] = stage
+
+    last = num_stages - 1
+    owners: Dict[str, Tuple[int, ...]] = {}
+    for name in param_names:
+        if name.startswith("blocks."):
+            block = int(name.split(".")[1])
+            owners[name] = (block_stage[block],)
+        elif name == "embedding.weight":
+            if cfg.tied_head and num_stages > 1:
+                owners[name] = (0, last)
+            else:
+                owners[name] = (0,)
+        elif name == "pos_embedding.weight":
+            owners[name] = (0,)
+        elif name in ("final_norm.weight", "final_norm.bias") or name == "lm_head":
+            owners[name] = (last,)
+        else:
+            raise KeyError(f"parameter {name!r} has no pipeline placement rule")
+    return StagePlan(
+        num_stages=num_stages,
+        stage_blocks=tuple(ranges),
+        owners=owners,
+    )

@@ -1,0 +1,205 @@
+"""Pipeline-parallel execution schedules (GPipe and 1F1B).
+
+The training engine executes layers sequentially (the simulation has
+all ranks in-process), but pipeline *timing* still matters for the
+benchmarks: bubble overhead determines how expensive a pipeline flush
+around a checkpoint is, and activation memory bounds the micro-batch
+count.  This module simulates the two standard schedules tick by tick
+and reports per-stage timelines, bubble fraction, and peak in-flight
+micro-batches — matching the analytic bubble formula
+``(p - 1) / (m + p - 1)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleSlot:
+    """One cell of a stage's timeline."""
+
+    tick: int
+    kind: str  # "F" forward, "B" backward, "idle"
+    micro_batch: int  # -1 for idle
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleReport:
+    """Result of simulating one schedule."""
+
+    name: str
+    num_stages: int
+    num_micro_batches: int
+    total_ticks: int
+    bubble_fraction: float
+    peak_in_flight: int
+    timelines: Dict[int, List[ScheduleSlot]]
+
+    def stage_utilization(self, stage: int) -> float:
+        """Fraction of ticks a stage spends computing."""
+        slots = self.timelines[stage]
+        busy = sum(1 for s in slots if s.kind != "idle")
+        return busy / len(slots) if slots else 0.0
+
+
+def _finalize(
+    name: str,
+    num_stages: int,
+    num_micro: int,
+    timelines: Dict[int, List[ScheduleSlot]],
+    peak_in_flight: int,
+) -> ScheduleReport:
+    total_ticks = max(len(t) for t in timelines.values())
+    for stage, slots in timelines.items():
+        while len(slots) < total_ticks:
+            slots.append(ScheduleSlot(len(slots), "idle", -1))
+    busy = sum(
+        1 for slots in timelines.values() for s in slots if s.kind != "idle"
+    )
+    bubble = 1.0 - busy / (total_ticks * num_stages)
+    return ScheduleReport(
+        name=name,
+        num_stages=num_stages,
+        num_micro_batches=num_micro,
+        total_ticks=total_ticks,
+        bubble_fraction=bubble,
+        peak_in_flight=peak_in_flight,
+        timelines=timelines,
+    )
+
+
+def simulate_gpipe(num_stages: int, num_micro_batches: int) -> ScheduleReport:
+    """GPipe: all forwards, then all backwards (flush in between).
+
+    Forward and backward passes are modelled as equal one-tick units;
+    with unit ticks the bubble fraction is the classic
+    ``(p - 1) / (m + p - 1)`` per phase.
+    """
+    if num_stages < 1 or num_micro_batches < 1:
+        raise ValueError("stages and micro-batches must be >= 1")
+    p, m = num_stages, num_micro_batches
+    timelines: Dict[int, List[ScheduleSlot]] = {s: [] for s in range(p)}
+
+    def pad_to(stage: int, tick: int) -> None:
+        slots = timelines[stage]
+        while len(slots) < tick:
+            slots.append(ScheduleSlot(len(slots), "idle", -1))
+
+    # forward wave: micro-batch i reaches stage s at tick s + i
+    for stage in range(p):
+        for micro in range(m):
+            tick = stage + micro
+            pad_to(stage, tick)
+            timelines[stage].append(ScheduleSlot(tick, "F", micro))
+    # backward wave starts after the last forward completes
+    backward_start = p + m - 1
+    for stage in reversed(range(p)):
+        for micro in range(m):
+            tick = backward_start + (p - 1 - stage) + micro
+            pad_to(stage, tick)
+            timelines[stage].append(ScheduleSlot(tick, "B", micro))
+
+    # GPipe keeps every micro-batch's activations live until its backward
+    peak_in_flight = m
+    return _finalize("gpipe", p, m, timelines, peak_in_flight)
+
+
+def simulate_1f1b(num_stages: int, num_micro_batches: int) -> ScheduleReport:
+    """1F1B (PipeDream-flush): warmup forwards, then alternate 1F/1B.
+
+    Stage ``s`` runs ``p - s`` warmup forwards, then strictly
+    alternates one-forward-one-backward, bounding live activations at
+    ``min(m, p - s)`` instead of GPipe's ``m``.
+    """
+    if num_stages < 1 or num_micro_batches < 1:
+        raise ValueError("stages and micro-batches must be >= 1")
+    p, m = num_stages, num_micro_batches
+
+    # event-driven simulation with dependency tracking
+    forward_done: Dict[Tuple[int, int], int] = {}   # (stage, micro) -> tick
+    backward_done: Dict[Tuple[int, int], int] = {}
+    timelines: Dict[int, List[ScheduleSlot]] = {s: [] for s in range(p)}
+    peak = 0
+
+    # per-stage instruction streams
+    streams: Dict[int, List[Tuple[str, int]]] = {}
+    for stage in range(p):
+        warmup = min(m, p - stage)
+        ops: List[Tuple[str, int]] = [("F", i) for i in range(warmup)]
+        next_f, next_b = warmup, 0
+        while next_b < m:
+            if next_f < m:
+                ops.append(("B", next_b)); next_b += 1
+                ops.append(("F", next_f)); next_f += 1
+            else:
+                ops.append(("B", next_b)); next_b += 1
+        streams[stage] = ops
+
+    cursors = {s: 0 for s in range(p)}
+    clocks = {s: 0 for s in range(p)}
+    live = {s: 0 for s in range(p)}
+    remaining = sum(len(ops) for ops in streams.values())
+    while remaining:
+        progressed = False
+        for stage in range(p):
+            if cursors[stage] >= len(streams[stage]):
+                continue
+            kind, micro = streams[stage][cursors[stage]]
+            if kind == "F":
+                ready = 0 if stage == 0 else forward_done.get((stage - 1, micro))
+            else:
+                ready = (
+                    forward_done.get((stage, micro))
+                    if stage == p - 1
+                    else backward_done.get((stage + 1, micro))
+                )
+                if ready is None or forward_done.get((stage, micro)) is None:
+                    ready = None
+            if ready is None:
+                continue
+            start = max(clocks[stage], ready)
+            # fill idle gap
+            while len(timelines[stage]) < start:
+                timelines[stage].append(
+                    ScheduleSlot(len(timelines[stage]), "idle", -1)
+                )
+            timelines[stage].append(ScheduleSlot(start, kind, micro))
+            clocks[stage] = start + 1
+            if kind == "F":
+                forward_done[(stage, micro)] = start + 1
+                live[stage] += 1
+            else:
+                backward_done[(stage, micro)] = start + 1
+                live[stage] -= 1
+            peak = max(peak, live[stage])
+            cursors[stage] += 1
+            remaining -= 1
+            progressed = True
+        if not progressed:
+            raise RuntimeError("1F1B schedule deadlocked (bug)")
+
+    return _finalize("1f1b", p, m, timelines, peak)
+
+
+def analytic_bubble_fraction(num_stages: int, num_micro_batches: int) -> float:
+    """The textbook pipeline bubble: (p - 1) / (m + p - 1)."""
+    p, m = num_stages, num_micro_batches
+    return (p - 1) / (m + p - 1)
+
+
+def analytic_interleaved_bubble(
+    num_stages: int, num_micro_batches: int, virtual_stages: int
+) -> float:
+    """Megatron's interleaved 1F1B bubble: (p - 1) / (v * m + p - 1).
+
+    Splitting each rank's layers into ``v`` virtual chunks shrinks the
+    warmup/teardown bubble by v at the cost of v times the pipeline
+    communication — the trade Megatron-LM ships as the interleaved
+    schedule.
+    """
+    if virtual_stages < 1:
+        raise ValueError(f"virtual_stages must be >= 1, got {virtual_stages}")
+    p, m = num_stages, num_micro_batches
+    return (p - 1) / (virtual_stages * m + p - 1)

@@ -1,0 +1,113 @@
+"""Sequence parallelism (SP) semantics.
+
+The paper's SP reference is DeepSpeed-Ulysses-style sequence
+parallelism: the sequence dimension of *activations* splits across SP
+ranks (with all-to-alls around attention), while **parameters are fully
+replicated** across the SP group.  Since this simulation does not model
+activation memory, SP's training math is identical to SP=1; what SP
+changes — and what matters for checkpointing — is the *rank grid and
+file layout*: an SP=2 run has twice the model-parallel ranks, each
+persisting a replicated copy of its stage's parameters.
+
+The paper's ``params_to_average`` pattern covers SP/TP variants where
+some parameters (typically norms) are *updated independently* per rank
+and must be averaged at consolidation time.  The engine exposes
+``independent_replica_updates`` to produce genuinely divergent copies
+for that pattern (used by the sub-pattern benchmarks); by default
+replicas stay bit-identical and averaging is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dist.topology import ParallelConfig
+
+
+def sp_replication_factor(cfg: ParallelConfig) -> int:
+    """How many identical copies of each model shard SP creates."""
+    return cfg.sp
+
+
+def average_param_copies(copies: List[np.ndarray]) -> np.ndarray:
+    """The ``params_to_average`` consolidation rule: elementwise mean.
+
+    Reduction runs in ascending rank order (deterministic).
+    """
+    if not copies:
+        raise ValueError("cannot average zero copies")
+    shapes = {c.shape for c in copies}
+    if len(shapes) != 1:
+        raise ValueError(f"copies disagree on shape: {shapes}")
+    total = copies[0].astype(np.float32, copy=True)
+    for copy_ in copies[1:]:
+        total = total + copy_.astype(np.float32)
+    return total / np.float32(len(copies))
+
+
+def ulysses_exchange(
+    sequence_shards: List[np.ndarray],
+    num_heads: int,
+) -> List[np.ndarray]:
+    """The DeepSpeed-Ulysses all-to-all: sequence-split -> head-split.
+
+    Each SP rank holds a slice of the *sequence* for all heads
+    ([seq/sp, heads, dim]); attention needs whole sequences per head,
+    so an all-to-all re-partitions to [seq, heads/sp, dim].  Applying
+    the exchange to the transpose layout inverts it — the test suite
+    checks the round trip, which is why SP's parameters stay fully
+    replicated: only activations move.
+
+    Args:
+        sequence_shards: per-rank arrays [seq_chunk, heads, dim].
+        num_heads: total head count (must divide by the SP degree).
+    """
+    from repro.dist.collectives import all_to_all
+
+    sp = len(sequence_shards)
+    if sp == 0:
+        raise ValueError("ulysses_exchange over an empty group")
+    shard = np.asarray(sequence_shards[0])
+    if shard.ndim != 3 or shard.shape[1] != num_heads:
+        raise ValueError(
+            f"expected [seq_chunk, heads={num_heads}, dim] shards, got "
+            f"shape {shard.shape}"
+        )
+    if num_heads % sp != 0:
+        raise ValueError(f"{num_heads} heads not divisible by sp={sp}")
+    seq_chunk, _, dim = shard.shape
+    heads_per_rank = num_heads // sp
+
+    # reorder each rank's buffer so chunk j holds the heads destined
+    # for rank j, then exchange
+    flat = []
+    for s in sequence_shards:
+        arr = np.asarray(s, dtype=np.float32)
+        # [seq_chunk, heads, dim] -> [sp, heads/sp, seq_chunk, dim]
+        regrouped = arr.reshape(seq_chunk, sp, heads_per_rank, dim)
+        flat.append(np.ascontiguousarray(regrouped.transpose(1, 0, 2, 3)).reshape(-1))
+    exchanged = all_to_all(flat)
+    out = []
+    for received in exchanged:
+        # chunks arrive in source-rank (= sequence) order
+        blocks = received.reshape(sp, seq_chunk, heads_per_rank, dim)
+        out.append(np.ascontiguousarray(blocks.reshape(sp * seq_chunk, heads_per_rank, dim)))
+    return out
+
+
+def perturb_copies_for_demo(
+    base: np.ndarray, degree: int, scale: float = 1e-3, seed: int = 0
+) -> Dict[int, np.ndarray]:
+    """Deterministically divergent per-rank copies of one tensor.
+
+    Used by tests and the sub-pattern benchmark to exercise
+    ``params_to_average`` with copies that genuinely differ, the way
+    independently-updated norm parameters would.
+    """
+    gen = np.random.default_rng(seed)
+    return {
+        rank: base + (gen.standard_normal(base.shape) * scale).astype(np.float32)
+        for rank in range(degree)
+    }

@@ -1,0 +1,198 @@
+"""Tensor-parallel sharding specs for every parameter of a model.
+
+``build_shard_specs`` maps each dotted parameter name of a
+:class:`TransformerLM` built from a :class:`ModelConfig` to a
+:class:`ShardSpec` — the declarative record of *how* that parameter
+partitions under TP (the Megatron-LM conventions: column-parallel
+QKV/up projections, row-parallel out/down projections, vocab-parallel
+embeddings, replicated norms).  The same specs become the source
+pattern program that UCP's language consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.models.configs import ModelConfig
+from repro.nn.embedding import padded_vocab_size
+from repro.parallel.sharding import (
+    EvenFragment,
+    ExpertFragment,
+    ExpertParallelFragment,
+    Fragmenter,
+    FusedSectionsFragment,
+    VocabFragment,
+)
+
+PATTERN_REPLICATED = "replicated_params"
+PATTERN_FRAGMENT = "fragment_params"
+PATTERN_UNIQUE = "unique_params"
+PATTERN_TO_AVERAGE = "params_to_average"
+
+ALL_PATTERNS = (
+    PATTERN_REPLICATED,
+    PATTERN_FRAGMENT,
+    PATTERN_UNIQUE,
+    PATTERN_TO_AVERAGE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """How one parameter behaves under tensor parallelism.
+
+    Attributes:
+        pattern: one of the paper's Table 1 parameter patterns.
+        fragmenter: the sub-pattern executing the split (fragment only).
+        logical_shape: consolidated shape *including* any structural
+            padding (e.g. padded vocab rows).
+        unpadded_shape: consolidated shape with structural padding
+            stripped — what the UCP atom stores.
+    """
+
+    pattern: str
+    logical_shape: tuple
+    unpadded_shape: tuple
+    fragmenter: Optional[Fragmenter] = None
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ALL_PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.pattern == PATTERN_FRAGMENT and self.fragmenter is None:
+            raise ValueError("fragment_params requires a fragmenter")
+
+    @property
+    def has_padding(self) -> bool:
+        """Whether the consolidated tensor carries structural padding."""
+        return self.logical_shape != self.unpadded_shape
+
+    def shard_shape(self, tp: int) -> tuple:
+        """Per-rank shape under TP degree ``tp``."""
+        if self.pattern != PATTERN_FRAGMENT or tp == 1:
+            return self.logical_shape
+        return self.fragmenter.shard_shape(self.logical_shape, tp)
+
+    def to_dict(self) -> Dict:
+        """JSON form for checkpoint metadata."""
+        return {
+            "pattern": self.pattern,
+            "logical_shape": list(self.logical_shape),
+            "unpadded_shape": list(self.unpadded_shape),
+            "fragmenter": None if self.fragmenter is None else self.fragmenter.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ShardSpec":
+        """Inverse of :meth:`to_dict`."""
+        frag = payload.get("fragmenter")
+        return cls(
+            pattern=payload["pattern"],
+            logical_shape=tuple(payload["logical_shape"]),
+            unpadded_shape=tuple(payload["unpadded_shape"]),
+            fragmenter=None if frag is None else Fragmenter.from_dict(frag),
+        )
+
+
+def build_shard_specs(
+    cfg: ModelConfig, expert_parallel: bool = False
+) -> Dict[str, ShardSpec]:
+    """Shard specs for every parameter of a model config, keyed by name.
+
+    Args:
+        cfg: model configuration.
+        expert_parallel: shard MoE expert tensors along the expert axis
+            (whole experts per rank, DeepSpeed-MoE style) instead of
+            slicing inside each expert (Fig 5 style).
+    """
+    specs: Dict[str, ShardSpec] = {}
+    padded = padded_vocab_size(cfg.vocab_size, cfg.vocab_pad_to)
+    hidden = cfg.hidden
+    head_dim = cfg.head_dim
+    q_size = cfg.num_heads * head_dim
+    kv_size = cfg.num_kv_heads * head_dim
+    qkv_out = q_size + 2 * kv_size
+    use_bias = cfg.family in ("gpt3", "bloom")
+
+    def replicated(name: str, shape: tuple) -> None:
+        specs[name] = ShardSpec(PATTERN_REPLICATED, shape, shape)
+
+    def fragment(name: str, shape: tuple, fragmenter: Fragmenter,
+                 unpadded: Optional[tuple] = None) -> None:
+        specs[name] = ShardSpec(
+            PATTERN_FRAGMENT, shape, unpadded if unpadded else shape, fragmenter
+        )
+
+    fragment(
+        "embedding.weight",
+        (padded, hidden),
+        VocabFragment(logical_rows=cfg.vocab_size),
+        unpadded=(cfg.vocab_size, hidden),
+    )
+    if cfg.positional == "learned":
+        replicated("pos_embedding.weight", (cfg.max_seq, hidden))
+    if not cfg.tied_head:
+        fragment(
+            "lm_head",
+            (padded, hidden),
+            VocabFragment(logical_rows=cfg.vocab_size),
+            unpadded=(cfg.vocab_size, hidden),
+        )
+
+    qkv_sections = FusedSectionsFragment(dim=0, section_sizes=(q_size, kv_size, kv_size))
+    for layer in range(cfg.num_layers):
+        prefix = f"blocks.{layer}"
+        replicated(f"{prefix}.norm1.weight", (hidden,))
+        replicated(f"{prefix}.norm2.weight", (hidden,))
+        if cfg.norm == "layernorm":
+            replicated(f"{prefix}.norm1.bias", (hidden,))
+            replicated(f"{prefix}.norm2.bias", (hidden,))
+
+        fragment(f"{prefix}.attn.qkv.weight", (qkv_out, hidden), qkv_sections)
+        if use_bias:
+            fragment(f"{prefix}.attn.qkv.bias", (qkv_out,), qkv_sections)
+        fragment(f"{prefix}.attn.out.weight", (hidden, q_size), EvenFragment(dim=1))
+        if use_bias:
+            replicated(f"{prefix}.attn.out.bias", (hidden,))
+
+        inter = cfg.intermediate
+        if cfg.is_moe:
+            e = cfg.num_experts
+            replicated(f"{prefix}.ffn.router.proj.weight", (e, hidden))
+            if expert_parallel:
+                ep = ExpertParallelFragment(expert_axis=0)
+                fragment(f"{prefix}.ffn.gate_weight", (e, inter, hidden), ep)
+                fragment(f"{prefix}.ffn.up_weight", (e, inter, hidden), ep)
+                fragment(f"{prefix}.ffn.down_weight", (e, hidden, inter), ep)
+            else:
+                fragment(
+                    f"{prefix}.ffn.gate_weight",
+                    (e, inter, hidden),
+                    ExpertFragment(expert_axis=0, shard_dim=1),
+                )
+                fragment(
+                    f"{prefix}.ffn.up_weight",
+                    (e, inter, hidden),
+                    ExpertFragment(expert_axis=0, shard_dim=1),
+                )
+                fragment(
+                    f"{prefix}.ffn.down_weight",
+                    (e, hidden, inter),
+                    ExpertFragment(expert_axis=0, shard_dim=2),
+                )
+        elif cfg.activation == "swiglu":
+            fragment(f"{prefix}.ffn.gate.weight", (inter, hidden), EvenFragment(dim=0))
+            fragment(f"{prefix}.ffn.up.weight", (inter, hidden), EvenFragment(dim=0))
+            fragment(f"{prefix}.ffn.down.weight", (hidden, inter), EvenFragment(dim=1))
+        else:
+            fragment(f"{prefix}.ffn.up.weight", (inter, hidden), EvenFragment(dim=0))
+            if use_bias:
+                fragment(f"{prefix}.ffn.up.bias", (inter,), EvenFragment(dim=0))
+            fragment(f"{prefix}.ffn.down.weight", (hidden, inter), EvenFragment(dim=1))
+            if use_bias:
+                replicated(f"{prefix}.ffn.down.bias", (hidden,))
+
+    replicated("final_norm.weight", (hidden,))
+    if cfg.norm == "layernorm":
+        replicated("final_norm.bias", (hidden,))
+    return specs

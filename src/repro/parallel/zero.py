@@ -1,0 +1,219 @@
+"""ZeRO-style partitioned optimizer state.
+
+Each model-parallel rank's parameters flatten into one aligned fp32
+buffer (``fp32_partitioned_groups_flat`` in DeepSpeed) which splits into
+equal partitions across the data-parallel ranks.  Every DP rank owns the
+fp32 master weights and Adam moments of *its* partition only, updates it
+elementwise, and the updated partitions are all-gathered back into the
+model's working weights.
+
+Because Adam is elementwise, partitioned updates are bit-identical to an
+unpartitioned update — the property that lets UCP re-partition optimizer
+state across arbitrary DP widths without changing training math.
+
+ZeRO stage semantics here:
+
+* stage 0 — optimizer states replicated (checkpointed once, by dp 0);
+* stage 1 — optimizer states partitioned across DP;
+* stage 2 — same persistent state as stage 1 (stage 2 additionally
+  partitions *gradients*, which are transient and never checkpointed);
+* stage 3 — parameters themselves also partitioned: model-state
+  checkpoints hold flat parameter partitions instead of full tensors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.optim.adam import Adam, AdamParamState
+from repro.parallel.layout import ModelParallelLayout, RankShardLayout
+
+
+class ZeroPartition:
+    """One DP rank's slice of one model-parallel rank's flat state."""
+
+    def __init__(self, numel: int) -> None:
+        self.fp32 = np.zeros(numel, dtype=np.float32)
+        self.state = AdamParamState.zeros(numel)
+
+    @property
+    def numel(self) -> int:
+        """Partition length in elements."""
+        return int(self.fp32.size)
+
+    def clone(self) -> "ZeroPartition":
+        """Deep copy (used by save paths and tests)."""
+        out = ZeroPartition(self.numel)
+        out.fp32[...] = self.fp32
+        out.state = self.state.clone()
+        return out
+
+
+MpCoord = Tuple[int, int, int]
+"""(pp_stage, sp_rank, tp_rank)."""
+
+
+class ZeroOptimizer:
+    """Partitioned Adam over every model-parallel rank's flat buffer."""
+
+    def __init__(self, layout: ModelParallelLayout, adam: Optional[Adam] = None) -> None:
+        self.layout = layout
+        self.adam = adam if adam is not None else Adam()
+        self.partitions: Dict[MpCoord, List[ZeroPartition]] = {}
+        dp = layout.parallel_cfg.dp
+        for coord in layout.mp_coords():
+            rank_layout = layout.rank_layout(*coord)
+            self.partitions[coord] = [
+                ZeroPartition(rank_layout.partition_numel) for _ in range(dp)
+            ]
+
+    @property
+    def global_step(self) -> int:
+        """Optimizer step count (identical across all partitions)."""
+        first = next(iter(self.partitions.values()))
+        return first[0].state.step
+
+    def _shard_full_tensor(
+        self, name: str, full: np.ndarray, tp_rank: int
+    ) -> np.ndarray:
+        """The TP shard of a consolidated tensor for one tp rank."""
+        spec = self.layout.spec(name)
+        tp = self.layout.parallel_cfg.tp
+        if spec.fragmenter is None or tp == 1:
+            return np.asarray(full, dtype=np.float32)
+        return np.asarray(
+            spec.fragmenter.shard(full, tp, tp_rank), dtype=np.float32
+        )
+
+    def _flatten_for_rank(
+        self, rank_layout: RankShardLayout, full_tensors: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Build one rank's flat buffer from consolidated tensors."""
+        flat = np.zeros(rank_layout.flat_numel, dtype=np.float32)
+        for entry in rank_layout.entries:
+            shard = self._shard_full_tensor(
+                entry.name, full_tensors[entry.name], rank_layout.tp_rank
+            )
+            if shard.shape != entry.shard_shape:
+                raise ValueError(
+                    f"shard of {entry.name!r} has shape {shard.shape}, "
+                    f"layout expects {entry.shard_shape}"
+                )
+            flat[entry.offset : entry.end] = shard.reshape(-1)
+        return flat
+
+    def initialize_from(self, full_tensors: Dict[str, np.ndarray]) -> None:
+        """Seed fp32 master partitions from consolidated model tensors."""
+        dp = self.layout.parallel_cfg.dp
+        for coord in self.layout.mp_coords():
+            rank_layout = self.layout.rank_layout(*coord)
+            flat = self._flatten_for_rank(rank_layout, full_tensors)
+            size = rank_layout.partition_numel
+            for d in range(dp):
+                self.partitions[coord][d].fp32[...] = flat[d * size : (d + 1) * size]
+
+    @staticmethod
+    def _partition_array(partition: ZeroPartition, kind: str) -> np.ndarray:
+        if kind == "fp32":
+            return partition.fp32
+        if kind == "exp_avg":
+            return partition.state.exp_avg
+        if kind == "exp_avg_sq":
+            return partition.state.exp_avg_sq
+        raise KeyError(
+            f"unknown state kind {kind!r}; expected fp32/exp_avg/exp_avg_sq"
+        )
+
+    def full_flat(self, coord: MpCoord, kind: str = "fp32") -> np.ndarray:
+        """Join one rank's partitions of one state kind into a flat buffer."""
+        return np.concatenate(
+            [self._partition_array(p, kind) for p in self.partitions[coord]]
+        )
+
+    def shard_tensors(self, coord: MpCoord, kind: str = "fp32") -> Dict[str, np.ndarray]:
+        """One rank's shards of one state kind, unflattened to shard shapes."""
+        rank_layout = self.layout.rank_layout(*coord)
+        flat = self.full_flat(coord, kind)
+        return {
+            e.name: flat[e.offset : e.end].reshape(e.shard_shape).copy()
+            for e in rank_layout.entries
+        }
+
+    def apply_grads(
+        self,
+        full_grads: Dict[str, np.ndarray],
+        lr: float,
+    ) -> None:
+        """One optimizer step from consolidated (averaged) gradients.
+
+        Each model-parallel rank shards the gradients exactly as its
+        parameters are sharded, and each DP rank updates its partition.
+        """
+        dp = self.layout.parallel_cfg.dp
+        for coord in self.layout.mp_coords():
+            rank_layout = self.layout.rank_layout(*coord)
+            grad_flat = self._flatten_for_rank(rank_layout, full_grads)
+            size = rank_layout.partition_numel
+            for d in range(dp):
+                part = self.partitions[coord][d]
+                self.adam.step(
+                    part.fp32,
+                    grad_flat[d * size : (d + 1) * size],
+                    part.state,
+                    lr=lr,
+                )
+
+    def consolidated_tensors(self, kind: str = "fp32") -> Dict[str, np.ndarray]:
+        """Reassemble every parameter's state to its consolidated tensor.
+
+        TP shards join via each parameter's fragmenter; parameters
+        replicated across TP/PP/SP take the first owner's copy (owners
+        are identical by construction — verified by tests).
+
+        Args:
+            kind: "fp32", "exp_avg", or "exp_avg_sq".
+        """
+        cfg = self.layout.parallel_cfg
+        shard_cache: Dict[MpCoord, Dict[str, np.ndarray]] = {
+            coord: self.shard_tensors(coord, kind)
+            for coord in self.layout.mp_coords()
+        }
+        out: Dict[str, np.ndarray] = {}
+        for name, spec in self.layout.shard_specs.items():
+            stages = self.layout.stage_plan.stages_of(name)
+            pp_stage = stages[0]
+            if spec.fragmenter is not None and cfg.tp > 1:
+                shards = [
+                    shard_cache[(pp_stage, 0, tp)][name] for tp in range(cfg.tp)
+                ]
+                out[name] = spec.fragmenter.join(shards)
+            else:
+                out[name] = shard_cache[(pp_stage, 0, 0)][name]
+        return out
+
+    def verify_replica_consistency(self, atol: float = 0.0) -> None:
+        """Assert that every replicated copy of every state is identical.
+
+        Replicas exist across SP ranks, across TP ranks for replicated
+        patterns, and across PP stages for tied embeddings.  Training
+        math keeps them bit-equal; a divergence indicates a bug.
+        """
+        for kind in ("fp32", "exp_avg", "exp_avg_sq"):
+            reference: Dict[str, np.ndarray] = {}
+            for coord in self.layout.mp_coords():
+                shards = self.shard_tensors(coord, kind)
+                for name, value in shards.items():
+                    spec = self.layout.spec(name)
+                    key = name
+                    if spec.fragmenter is not None and self.layout.parallel_cfg.tp > 1:
+                        key = f"{name}@tp{coord[2]}"
+                    if key in reference:
+                        if not np.allclose(reference[key], value, atol=atol, rtol=0):
+                            raise AssertionError(
+                                f"replicated state {name!r} ({kind}) diverged "
+                                f"at mp coord {coord}"
+                            )
+                    else:
+                        reference[key] = value

@@ -1,0 +1,21 @@
+"""Storage substrate: serialization, object store, NVMe cost model.
+
+Stands in for torch.save/torch.load + DeepNVMe: a compact binary tensor
+container (``.npt``), a directory-backed object store with byte
+accounting, and a calibrated NVMe timing model so benchmarks can report
+simulated I/O time alongside wall-clock time.
+"""
+
+from repro.storage.serializer import deserialize, serialize, read_npt, write_npt
+from repro.storage.store import ObjectStore
+from repro.storage.nvme import NVMeModel, DEFAULT_NVME
+
+__all__ = [
+    "serialize",
+    "deserialize",
+    "read_npt",
+    "write_npt",
+    "ObjectStore",
+    "NVMeModel",
+    "DEFAULT_NVME",
+]

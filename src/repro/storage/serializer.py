@@ -1,0 +1,176 @@
+"""``.npt``: a self-describing binary container for checkpoint objects.
+
+Layout::
+
+    MAGIC "NPT\\x01" | header_len: u64 LE | header JSON (utf-8) |
+    zero padding to 64-byte boundary | tensor payloads (64-byte aligned)
+
+The header is a JSON tree mirroring the saved object; numpy arrays are
+replaced by ``{"__tensor__": i}`` markers indexing a ``tensors`` table
+of (dtype, shape, offset, nbytes).  Supported leaves: ndarray, int,
+float, str, bool, None; containers: dict (str keys) and list.
+
+This replaces ``torch.save`` — same role (one object file per rank /
+per atom), but with an explicit, versioned format instead of pickle.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zlib
+from typing import Any, BinaryIO, Dict, List
+
+import numpy as np
+
+MAGIC = b"NPT\x01"
+_ALIGN = 64
+
+
+class SerializationError(ValueError):
+    """Raised for malformed input objects or corrupt files."""
+
+
+class ChecksumError(SerializationError):
+    """A tensor payload failed its CRC32 integrity check."""
+
+
+def _align(offset: int) -> int:
+    return ((offset + _ALIGN - 1) // _ALIGN) * _ALIGN
+
+
+def _encode(obj: Any, tensors: List[np.ndarray]) -> Any:
+    if isinstance(obj, np.ndarray):
+        index = len(tensors)
+        tensors.append(np.ascontiguousarray(obj))
+        return {"__tensor__": index}
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            if key == "__tensor__":
+                raise SerializationError("'__tensor__' is a reserved key")
+            out[key] = _encode(value, tensors)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v, tensors) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (str, bool, int, float)) or obj is None:
+        return obj
+    raise SerializationError(f"unsupported type {type(obj).__name__}")
+
+
+def _decode(node: Any, tensors: List[np.ndarray]) -> Any:
+    if isinstance(node, dict):
+        if set(node) == {"__tensor__"}:
+            return tensors[node["__tensor__"]]
+        return {key: _decode(value, tensors) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_decode(v, tensors) for v in node]
+    return node
+
+
+def serialize(obj: Any) -> bytes:
+    """Encode an object tree to ``.npt`` bytes."""
+    buffer = io.BytesIO()
+    write_npt(buffer, obj)
+    return buffer.getvalue()
+
+
+def write_npt(fh: BinaryIO, obj: Any) -> int:
+    """Write an object tree to a binary stream; returns bytes written."""
+    tensors: List[np.ndarray] = []
+    tree = _encode(obj, tensors)
+
+    table: List[Dict] = []
+    payload_start = 0  # relative to payload section; fixed up below
+    offset = 0
+    for tensor in tensors:
+        offset = _align(offset)
+        table.append(
+            {
+                "dtype": tensor.dtype.str,
+                "shape": list(tensor.shape),
+                "offset": offset,
+                "nbytes": int(tensor.nbytes),
+                "crc32": zlib.crc32(tensor.tobytes()) & 0xFFFFFFFF,
+            }
+        )
+        offset += tensor.nbytes
+
+    header = json.dumps({"tree": tree, "tensors": table}).encode("utf-8")
+    header_block = len(MAGIC) + 8 + len(header)
+    payload_start = _align(header_block)
+
+    written = 0
+    written += fh.write(MAGIC)
+    written += fh.write(len(header).to_bytes(8, "little"))
+    written += fh.write(header)
+    written += fh.write(b"\x00" * (payload_start - header_block))
+    cursor = 0
+    for tensor, entry in zip(tensors, table):
+        pad = entry["offset"] - cursor
+        if pad:
+            written += fh.write(b"\x00" * pad)
+            cursor += pad
+        written += fh.write(tensor.tobytes())
+        cursor += tensor.nbytes
+    return written
+
+
+def _read_exact(fh: BinaryIO, count: int, what: str) -> bytes:
+    data = fh.read(count)
+    if len(data) != count:
+        raise SerializationError(f"truncated file while reading {what}")
+    return data
+
+
+def read_npt(fh: BinaryIO, verify_checksums: bool = True) -> Any:
+    """Read an object tree from a binary stream.
+
+    Args:
+        fh: binary stream positioned at the file start.
+        verify_checksums: validate each tensor payload's CRC32 (on by
+            default — silent bit-rot in optimizer state is far worse
+            than the verification cost).
+    """
+    magic = _read_exact(fh, len(MAGIC), "magic")
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}; not an .npt file")
+    header_len = int.from_bytes(_read_exact(fh, 8, "header length"), "little")
+    header = json.loads(_read_exact(fh, header_len, "header").decode("utf-8"))
+    header_block = len(MAGIC) + 8 + header_len
+    _read_exact(fh, _align(header_block) - header_block, "header padding")
+
+    tensors: List[np.ndarray] = []
+    cursor = 0
+    for index, entry in enumerate(header["tensors"]):
+        pad = entry["offset"] - cursor
+        if pad:
+            _read_exact(fh, pad, "tensor padding")
+            cursor += pad
+        raw = _read_exact(fh, entry["nbytes"], "tensor payload")
+        cursor += entry["nbytes"]
+        expected_crc = entry.get("crc32")
+        if verify_checksums and expected_crc is not None:
+            actual = zlib.crc32(raw) & 0xFFFFFFFF
+            if actual != expected_crc:
+                raise ChecksumError(
+                    f"tensor {index} failed CRC32: stored "
+                    f"{expected_crc:#010x}, computed {actual:#010x} "
+                    f"(corrupt or tampered payload)"
+                )
+        arr = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
+        tensors.append(arr.reshape(entry["shape"]).copy())
+    return _decode(header["tree"], tensors)
+
+
+def deserialize(data: bytes) -> Any:
+    """Decode ``.npt`` bytes back to the object tree."""
+    return read_npt(io.BytesIO(data))

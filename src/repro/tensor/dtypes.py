@@ -1,0 +1,102 @@
+"""Floating-point dtype emulation.
+
+Mixed-precision training (MPT) keeps fp32 master weights in the optimizer
+and fp16 or bf16 working copies in the model.  UCP's atom checkpoints always
+store the fp32 master values so training can resume under either half
+precision (paper §3.1).  numpy has no native bfloat16, so ``BF16`` is
+emulated by truncating fp32 mantissas to 8 bits (round-to-nearest-even),
+which matches hardware bf16 conversion semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class DType:
+    """A training dtype.
+
+    Attributes:
+        name: canonical name ("fp32", "fp16", "bf16").
+        np_dtype: numpy dtype used for *storage* of values in this dtype.
+            bf16 values are stored in float32 arrays whose mantissas have
+            been truncated, because numpy cannot represent bf16 natively.
+        nbytes: bytes per element on real hardware (used by the storage
+            cost model, not by numpy storage).
+    """
+
+    name: str
+    np_dtype: np.dtype
+    nbytes: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType({self.name})"
+
+
+FP32 = DType("fp32", np.dtype(np.float32), 4)
+FP16 = DType("fp16", np.dtype(np.float16), 2)
+BF16 = DType("bf16", np.dtype(np.float32), 2)
+
+_BY_NAME = {d.name: d for d in (FP32, FP16, BF16)}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look up a :class:`DType` by canonical name.
+
+    Raises:
+        KeyError: if ``name`` is not one of fp32/fp16/bf16.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None
+
+
+def itemsize(dtype: DType) -> int:
+    """Bytes per element for the storage cost model."""
+    return dtype.nbytes
+
+
+def bf16_round(values: np.ndarray) -> np.ndarray:
+    """Round float32 values to bfloat16 precision (kept in a float32 array).
+
+    Uses round-to-nearest-even on the low 16 mantissa bits, the same rule
+    hardware bf16 converters apply.
+    """
+    f32 = np.ascontiguousarray(values, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    # round-to-nearest-even: add 0x7FFF + LSB of the surviving mantissa bit
+    rounding_bias = 0x7FFF + ((bits >> 16) & 1)
+    rounded = (bits + rounding_bias) & np.uint32(0xFFFF0000)
+    return rounded.view(np.float32).reshape(values.shape)
+
+
+def fp16_round(values: np.ndarray) -> np.ndarray:
+    """Round values through IEEE fp16 and back to a float16 array.
+
+    Values beyond fp16 range saturate to inf — the overflow behaviour
+    real fp16 training exhibits (and why loss scaling exists), so the
+    numpy overflow warning is intentional and suppressed.
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(values, dtype=np.float16)
+
+
+def cast(values: np.ndarray, dtype: DType) -> np.ndarray:
+    """Cast an array to the emulated ``dtype``.
+
+    fp32 -> plain float32; fp16 -> float16; bf16 -> mantissa-truncated
+    float32 (numpy storage), matching the numeric behaviour of bf16.
+    """
+    if dtype is FP32 or dtype.name == "fp32":
+        return np.asarray(values, dtype=np.float32)
+    if dtype is FP16 or dtype.name == "fp16":
+        return fp16_round(values)
+    if dtype is BF16 or dtype.name == "bf16":
+        return bf16_round(values)
+    raise KeyError(f"unknown dtype {dtype!r}")

@@ -1,0 +1,202 @@
+"""Flat parameter buffers with alignment padding.
+
+ZeRO-style optimizers flatten a group of parameter tensors into a single
+contiguous buffer (DeepSpeed's ``fp32_partitioned_groups_flat``), padding
+the total length so it divides evenly across data-parallel ranks and so
+each rank's partition starts on a hardware-aligned boundary.  UCP's
+``StripPadding`` operation exists precisely because these paddings leak
+into distributed checkpoints; this module is the substrate that creates
+them in the first place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_ALIGNMENT = 8
+"""Default element alignment for partition boundaries (NVMe-friendly)."""
+
+
+def aligned_size(numel: int, alignment: int = DEFAULT_ALIGNMENT) -> int:
+    """Smallest multiple of ``alignment`` that is >= ``numel``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return ((numel + alignment - 1) // alignment) * alignment
+
+
+def pad_to_alignment(
+    flat: np.ndarray, alignment: int = DEFAULT_ALIGNMENT
+) -> Tuple[np.ndarray, int]:
+    """Zero-pad a 1-D array to an aligned length.
+
+    Returns:
+        (padded array, number of padding elements appended).
+    """
+    if flat.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {flat.shape}")
+    target = aligned_size(flat.size, alignment)
+    pad = target - flat.size
+    if pad == 0:
+        return flat, 0
+    return np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)]), pad
+
+
+@dataclasses.dataclass(frozen=True)
+class FlatSegment:
+    """Location of one logical tensor inside a flat buffer.
+
+    Attributes:
+        name: parameter name.
+        offset: start element offset inside the flat buffer.
+        numel: number of elements belonging to the tensor.
+        shape: logical (unflattened) shape.
+    """
+
+    name: str
+    offset: int
+    numel: int
+    shape: Tuple[int, ...]
+
+    @property
+    def end(self) -> int:
+        """One past the last element of this segment."""
+        return self.offset + self.numel
+
+
+class FlatBuffer:
+    """A contiguous buffer holding a group of named tensors plus padding.
+
+    The buffer layout is ``[tensor_0 | tensor_1 | ... | tensor_n | pad]``
+    where ``pad`` brings the total length to a multiple of
+    ``alignment * num_partitions`` so the buffer splits into equal-size,
+    aligned per-rank partitions.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        segments: Sequence[FlatSegment],
+        padding: int,
+        alignment: int = DEFAULT_ALIGNMENT,
+    ) -> None:
+        if data.ndim != 1:
+            raise ValueError("FlatBuffer data must be 1-D")
+        self.data = data
+        self.segments: List[FlatSegment] = list(segments)
+        self.padding = padding
+        self.alignment = alignment
+        self._by_name: Dict[str, FlatSegment] = {s.name: s for s in self.segments}
+        if len(self._by_name) != len(self.segments):
+            raise ValueError("duplicate tensor names in flat buffer")
+
+    @property
+    def numel(self) -> int:
+        """Total buffer length including padding."""
+        return int(self.data.size)
+
+    @property
+    def payload_numel(self) -> int:
+        """Buffer length excluding trailing padding."""
+        return self.numel - self.padding
+
+    def segment(self, name: str) -> FlatSegment:
+        """Segment metadata for a named tensor."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"tensor {name!r} not in flat buffer "
+                f"(have {sorted(self._by_name)})"
+            ) from None
+
+    def view(self, name: str) -> np.ndarray:
+        """A writable, reshaped view of one tensor inside the buffer."""
+        seg = self.segment(name)
+        return self.data[seg.offset : seg.end].reshape(seg.shape)
+
+    def read(self, name: str) -> np.ndarray:
+        """A copy of one tensor, reshaped to its logical shape."""
+        return self.view(name).copy()
+
+    def write(self, name: str, values: np.ndarray) -> None:
+        """Overwrite one tensor's slot in the buffer."""
+        seg = self.segment(name)
+        values = np.asarray(values, dtype=self.data.dtype)
+        if values.shape != seg.shape:
+            raise ValueError(
+                f"shape mismatch writing {name!r}: buffer has {seg.shape}, "
+                f"got {values.shape}"
+            )
+        self.data[seg.offset : seg.end] = values.reshape(-1)
+
+    def partitions(self, num_partitions: int) -> List[np.ndarray]:
+        """Split the buffer into equal-size per-rank partition views.
+
+        Raises:
+            ValueError: if the buffer length does not divide evenly; call
+                sites should have constructed the buffer with
+                ``flatten_tensors(..., num_partitions=...)``.
+        """
+        if self.numel % num_partitions != 0:
+            raise ValueError(
+                f"buffer of {self.numel} elements does not split into "
+                f"{num_partitions} equal partitions"
+            )
+        size = self.numel // num_partitions
+        return [self.data[i * size : (i + 1) * size] for i in range(num_partitions)]
+
+    def partition_size(self, num_partitions: int) -> int:
+        """Element count of each partition (must divide evenly)."""
+        if self.numel % num_partitions != 0:
+            raise ValueError(
+                f"buffer of {self.numel} elements does not split into "
+                f"{num_partitions} equal partitions"
+            )
+        return self.numel // num_partitions
+
+
+def flatten_tensors(
+    tensors: Iterable[Tuple[str, np.ndarray]],
+    num_partitions: int = 1,
+    alignment: int = DEFAULT_ALIGNMENT,
+    dtype: np.dtype = np.float32,
+) -> FlatBuffer:
+    """Flatten named tensors into one aligned, partitionable buffer.
+
+    The total length is padded up to a multiple of
+    ``lcm-ish (alignment * num_partitions)`` so that (a) the buffer splits
+    into ``num_partitions`` equal partitions and (b) each partition length
+    is itself a multiple of ``alignment``.
+    """
+    items = list(tensors)
+    if not items:
+        raise ValueError("cannot flatten an empty tensor group")
+    if num_partitions <= 0:
+        raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+
+    segments: List[FlatSegment] = []
+    chunks: List[np.ndarray] = []
+    offset = 0
+    for name, tensor in items:
+        arr = np.asarray(tensor, dtype=dtype)
+        segments.append(
+            FlatSegment(name=name, offset=offset, numel=arr.size, shape=arr.shape)
+        )
+        chunks.append(arr.reshape(-1))
+        offset += arr.size
+
+    unit = alignment * num_partitions
+    total = ((offset + unit - 1) // unit) * unit
+    padding = total - offset
+    if padding:
+        chunks.append(np.zeros(padding, dtype=dtype))
+    data = np.concatenate(chunks) if len(chunks) > 1 else chunks[0].copy()
+    return FlatBuffer(data=data, segments=segments, padding=padding, alignment=alignment)
+
+
+def unflatten_tensors(buffer: FlatBuffer) -> Dict[str, np.ndarray]:
+    """Recover the named tensors (copies) from a flat buffer."""
+    return {seg.name: buffer.read(seg.name) for seg in buffer.segments}

@@ -1,0 +1,12 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed Generator for test inputs."""
+    return np.random.default_rng(0xC0FFEE)

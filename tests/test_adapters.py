@@ -1,0 +1,167 @@
+"""Tests for cross-framework adapters and foreign-state import."""
+
+import numpy as np
+import pytest
+
+from repro.core.adapters import (
+    ADAPTERS,
+    HF_GPT2_ADAPTER,
+    LIGHTNING_ADAPTER,
+    available_adapters,
+    import_foreign_state,
+)
+from repro.core.errors import UCPIncompatibleError
+from repro.core.loader import load_ucp_into_engine
+from repro.dist.topology import ParallelConfig
+from repro.models import build_model, get_config
+from repro.parallel.tp import build_shard_specs
+
+from tests.helpers import make_engine
+
+
+class TestLightningAdapter:
+    def test_prefix_round_trip(self):
+        canonical = "blocks.3.ffn.up.weight"
+        foreign = LIGHTNING_ADAPTER.foreign_name(canonical)
+        assert foreign == "model.blocks.3.ffn.up.weight"
+        assert LIGHTNING_ADAPTER.canonical_name(foreign) == canonical
+
+    def test_unprefixed_name_unrecognized(self):
+        assert LIGHTNING_ADAPTER.canonical_name("blocks.0.norm1.weight") is None
+
+    def test_translate_state(self, rng):
+        state = {"model.final_norm.weight": rng.standard_normal(4).astype(np.float32)}
+        out = LIGHTNING_ADAPTER.translate_state(state)
+        assert list(out) == ["final_norm.weight"]
+
+    def test_translate_unknown_key_raises(self):
+        with pytest.raises(UCPIncompatibleError, match="does not recognize"):
+            LIGHTNING_ADAPTER.translate_state({"alien.weight": np.zeros(1)})
+
+
+class TestHFAdapter:
+    @pytest.mark.parametrize(
+        "canonical,foreign",
+        [
+            ("embedding.weight", "transformer.wte.weight"),
+            ("pos_embedding.weight", "transformer.wpe.weight"),
+            ("blocks.0.attn.qkv.weight", "transformer.h.0.attn.c_attn.weight"),
+            ("blocks.7.ffn.down.bias", "transformer.h.7.mlp.c_proj.bias"),
+            ("blocks.12.norm2.weight", "transformer.h.12.ln_2.weight"),
+            ("final_norm.bias", "transformer.ln_f.bias"),
+            ("lm_head", "lm_head.weight"),
+        ],
+    )
+    def test_round_trip(self, canonical, foreign):
+        assert HF_GPT2_ADAPTER.foreign_name(canonical) == foreign
+        assert HF_GPT2_ADAPTER.canonical_name(foreign) == canonical
+
+    def test_unknown_canonical_raises(self):
+        with pytest.raises(UCPIncompatibleError, match="no HF name"):
+            HF_GPT2_ADAPTER.foreign_name("blocks.0.ffn.router.proj.weight")
+
+    def test_registry(self):
+        assert "huggingface-gpt2" in available_adapters()
+        assert ADAPTERS["pytorch-lightning"] is LIGHTNING_ADAPTER
+
+
+class TestImportForeignState:
+    def _foreign_gpt_state(self, seed=12):
+        """A GPT state dict under Lightning naming."""
+        model = build_model("gpt3-mini", seed=seed)
+        return {
+            LIGHTNING_ADAPTER.foreign_name(name): values
+            for name, values in model.state_dict().items()
+        }, model
+
+    def test_import_builds_loadable_ucp(self, tmp_path):
+        foreign, src_model = self._foreign_gpt_state()
+        ucp_dir = str(tmp_path / "ucp")
+        meta = import_foreign_state(
+            foreign, LIGHTNING_ADAPTER, get_config("gpt3-mini"), ucp_dir
+        )
+        assert meta.optimizer_step == 0
+        engine = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=0)
+        load_ucp_into_engine(engine, ucp_dir)
+        src = src_model.state_dict()
+        specs = build_shard_specs(get_config("gpt3-mini"))
+        for name, values in engine.model.state_dict().items():
+            cut = tuple(slice(0, d) for d in specs[name].unpadded_shape)
+            assert np.array_equal(values[cut], src[name][cut]), name
+
+    def test_imported_model_trains(self, tmp_path):
+        foreign, _ = self._foreign_gpt_state()
+        ucp_dir = str(tmp_path / "ucp")
+        import_foreign_state(foreign, LIGHTNING_ADAPTER, get_config("gpt3-mini"), ucp_dir)
+        engine = make_engine(parallel=ParallelConfig(dp=2))
+        load_ucp_into_engine(engine, ucp_dir)
+        results = engine.train(5)
+        assert results[-1].loss < results[0].loss + 0.1
+
+    def test_missing_parameter_raises(self, tmp_path):
+        foreign, _ = self._foreign_gpt_state()
+        del foreign["model.final_norm.weight"]
+        with pytest.raises(UCPIncompatibleError, match="lacks parameters"):
+            import_foreign_state(
+                foreign, LIGHTNING_ADAPTER, get_config("gpt3-mini"), str(tmp_path)
+            )
+
+    def test_wrong_shape_raises(self, tmp_path):
+        foreign, _ = self._foreign_gpt_state()
+        foreign["model.final_norm.weight"] = np.zeros(3, dtype=np.float32)
+        with pytest.raises(UCPIncompatibleError, match="shape"):
+            import_foreign_state(
+                foreign, LIGHTNING_ADAPTER, get_config("gpt3-mini"), str(tmp_path)
+            )
+
+    def test_accepts_padded_or_unpadded_vocab(self, tmp_path):
+        """HF checkpoints carry unpadded vocab tables; ours are padded.
+        Both import cleanly."""
+        foreign, _ = self._foreign_gpt_state()
+        cfg = get_config("gpt3-mini")
+        key = "model.embedding.weight"
+        foreign[key] = foreign[key][: cfg.vocab_size]  # strip to unpadded
+        import_foreign_state(foreign, LIGHTNING_ADAPTER, cfg, str(tmp_path / "u"))
+
+
+class TestExportWeights:
+    def _make_ucp(self, tmp_path):
+        from repro.core.convert import ucp_convert
+        engine = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+        engine.train(2)
+        ckpt, ucp = str(tmp_path / "c"), str(tmp_path / "u")
+        engine.save_checkpoint(ckpt)
+        ucp_convert(ckpt, ucp)
+        return engine, ucp
+
+    def test_canonical_export_matches_masters(self, tmp_path):
+        from repro.core.adapters import export_weights
+        engine, ucp = self._make_ucp(tmp_path)
+        weights = export_weights(ucp)
+        masters = engine.zero.consolidated_tensors("fp32")
+        for name, values in weights.items():
+            spec = engine.layout.spec(name)
+            cut = tuple(slice(0, d) for d in spec.unpadded_shape)
+            assert np.array_equal(values, masters[name][cut]), name
+
+    def test_export_under_hf_names(self, tmp_path):
+        from repro.core.adapters import export_weights
+        _, ucp = self._make_ucp(tmp_path)
+        weights = export_weights(ucp, adapter=HF_GPT2_ADAPTER)
+        assert "transformer.wte.weight" in weights
+        assert "transformer.h.0.attn.c_attn.weight" in weights
+        assert not any(k.startswith("blocks.") for k in weights)
+
+    def test_export_import_round_trip(self, tmp_path):
+        """UCP -> foreign weights -> UCP preserves every weight."""
+        from repro.core.adapters import export_weights
+        engine, ucp = self._make_ucp(tmp_path)
+        foreign = export_weights(ucp, adapter=LIGHTNING_ADAPTER)
+        reimported = str(tmp_path / "u2")
+        import_foreign_state(
+            foreign, LIGHTNING_ADAPTER, engine.model_cfg, reimported
+        )
+        a = export_weights(ucp)
+        b = export_weights(reimported)
+        for name in a:
+            assert np.array_equal(a[name], b[name]), name

@@ -1,0 +1,205 @@
+"""Gradient-checked tests for causal attention (MHA, GQA, RoPE)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.attention import CausalSelfAttention
+
+from tests.helpers import assert_grad_close, numerical_param_grad
+
+
+def make_attention(rng, hidden=8, heads=4, kv_heads=4, rope=False, bias=False):
+    head_dim = hidden // heads
+    qkv_out = (heads + 2 * kv_heads) * head_dim
+    return CausalSelfAttention(
+        hidden=hidden,
+        num_heads=heads,
+        num_kv_heads=kv_heads,
+        qkv_weight=rng.standard_normal((qkv_out, hidden)).astype(np.float32) * 0.3,
+        out_weight=rng.standard_normal((hidden, heads * head_dim)).astype(np.float32) * 0.3,
+        use_rope=rope,
+        qkv_bias=rng.standard_normal(qkv_out).astype(np.float32) * 0.1 if bias else None,
+        out_bias=rng.standard_normal(hidden).astype(np.float32) * 0.1 if bias else None,
+    )
+
+
+class TestConstruction:
+    def test_indivisible_hidden_raises(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            make_attention(rng, hidden=10, heads=4)
+
+    def test_indivisible_kv_heads_raises(self, rng):
+        with pytest.raises(ValueError, match="kv_heads"):
+            make_attention(rng, heads=4, kv_heads=3)
+
+    def test_gqa_sizes(self, rng):
+        attn = make_attention(rng, hidden=8, heads=4, kv_heads=2)
+        assert attn.q_size == 8 and attn.kv_size == 4
+        assert attn.group_size == 2
+
+
+class TestCausality:
+    def test_future_tokens_do_not_affect_past_outputs(self, rng):
+        attn = make_attention(rng)
+        x = rng.standard_normal((1, 6, 8)).astype(np.float32)
+        base = attn(x)
+        changed = x.copy()
+        changed[0, 4] += 10.0  # perturb a late token
+        out = attn(changed)
+        assert np.allclose(out[0, :4], base[0, :4], atol=1e-5)
+        assert not np.allclose(out[0, 4:], base[0, 4:], atol=1e-3)
+
+    def test_first_token_attends_only_to_itself(self, rng):
+        attn = make_attention(rng)
+        x = rng.standard_normal((1, 5, 8)).astype(np.float32)
+        out_full = attn(x)[0, 0]
+        out_single = attn(x[:, :1])[0, 0]
+        assert np.allclose(out_full, out_single, atol=1e-5)
+
+
+class TestGQAEquivalence:
+    def test_gqa_with_equal_heads_matches_mha(self, rng):
+        """num_kv_heads == num_heads must reduce to standard MHA."""
+        seed = np.random.default_rng(3)
+        x = seed.standard_normal((2, 4, 8)).astype(np.float32)
+        a = make_attention(np.random.default_rng(5), heads=4, kv_heads=4)
+        b = CausalSelfAttention(
+            hidden=8, num_heads=4, num_kv_heads=4,
+            qkv_weight=a.qkv.weight.data.copy(),
+            out_weight=a.out.weight.data.copy(),
+        )
+        assert np.allclose(a(x), b(x), atol=1e-6)
+
+    def test_gqa_kv_sharing(self, rng):
+        """With one KV head, all query heads see identical K/V."""
+        attn = make_attention(rng, hidden=8, heads=4, kv_heads=1)
+        x = rng.standard_normal((1, 3, 8)).astype(np.float32)
+        out = attn(x)
+        assert out.shape == (1, 3, 8)
+        assert np.isfinite(out).all()
+
+
+class TestGradients:
+    @pytest.mark.parametrize(
+        "heads,kv_heads,rope,bias",
+        [(4, 4, False, False), (4, 2, False, False), (4, 2, True, False),
+         (4, 4, True, False), (4, 4, False, True)],
+    )
+    def test_qkv_weight_gradient(self, rng, heads, kv_heads, rope, bias):
+        attn = make_attention(rng, heads=heads, kv_heads=kv_heads, rope=rope, bias=bias)
+        x = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        probe = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        attn(x)
+        attn.backward(probe)
+        analytic = attn.qkv.weight.grad
+        indices = [0, 13, 37, attn.qkv.weight.numel - 1]
+        numeric = numerical_param_grad(
+            lambda: float((attn(x) * probe).sum()),
+            attn.qkv.weight.data,
+            indices,
+        )
+        assert_grad_close(analytic.reshape(-1)[indices], numeric, rtol=8e-2)
+
+    def test_out_weight_gradient(self, rng):
+        attn = make_attention(rng, heads=4, kv_heads=2, rope=True)
+        x = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        probe = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        attn(x)
+        attn.backward(probe)
+        indices = [0, 17, 63]
+        numeric = numerical_param_grad(
+            lambda: float((attn(x) * probe).sum()),
+            attn.out.weight.data,
+            indices,
+        )
+        assert_grad_close(attn.out.weight.grad.reshape(-1)[indices], numeric, rtol=8e-2)
+
+    def test_input_gradient(self, rng):
+        attn = make_attention(rng, heads=4, kv_heads=2)
+        x = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        probe = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        attn(x)
+        grad_in = attn.backward(probe)
+        eps = 1e-3
+        for idx in [(0, 0, 0), (0, 2, 5), (0, 3, 7)]:
+            plus = x.copy(); plus[idx] += eps
+            minus = x.copy(); minus[idx] -= eps
+            numeric = float(((attn(plus) - attn(minus)) * probe).sum()) / (2 * eps)
+            assert np.isclose(grad_in[idx], numeric, atol=3e-2), idx
+
+    def test_backward_before_forward_raises(self, rng):
+        attn = make_attention(rng)
+        with pytest.raises(RuntimeError, match="before forward"):
+            attn.backward(np.zeros((1, 2, 8), dtype=np.float32))
+
+
+class TestALiBi:
+    def test_slopes_are_geometric(self):
+        slopes = F.alibi_slopes(8)
+        ratios = slopes[1:] / slopes[:-1]
+        assert np.allclose(ratios, ratios[0], atol=1e-6)
+        assert slopes[0] == np.float32(2.0 ** -1.0)
+
+    def test_bias_zero_on_diagonal_negative_below(self):
+        bias = F.alibi_bias(5, 4)
+        assert bias.shape == (4, 5, 5)
+        for h in range(4):
+            assert np.allclose(np.diag(bias[h]), 0.0)
+        assert (bias[:, 2, 0] < bias[:, 2, 1]).all()  # farther = more penalty
+
+    def test_alibi_and_rope_mutually_exclusive(self, rng):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            CausalSelfAttention(
+                hidden=8, num_heads=4, num_kv_heads=4,
+                qkv_weight=rng.standard_normal((24, 8)).astype(np.float32),
+                out_weight=rng.standard_normal((8, 8)).astype(np.float32),
+                use_rope=True, use_alibi=True,
+            )
+
+    def test_alibi_reweights_distant_tokens(self, rng):
+        """ALiBi changes attention everywhere except position 0 (which
+        only sees itself, where the bias is zero)."""
+        def build(alibi):
+            gen = np.random.default_rng(3)
+            return CausalSelfAttention(
+                hidden=8, num_heads=4, num_kv_heads=4,
+                qkv_weight=gen.standard_normal((24, 8)).astype(np.float32) * 0.3,
+                out_weight=gen.standard_normal((8, 8)).astype(np.float32) * 0.3,
+                use_alibi=alibi,
+            )
+
+        x = rng.standard_normal((1, 5, 8)).astype(np.float32)
+        plain = build(False)(x)
+        biased = build(True)(x)
+        assert np.allclose(plain[0, 0], biased[0, 0], atol=1e-6)
+        assert not np.allclose(plain[0, 1:], biased[0, 1:], atol=1e-5)
+
+    def test_alibi_gradients_still_correct(self, rng):
+        attn = CausalSelfAttention(
+            hidden=8, num_heads=4, num_kv_heads=4,
+            qkv_weight=rng.standard_normal((24, 8)).astype(np.float32) * 0.3,
+            out_weight=rng.standard_normal((8, 8)).astype(np.float32) * 0.3,
+            use_alibi=True,
+        )
+        x = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        probe = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        attn(x)
+        attn.backward(probe)
+        indices = [0, 50, 150]
+        numeric = numerical_param_grad(
+            lambda: float((attn(x) * probe).sum()),
+            attn.qkv.weight.data,
+            indices,
+        )
+        assert_grad_close(attn.qkv.weight.grad.reshape(-1)[indices], numeric, rtol=8e-2)
+
+    def test_bloom_mini_uses_alibi(self):
+        from repro.models import build_model, get_config
+
+        assert get_config("bloom-mini").positional == "alibi"
+        model = build_model("bloom-mini")
+        assert model.pos_embedding is None
+        assert model.blocks[0].attn.use_alibi
+        # no positional parameters in the checkpointed state
+        assert not any("pos_embedding" in n for n, _ in model.named_parameters())

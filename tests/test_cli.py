@@ -1,0 +1,116 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.dist.topology import ParallelConfig
+from repro.storage.store import ObjectStore
+
+from tests.helpers import make_engine
+
+
+@pytest.fixture
+def checkpoint(tmp_path):
+    engine = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+    engine.train(2)
+    ckpt = str(tmp_path / "ckpt")
+    engine.save_checkpoint(ckpt)
+    return ckpt, tmp_path
+
+
+class TestModels:
+    def test_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt3-350m" in out
+        assert "mixtral-moe-42b" in out
+
+
+class TestInspect:
+    def test_distributed_checkpoint(self, checkpoint, capsys):
+        ckpt, _ = checkpoint
+        assert main(["inspect", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "distributed checkpoint" in out
+        assert "tp2.pp1.dp2" in out
+        assert "global_step2" in out
+
+    def test_ucp_directory(self, checkpoint, capsys):
+        ckpt, tmp = checkpoint
+        ucp = str(tmp / "ucp")
+        assert main(["convert", ckpt, ucp]) == 0
+        capsys.readouterr()
+        assert main(["inspect", ucp]) == 0
+        out = capsys.readouterr().out
+        assert "UCP checkpoint" in out
+        assert "atoms" in out
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope")]) == 1
+        assert "unrecognized" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_basic_conversion(self, checkpoint, capsys):
+        ckpt, tmp = checkpoint
+        assert main(["convert", ckpt, str(tmp / "ucp")]) == 0
+        out = capsys.readouterr().out
+        assert "atoms" in out
+        assert ObjectStore(str(tmp / "ucp")).exists("ucp_meta.npt")
+
+    def test_worker_flag(self, checkpoint, capsys):
+        ckpt, tmp = checkpoint
+        assert main(["convert", ckpt, str(tmp / "ucp"), "--workers", "4"]) == 0
+
+    def test_bad_tag_fails(self, checkpoint, capsys):
+        ckpt, tmp = checkpoint
+        code = main(["convert", ckpt, str(tmp / "u"), "--tag", "global_step99"])
+        assert code == 1
+
+
+class TestPlan:
+    def test_downsize_plan(self, checkpoint, capsys):
+        ckpt, _ = checkpoint
+        assert main(["plan", ckpt, "--world", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "source:  tp2.pp1.dp2" in out
+        assert "target:" in out
+        assert "convert to UCP" in out
+
+    def test_same_size_plan_keeps_topology(self, checkpoint, capsys):
+        ckpt, _ = checkpoint
+        assert main(["plan", ckpt, "--world", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "loads directly" in out
+
+    def test_impossible_plan_fails(self, checkpoint, capsys):
+        ckpt, _ = checkpoint
+        assert main(["plan", ckpt, "--world", "0"]) == 1
+
+    def test_awkward_batch_still_finds_a_plan(self, checkpoint, capsys):
+        """A prime batch size forces dp=1 but a plan always exists."""
+        ckpt, _ = checkpoint
+        assert main(["plan", ckpt, "--world", "4", "--batch", "7"]) == 0
+        assert "dp1" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_clean_checkpoint_passes(self, checkpoint, capsys):
+        ckpt, _ = checkpoint
+        assert main(["verify", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "CORRUPT" not in out
+
+    def test_corrupt_file_detected(self, checkpoint, capsys):
+        ckpt, _ = checkpoint
+        store = ObjectStore(ckpt)
+        rel = store.list()[1]
+        path = store.base / rel
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert main(["verify", ckpt]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path)]) == 1

@@ -1,0 +1,51 @@
+"""Documentation contract: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module_name:
+            continue  # re-exported; documented at the definition site
+        if not (item.__doc__ and item.__doc__.strip()):
+            missing.append(name)
+        if inspect.isclass(item):
+            for attr_name, attr in vars(item).items():
+                if attr_name.startswith("_") or not inspect.isfunction(attr):
+                    continue
+                if attr.__doc__ and attr.__doc__.strip():
+                    continue
+                # overrides inherit the base method's documentation
+                inherited = any(
+                    getattr(base, attr_name, None) is not None
+                    and getattr(base, attr_name).__doc__
+                    for base in item.__mro__[1:]
+                )
+                if not inherited:
+                    missing.append(f"{name}.{attr_name}")
+    assert not missing, f"{module_name}: undocumented public items {missing}"

@@ -1,0 +1,94 @@
+"""Tests for repro.tensor.dtypes: fp16/bf16 emulation."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dtypes import BF16, FP16, FP32, bf16_round, cast, dtype_from_name, itemsize
+
+
+class TestDTypeLookup:
+    def test_lookup_by_name(self):
+        assert dtype_from_name("fp32") is FP32
+        assert dtype_from_name("fp16") is FP16
+        assert dtype_from_name("bf16") is BF16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dtype"):
+            dtype_from_name("fp8")
+
+    def test_itemsize_reflects_hardware_width(self):
+        assert itemsize(FP32) == 4
+        assert itemsize(FP16) == 2
+        assert itemsize(BF16) == 2
+
+    def test_bf16_storage_is_float32(self):
+        # numpy has no bf16; values are stored in truncated float32
+        assert BF16.np_dtype == np.float32
+
+
+class TestBF16Rounding:
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        once = bf16_round(x)
+        assert np.array_equal(bf16_round(once), once)
+
+    def test_mantissa_truncated_to_8_bits(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        bits = bf16_round(x).view(np.uint32)
+        assert (bits & 0xFFFF).max() == 0
+
+    def test_exactly_representable_values_unchanged(self):
+        x = np.array([0.0, 1.0, -1.0, 0.5, 2.0, 256.0], dtype=np.float32)
+        assert np.array_equal(bf16_round(x), x)
+
+    def test_relative_error_bounded(self, rng):
+        x = rng.standard_normal(10000).astype(np.float32) * 100
+        rounded = bf16_round(x)
+        rel = np.abs(rounded - x) / np.abs(x)
+        # bf16 has 8 mantissa bits: rel error <= 2^-8
+        assert rel.max() <= 2.0**-8
+
+    def test_round_to_nearest_even(self):
+        # value exactly between two bf16 values rounds to even mantissa
+        lower = np.float32(1.0)
+        upper = np.frombuffer(
+            np.uint32(0x3F810000).tobytes(), dtype=np.float32
+        )[0]
+        halfway = np.frombuffer(
+            np.uint32(0x3F808000).tobytes(), dtype=np.float32
+        )[0]
+        rounded = bf16_round(np.array([halfway], dtype=np.float32))[0]
+        assert rounded in (lower, upper)
+        assert rounded == lower  # even mantissa (0x00) wins over odd (0x01)
+
+    def test_preserves_shape(self, rng):
+        x = rng.standard_normal((3, 4, 5)).astype(np.float32)
+        assert bf16_round(x).shape == (3, 4, 5)
+
+
+class TestCast:
+    def test_fp32_cast_is_exact(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        assert np.array_equal(cast(x, FP32), x)
+
+    def test_fp16_cast_returns_float16(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        out = cast(x, FP16)
+        assert out.dtype == np.float16
+
+    def test_bf16_cast_truncates(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        out = cast(x, BF16)
+        assert out.dtype == np.float32
+        assert np.array_equal(out, bf16_round(x))
+
+    def test_fp16_loses_more_precision_than_bf16_on_large_values(self):
+        # fp16 overflows at 65520; bf16 matches fp32 range
+        x = np.array([1e30], dtype=np.float32)
+        assert np.isinf(cast(x, FP16).astype(np.float32))[0]
+        assert np.isfinite(cast(x, BF16))[0]
+
+    def test_bf16_coarser_than_fp16_near_one(self):
+        x = np.array([1.0 + 2.0**-9], dtype=np.float32)
+        assert cast(x, FP16).astype(np.float32)[0] != 1.0  # fp16 keeps it
+        assert cast(x, BF16)[0] == 1.0  # bf16 rounds it away

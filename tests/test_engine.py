@@ -1,0 +1,229 @@
+"""Tests for the 3D-parallel training engine."""
+
+import numpy as np
+import pytest
+
+from repro.dist.cluster import RankFailure
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+from repro.optim.lr_schedule import CosineLRSchedule
+from repro.optim.mixed_precision import MixedPrecisionPolicy
+from repro.parallel.engine import TrainingEngine
+from repro.tensor.dtypes import BF16, FP16
+
+from tests.helpers import make_engine
+
+
+class TestBasics:
+    def test_loss_decreases_over_training(self):
+        engine = make_engine()
+        results = engine.train(15)
+        first = np.mean([r.loss for r in results[:3]])
+        last = np.mean([r.loss for r in results[-3:]])
+        assert last < first
+
+    def test_iteration_advances(self):
+        engine = make_engine()
+        engine.train(3)
+        assert engine.iteration == 3
+        assert len(engine.loss_history) == 3
+
+    def test_grad_norm_respects_clip(self):
+        engine = make_engine(grad_clip=0.01)
+        result = engine.train_step()
+        assert result.grad_norm >= 0  # pre-clip norm is reported
+
+    def test_lr_follows_schedule(self):
+        sched = CosineLRSchedule(max_lr=1e-3, min_lr=1e-5, warmup_steps=2, total_steps=10)
+        engine = make_engine(lr_schedule=sched)
+        results = engine.train(4)
+        for r in results:
+            assert np.isclose(r.lr, sched.lr_at(r.step))
+
+    def test_batch_must_divide_across_dp(self):
+        with pytest.raises(ValueError, match="divide"):
+            make_engine(parallel=ParallelConfig(dp=3), global_batch_size=4)
+
+    def test_negative_steps_raise(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            make_engine().train(-1)
+
+
+class TestTopologyEquivalence:
+    @pytest.mark.parametrize(
+        "parallel",
+        [
+            ParallelConfig(dp=2),
+            ParallelConfig(dp=4),
+            ParallelConfig(tp=2),
+            ParallelConfig(pp=2),
+            ParallelConfig(tp=2, pp=2, dp=2),
+            ParallelConfig(sp=2),
+            ParallelConfig(dp=2, zero_stage=0),
+            ParallelConfig(dp=2, zero_stage=2),
+            ParallelConfig(dp=2, zero_stage=3),
+        ],
+    )
+    def test_losses_match_single_rank_run(self, parallel):
+        """The simulation's core guarantee: the parallel strategy changes
+        state layout, not training math (within fp32 accumulation noise)."""
+        base = make_engine(parallel=ParallelConfig())
+        other = make_engine(parallel=parallel)
+        base_losses = [r.loss for r in base.train(5)]
+        other_losses = [r.loss for r in other.train(5)]
+        assert np.allclose(base_losses, other_losses, atol=2e-2)
+
+    def test_replicas_stay_consistent(self):
+        engine = make_engine(parallel=ParallelConfig(tp=2, pp=2, dp=2))
+        engine.train(3)
+        engine.zero.verify_replica_consistency()
+
+
+class TestMixedPrecision:
+    def test_bf16_training_converges(self):
+        engine = make_engine(mp_policy=MixedPrecisionPolicy(BF16))
+        results = engine.train(10)
+        assert results[-1].loss < results[0].loss
+
+    def test_bf16_weights_are_truncated(self):
+        engine = make_engine(mp_policy=MixedPrecisionPolicy(BF16))
+        engine.train(1)
+        weight = engine.model.blocks[0].attn.qkv.weight.data
+        assert (weight.view(np.uint32) & 0xFFFF).max() == 0
+
+    def test_fp32_masters_keep_full_precision(self):
+        engine = make_engine(mp_policy=MixedPrecisionPolicy(BF16))
+        engine.train(2)
+        masters = engine.zero.consolidated_tensors("fp32")
+        bits = masters["blocks.0.attn.qkv.weight"].view(np.uint32)
+        assert (bits & 0xFFFF).any()  # masters are NOT truncated
+
+    def test_fp16_engine_has_loss_scaler(self):
+        engine = make_engine(mp_policy=MixedPrecisionPolicy(FP16))
+        assert engine.loss_scaler is not None
+        engine.train(2)
+
+    def test_bf16_engine_has_no_scaler(self):
+        engine = make_engine(mp_policy=MixedPrecisionPolicy(BF16))
+        assert engine.loss_scaler is None
+
+
+class TestFailureInteraction:
+    def test_step_fails_when_rank_dead(self):
+        engine = make_engine(parallel=ParallelConfig(dp=2))
+        engine.train(2)
+        engine.cluster.fail_rank(1)
+        with pytest.raises(RankFailure):
+            engine.train_step()
+
+    def test_heal_allows_continuation(self):
+        engine = make_engine(parallel=ParallelConfig(dp=2))
+        engine.cluster.fail_rank(0)
+        engine.cluster.heal_rank(0)
+        engine.train_step()
+
+
+class TestCommAccounting:
+    def test_dp_gradients_tracked(self):
+        engine = make_engine(parallel=ParallelConfig(dp=2))
+        engine.train(2)
+        assert engine.cluster.tracker.count("all_reduce") > 0
+        assert engine.cluster.tracker.count("all_gather") > 0
+
+    def test_single_rank_has_no_traffic(self):
+        engine = make_engine(parallel=ParallelConfig())
+        engine.train(2)
+        assert engine.cluster.tracker.total_bytes == 0
+
+
+class TestDataDeterminism:
+    def test_same_seed_same_losses(self):
+        a = [r.loss for r in make_engine(seed=11).train(4)]
+        b = [r.loss for r in make_engine(seed=11).train(4)]
+        assert a == b
+
+    def test_different_data_seed_different_losses(self):
+        a = [r.loss for r in make_engine(data_seed=1).train(2)]
+        b = [r.loss for r in make_engine(data_seed=2).train(2)]
+        assert a != b
+
+    def test_evaluate_loss_does_not_train(self):
+        engine = make_engine()
+        before = engine.evaluate_loss(step=0)
+        after = engine.evaluate_loss(step=0)
+        assert before == after
+        assert engine.iteration == 0
+
+
+class TestGradAccumulation:
+    def test_micro_batches_match_full_batch_math(self):
+        """Splitting a replica batch into micro-batches must not change
+        training (beyond fp32 accumulation order)."""
+        whole = make_engine(micro_batches=1)
+        split = make_engine(micro_batches=2)
+        a = [r.loss for r in whole.train(5)]
+        b = [r.loss for r in split.train(5)]
+        assert np.allclose(a, b, atol=2e-2)
+
+    def test_micro_batches_compose_with_parallelism(self):
+        engine = make_engine(
+            parallel=ParallelConfig(tp=2, dp=2), micro_batches=2
+        )
+        results = engine.train(3)
+        assert results[-1].loss < results[0].loss + 0.1
+        engine.zero.verify_replica_consistency()
+
+    def test_indivisible_micro_batches_raise(self):
+        with pytest.raises(ValueError, match="micro_batches"):
+            make_engine(global_batch_size=4, micro_batches=3)
+
+    def test_checkpoint_resume_with_different_micro_batching(self, tmp_path):
+        """Micro-batching is an execution detail, not checkpoint state:
+        a resume may pick a different accumulation factor."""
+        src = make_engine(micro_batches=2)
+        src.train(3)
+        src.save_checkpoint(str(tmp_path))
+        dst = make_engine(micro_batches=4)
+        dst.load_checkpoint(str(tmp_path))
+        a = [r.loss for r in src.train(2)]
+        b = [r.loss for r in dst.train(2)]
+        assert np.allclose(a, b, atol=2e-2)
+
+
+class TestHeldOutEvaluation:
+    def test_perplexity_improves_with_training(self):
+        engine = make_engine()
+        before = engine.evaluate_perplexity(num_batches=2)
+        engine.train(20)
+        after = engine.evaluate_perplexity(num_batches=2)
+        assert after < before
+
+    def test_perplexity_is_deterministic_and_side_effect_free(self):
+        engine = make_engine()
+        engine.train(2)
+        a = engine.evaluate_perplexity()
+        b = engine.evaluate_perplexity()
+        assert a == b
+        assert engine.iteration == 2
+
+    def test_perplexity_bounded_by_vocab(self):
+        engine = make_engine()
+        assert 1.0 < engine.evaluate_perplexity(num_batches=1) <= engine.model_cfg.vocab_size * 1.5
+
+    def test_bad_num_batches_raises(self):
+        with pytest.raises(ValueError, match="num_batches"):
+            make_engine().evaluate_perplexity(num_batches=0)
+
+    def test_holdout_survives_resume(self, tmp_path):
+        """Held-out perplexity agrees before/after a UCP reshard."""
+        from repro.core.resume import resume_training
+
+        src = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+        src.train(3)
+        src.save_checkpoint(str(tmp_path))
+        dst = resume_training(str(tmp_path), ParallelConfig())
+        assert np.isclose(
+            src.evaluate_perplexity(num_batches=1),
+            dst.evaluate_perplexity(num_batches=1),
+            rtol=1e-5,
+        )

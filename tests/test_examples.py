@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable, so each one's ``main()`` runs in-process here.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load_module(name)
+    assert hasattr(module, "main"), f"{name}.py must define main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{name}.py produced almost no output"
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart" in EXAMPLES

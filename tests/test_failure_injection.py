@@ -1,0 +1,150 @@
+"""Failure injection: corrupt files, partial checkpoints, dead ranks."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import naming
+from repro.ckpt.errors import CheckpointIncompatibleError, CheckpointNotFoundError
+from repro.core.convert import ucp_convert
+from repro.core.errors import AtomMissingError, UCPFormatError
+from repro.core.loader import load_ucp_into_engine
+from repro.dist.topology import ParallelConfig
+from repro.storage.serializer import SerializationError
+from repro.storage.store import ObjectStore
+
+from tests.helpers import make_engine
+
+
+@pytest.fixture
+def checkpoint(tmp_path):
+    engine = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+    engine.train(2)
+    ckpt = str(tmp_path / "ckpt")
+    engine.save_checkpoint(ckpt)
+    return engine, ckpt, tmp_path
+
+
+class TestCorruptCheckpointFiles:
+    def test_truncated_rank_file_fails_loudly(self, checkpoint):
+        engine, ckpt, _ = checkpoint
+        store = ObjectStore(ckpt)
+        rel = f"global_step2/{naming.optim_states_name(0, 0)}"
+        path = store.base / rel
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        fresh = make_engine(parallel=ParallelConfig(tp=2, dp=2))
+        with pytest.raises(SerializationError, match="truncated"):
+            fresh.load_checkpoint(ckpt)
+
+    def test_garbage_rank_file_fails_loudly(self, checkpoint):
+        _, ckpt, _ = checkpoint
+        store = ObjectStore(ckpt)
+        rel = f"global_step2/{naming.optim_states_name(1, 1)}"
+        (store.base / rel).write_bytes(b"not a checkpoint at all")
+        fresh = make_engine(parallel=ParallelConfig(tp=2, dp=2))
+        with pytest.raises(SerializationError, match="magic"):
+            fresh.load_checkpoint(ckpt)
+
+    def test_deleted_rank_file_is_incompatible(self, checkpoint):
+        _, ckpt, _ = checkpoint
+        store = ObjectStore(ckpt)
+        store.delete(f"global_step2/{naming.optim_states_name(1, 1)}")
+        fresh = make_engine(parallel=ParallelConfig(tp=2, dp=2))
+        with pytest.raises(CheckpointIncompatibleError, match="missing rank file"):
+            fresh.load_checkpoint(ckpt)
+
+    def test_stale_latest_marker(self, checkpoint):
+        _, ckpt, _ = checkpoint
+        ObjectStore(ckpt).write_text("latest", "global_step999")
+        fresh = make_engine(parallel=ParallelConfig(tp=2, dp=2))
+        with pytest.raises(CheckpointNotFoundError, match="missing"):
+            fresh.load_checkpoint(ckpt)
+
+    def test_conversion_rejects_corrupt_source(self, checkpoint):
+        _, ckpt, tmp = checkpoint
+        store = ObjectStore(ckpt)
+        rel = f"global_step2/{naming.optim_states_name(0, 0)}"
+        payload = store.load(rel)
+        payload["partition_meta"]["segments"][0]["numel"] += 1
+        store.save(rel, payload)
+        with pytest.raises(UCPFormatError):
+            ucp_convert(ckpt, str(tmp / "ucp"))
+
+
+class TestCorruptUCPDirectories:
+    def test_missing_atom_state_file(self, checkpoint):
+        _, ckpt, tmp = checkpoint
+        ucp = str(tmp / "ucp")
+        ucp_convert(ckpt, ucp)
+        ObjectStore(ucp).delete("atoms/final_norm.weight/exp_avg.npt")
+        fresh = make_engine(parallel=ParallelConfig())
+        with pytest.raises(AtomMissingError, match="exp_avg"):
+            load_ucp_into_engine(fresh, ucp)
+
+    def test_wrong_atom_shape_detected(self, checkpoint):
+        _, ckpt, tmp = checkpoint
+        ucp = str(tmp / "ucp")
+        ucp_convert(ckpt, ucp)
+        store = ObjectStore(ucp)
+        store.save(
+            "atoms/final_norm.weight/fp32.npt",
+            {"values": np.zeros(3, dtype=np.float32)},
+        )
+        fresh = make_engine(parallel=ParallelConfig())
+        with pytest.raises(UCPFormatError, match="shape"):
+            load_ucp_into_engine(fresh, ucp)
+
+    def test_version_mismatch_detected(self, checkpoint):
+        _, ckpt, tmp = checkpoint
+        ucp = str(tmp / "ucp")
+        ucp_convert(ckpt, ucp)
+        store = ObjectStore(ucp)
+        payload = store.load("ucp_meta.npt")
+        payload["version"] = 99
+        store.save("ucp_meta.npt", payload)
+        fresh = make_engine(parallel=ParallelConfig())
+        with pytest.raises(UCPFormatError, match="version"):
+            load_ucp_into_engine(fresh, ucp)
+
+
+class TestRankFailureScenarios:
+    def test_checkpoint_then_fail_then_resume_smaller(self, tmp_path):
+        """The end-to-end failure story with the cluster simulator:
+        training dies mid-run, resumes on the survivors from the last
+        checkpoint, losing only the steps since it."""
+        from repro.core.resume import ElasticResumeManager
+
+        engine = make_engine(parallel=ParallelConfig(tp=2, pp=2, dp=2), seed=7)
+        engine.train(2)
+        ckpt = str(tmp_path / "ckpt")
+        engine.save_checkpoint(ckpt)
+        engine.train(1)  # progress past the checkpoint...
+        engine.cluster.fail_rank(5)  # ...then lose a node
+        with pytest.raises(Exception, match="failed"):
+            engine.train_step()
+
+        manager = ElasticResumeManager(ckpt, global_batch_size=4)
+        survivor = manager.resume_after_failure(
+            source=ParallelConfig(tp=2, pp=2, dp=2), healthy_ranks=7
+        )
+        # step 3's progress is lost; we restart from iteration 2
+        assert survivor.iteration == 2
+        survivor.train(2)
+        assert survivor.iteration == 4
+
+    def test_repeated_failures_shrink_further(self, tmp_path):
+        from repro.core.resume import ElasticResumeManager
+
+        engine = make_engine(parallel=ParallelConfig(tp=2, pp=2, dp=2), seed=7)
+        engine.train(1)
+        ckpt = str(tmp_path / "ckpt")
+        engine.save_checkpoint(ckpt)
+
+        manager = ElasticResumeManager(ckpt, global_batch_size=4)
+        first = manager.resume_after_failure(ParallelConfig(tp=2, pp=2, dp=2), 4)
+        first.train(1)
+        first.save_checkpoint(ckpt)
+        second = manager.resume_after_failure(first.parallel_cfg, 2)
+        assert second.parallel_cfg.world_size <= 2
+        assert second.iteration == 2
+        second.train(1)

@@ -1,0 +1,141 @@
+"""Tests for repro.tensor.flat: flat buffers and alignment padding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.flat import (
+    aligned_size,
+    flatten_tensors,
+    pad_to_alignment,
+    unflatten_tensors,
+)
+
+
+class TestAlignedSize:
+    def test_exact_multiple_unchanged(self):
+        assert aligned_size(16, 8) == 16
+
+    def test_rounds_up(self):
+        assert aligned_size(17, 8) == 24
+
+    def test_zero(self):
+        assert aligned_size(0, 8) == 0
+
+    def test_bad_alignment_raises(self):
+        with pytest.raises(ValueError, match="alignment"):
+            aligned_size(10, 0)
+
+
+class TestPadToAlignment:
+    def test_no_padding_needed(self):
+        x = np.arange(8, dtype=np.float32)
+        padded, pad = pad_to_alignment(x, 8)
+        assert pad == 0
+        assert np.array_equal(padded, x)
+
+    def test_padding_appends_zeros(self):
+        x = np.arange(5, dtype=np.float32)
+        padded, pad = pad_to_alignment(x, 8)
+        assert pad == 3
+        assert np.array_equal(padded[:5], x)
+        assert np.array_equal(padded[5:], np.zeros(3))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pad_to_alignment(np.zeros((2, 2)), 8)
+
+
+def _named(rng, shapes):
+    return [(f"p{i}", rng.standard_normal(s).astype(np.float32)) for i, s in enumerate(shapes)]
+
+
+class TestFlattenTensors:
+    def test_round_trip(self, rng):
+        tensors = _named(rng, [(3, 5), (7,), (2, 2, 2)])
+        buf = flatten_tensors(tensors)
+        recovered = unflatten_tensors(buf)
+        for name, original in tensors:
+            assert np.array_equal(recovered[name], original)
+
+    def test_partition_divisibility(self, rng):
+        tensors = _named(rng, [(3, 5), (7,)])
+        buf = flatten_tensors(tensors, num_partitions=4, alignment=8)
+        assert buf.numel % (4 * 8) == 0
+        parts = buf.partitions(4)
+        assert len(parts) == 4
+        assert all(p.size == buf.numel // 4 for p in parts)
+
+    def test_partitions_reassemble(self, rng):
+        tensors = _named(rng, [(13,), (9,)])
+        buf = flatten_tensors(tensors, num_partitions=3)
+        assert np.array_equal(np.concatenate(buf.partitions(3)), buf.data)
+
+    def test_padding_is_zero(self, rng):
+        tensors = _named(rng, [(5,)])
+        buf = flatten_tensors(tensors, num_partitions=2, alignment=8)
+        assert buf.padding > 0
+        assert np.array_equal(buf.data[-buf.padding:], np.zeros(buf.padding))
+
+    def test_view_is_writable(self, rng):
+        tensors = _named(rng, [(4, 4)])
+        buf = flatten_tensors(tensors)
+        buf.view("p0")[0, 0] = 42.0
+        assert buf.read("p0")[0, 0] == 42.0
+
+    def test_write_shape_mismatch_raises(self, rng):
+        buf = flatten_tensors(_named(rng, [(4, 4)]))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            buf.write("p0", np.zeros((2, 2), dtype=np.float32))
+
+    def test_unknown_name_raises(self, rng):
+        buf = flatten_tensors(_named(rng, [(4,)]))
+        with pytest.raises(KeyError, match="not in flat buffer"):
+            buf.read("nope")
+
+    def test_empty_group_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            flatten_tensors([])
+
+    def test_duplicate_names_raise(self, rng):
+        x = rng.standard_normal(4).astype(np.float32)
+        with pytest.raises(ValueError, match="duplicate"):
+            flatten_tensors([("a", x), ("a", x)])
+
+    def test_uneven_partition_request_raises(self, rng):
+        buf = flatten_tensors(_named(rng, [(8,)]), num_partitions=2)
+        with pytest.raises(ValueError, match="equal partitions"):
+            buf.partitions(3)
+
+    def test_segment_metadata(self, rng):
+        tensors = _named(rng, [(3, 5), (7,)])
+        buf = flatten_tensors(tensors)
+        seg0 = buf.segment("p0")
+        seg1 = buf.segment("p1")
+        assert seg0.offset == 0 and seg0.numel == 15 and seg0.shape == (3, 5)
+        assert seg1.offset == 15 and seg1.numel == 7
+
+
+@given(
+    shapes=st.lists(
+        st.tuples(st.integers(1, 6), st.integers(1, 6)), min_size=1, max_size=5
+    ),
+    partitions=st.integers(1, 4),
+    alignment=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_flatten_round_trip_property(shapes, partitions, alignment):
+    """Property: flatten -> unflatten recovers every tensor exactly, and
+    partitions always split evenly with aligned sizes."""
+    gen = np.random.default_rng(1)
+    tensors = [
+        (f"t{i}", gen.standard_normal(s).astype(np.float32))
+        for i, s in enumerate(shapes)
+    ]
+    buf = flatten_tensors(tensors, num_partitions=partitions, alignment=alignment)
+    assert buf.numel % partitions == 0
+    assert buf.partition_size(partitions) % alignment == 0
+    recovered = unflatten_tensors(buf)
+    for name, original in tensors:
+        assert np.array_equal(recovered[name], original)

@@ -1,0 +1,141 @@
+"""Tests for repro.nn.functional: activations, softmax, loss, RoPE."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+class TestGelu:
+    def test_zero(self):
+        assert F.gelu(np.zeros(3, dtype=np.float32))[0] == 0.0
+
+    def test_large_positive_is_identity(self):
+        x = np.array([10.0], dtype=np.float32)
+        assert np.isclose(F.gelu(x)[0], 10.0, atol=1e-4)
+
+    def test_large_negative_is_zero(self):
+        x = np.array([-10.0], dtype=np.float32)
+        assert np.isclose(F.gelu(x)[0], 0.0, atol=1e-4)
+
+    def test_grad_matches_finite_difference(self):
+        x = np.linspace(-3, 3, 50, dtype=np.float32)
+        eps = 1e-3
+        numeric = (F.gelu(x + eps) - F.gelu(x - eps)) / (2 * eps)
+        assert np.allclose(F.gelu_grad(x), numeric, atol=1e-3)
+
+
+class TestSilu:
+    def test_zero(self):
+        assert F.silu(np.zeros(3, dtype=np.float32))[0] == 0.0
+
+    def test_grad_matches_finite_difference(self):
+        x = np.linspace(-4, 4, 60, dtype=np.float32)
+        eps = 1e-3
+        numeric = (F.silu(x + eps) - F.silu(x - eps)) / (2 * eps)
+        assert np.allclose(F.silu_grad(x), numeric, atol=1e-3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((4, 7)).astype(np.float32)
+        assert np.allclose(F.softmax(x).sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        assert np.allclose(F.softmax(x), F.softmax(x + 100.0), atol=1e-6)
+
+    def test_handles_large_logits(self):
+        x = np.array([[1000.0, 0.0]], dtype=np.float32)
+        out = F.softmax(x)
+        assert np.isfinite(out).all()
+        assert np.isclose(out[0, 0], 1.0)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_vocab(self):
+        vocab = 16
+        logits = np.zeros((2, 3, vocab), dtype=np.float32)
+        targets = np.zeros((2, 3), dtype=np.int64)
+        assert np.isclose(F.cross_entropy(logits, targets), np.log(vocab), atol=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((1, 2, 4), -100.0, dtype=np.float32)
+        logits[0, :, 1] = 100.0
+        targets = np.ones((1, 2), dtype=np.int64)
+        assert F.cross_entropy(logits, targets) < 1e-5
+
+    def test_grad_matches_finite_difference(self, rng):
+        logits = rng.standard_normal((1, 2, 5)).astype(np.float32)
+        targets = rng.integers(0, 5, size=(1, 2))
+        analytic = F.cross_entropy_grad(logits.copy(), targets)
+        eps = 1e-3
+        for b, t, v in [(0, 0, 0), (0, 1, 3), (0, 0, 4)]:
+            plus = logits.copy(); plus[b, t, v] += eps
+            minus = logits.copy(); minus[b, t, v] -= eps
+            numeric = (
+                F.cross_entropy(plus, targets) - F.cross_entropy(minus, targets)
+            ) / (2 * eps)
+            assert np.isclose(analytic[b, t, v], numeric, atol=1e-3)
+
+    def test_grad_rows_sum_to_zero(self, rng):
+        logits = rng.standard_normal((2, 3, 7)).astype(np.float32)
+        targets = rng.integers(0, 7, size=(2, 3))
+        grad = F.cross_entropy_grad(logits, targets)
+        assert np.allclose(grad.sum(axis=-1), 0.0, atol=1e-6)
+
+
+class TestRope:
+    def test_tables_shapes(self):
+        cos, sin = F.rope_tables(seq_len=10, head_dim=8)
+        assert cos.shape == (10, 4) and sin.shape == (10, 4)
+
+    def test_odd_head_dim_raises(self):
+        with pytest.raises(ValueError, match="even"):
+            F.rope_tables(4, 5)
+
+    def test_position_zero_is_identity(self, rng):
+        x = rng.standard_normal((1, 1, 2, 8)).astype(np.float32)
+        cos, sin = F.rope_tables(1, 8)
+        assert np.allclose(F.apply_rope(x, cos, sin), x, atol=1e-6)
+
+    def test_rotation_preserves_norm(self, rng):
+        x = rng.standard_normal((2, 6, 3, 8)).astype(np.float32)
+        cos, sin = F.rope_tables(6, 8)
+        rotated = F.apply_rope(x, cos, sin)
+        assert np.allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1), atol=1e-4
+        )
+
+    def test_grad_is_inverse_rotation(self, rng):
+        x = rng.standard_normal((1, 4, 2, 8)).astype(np.float32)
+        cos, sin = F.rope_tables(4, 8)
+        # rotating then counter-rotating recovers the input
+        assert np.allclose(
+            F.apply_rope_grad(F.apply_rope(x, cos, sin), cos, sin), x, atol=1e-5
+        )
+
+    def test_relative_position_property(self, rng):
+        """RoPE's defining property: <q_m, k_n> depends only on m - n."""
+        head_dim = 8
+        q = rng.standard_normal(head_dim).astype(np.float32)
+        k = rng.standard_normal(head_dim).astype(np.float32)
+        cos, sin = F.rope_tables(10, head_dim)
+
+        def dot_at(m, n):
+            qm = F.apply_rope(q[None, None, None, :], cos[m : m + 1], sin[m : m + 1])
+            kn = F.apply_rope(k[None, None, None, :], cos[n : n + 1], sin[n : n + 1])
+            return float((qm * kn).sum())
+
+        assert np.isclose(dot_at(3, 1), dot_at(7, 5), atol=1e-4)
+        assert np.isclose(dot_at(2, 2), dot_at(9, 9), atol=1e-4)
+
+
+class TestCausalMask:
+    def test_lower_triangle_is_zero(self):
+        mask = F.causal_mask(5)
+        assert (mask[np.tril_indices(5)] == 0).all()
+
+    def test_upper_triangle_is_neg_inf(self):
+        mask = F.causal_mask(5)
+        assert np.isneginf(mask[np.triu_indices(5, k=1)]).all()

@@ -1,0 +1,208 @@
+"""Gradient-checked tests for Linear, Embedding, and the norm layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.embedding import Embedding, LearnedPositionalEmbedding, padded_vocab_size
+from repro.nn.linear import Linear
+from repro.nn.norm import LayerNorm, RMSNorm
+
+from tests.helpers import assert_grad_close, numerical_param_grad
+
+
+def _loss_fn(forward, probe):
+    """Deterministic scalar loss: sum(output * probe)."""
+    return lambda: float((forward() * probe).sum())
+
+
+class TestLinear:
+    def _make(self, rng, bias=True):
+        w = rng.standard_normal((4, 6)).astype(np.float32) * 0.5
+        b = rng.standard_normal(4).astype(np.float32) if bias else None
+        return Linear(6, 4, w, b)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = self._make(rng)
+        x = rng.standard_normal((2, 3, 6)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(x), expected, atol=1e-6)
+
+    def test_weight_shape_validated(self, rng):
+        with pytest.raises(ValueError, match="weight shape"):
+            Linear(6, 4, np.zeros((4, 5), dtype=np.float32))
+
+    def test_input_dim_validated(self, rng):
+        layer = self._make(rng)
+        with pytest.raises(ValueError, match="last dim"):
+            layer(np.zeros((2, 5), dtype=np.float32))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = self._make(rng)
+        with pytest.raises(RuntimeError, match="before forward"):
+            layer.backward(np.zeros((2, 4), dtype=np.float32))
+
+    def test_weight_gradient(self, rng):
+        layer = self._make(rng)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        probe = rng.standard_normal((2, 4)).astype(np.float32)
+        layer(x)
+        layer.backward(probe)
+        indices = [0, 7, 23]
+        numeric = numerical_param_grad(
+            _loss_fn(lambda: layer(x), probe), layer.weight.data, indices
+        )
+        assert_grad_close(layer.weight.grad.reshape(-1)[indices], numeric)
+
+    def test_bias_gradient(self, rng):
+        layer = self._make(rng)
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+        probe = rng.standard_normal((3, 4)).astype(np.float32)
+        layer(x)
+        layer.backward(probe)
+        assert np.allclose(layer.bias.grad, probe.sum(axis=0), atol=1e-5)
+
+    def test_input_gradient(self, rng):
+        layer = self._make(rng, bias=False)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        probe = rng.standard_normal((2, 4)).astype(np.float32)
+        layer(x)
+        grad_in = layer.backward(probe)
+        assert np.allclose(grad_in, probe @ layer.weight.data, atol=1e-6)
+
+
+class TestPaddedVocab:
+    def test_rounds_up(self):
+        assert padded_vocab_size(211, 16) == 224
+
+    def test_exact_multiple(self):
+        assert padded_vocab_size(224, 16) == 224
+
+    def test_disabled(self):
+        assert padded_vocab_size(211, 1) == 211
+
+
+class TestEmbedding:
+    def _make(self, rng, vocab=10, hidden=4, pad_to=16):
+        rows = padded_vocab_size(vocab, pad_to)
+        w = rng.standard_normal((rows, hidden)).astype(np.float32)
+        return Embedding(vocab, hidden, w)
+
+    def test_forward_lookup(self, rng):
+        emb = self._make(rng)
+        ids = np.array([[0, 3], [9, 1]])
+        out = emb(ids)
+        assert np.array_equal(out[0, 1], emb.weight.data[3])
+
+    def test_out_of_range_id_raises(self, rng):
+        emb = self._make(rng)
+        with pytest.raises(IndexError, match="out of range"):
+            emb(np.array([[10]]))
+
+    def test_backward_scatter_add(self, rng):
+        emb = self._make(rng)
+        ids = np.array([[2, 2, 5]])
+        emb(ids)
+        grad = np.ones((1, 3, 4), dtype=np.float32)
+        emb.backward(grad)
+        assert np.allclose(emb.weight.grad[2], 2.0)  # token 2 appears twice
+        assert np.allclose(emb.weight.grad[5], 1.0)
+        assert np.allclose(emb.weight.grad[7], 0.0)
+
+    def test_padding_rows_never_receive_gradient(self, rng):
+        emb = self._make(rng, vocab=10, pad_to=16)
+        emb(np.array([[0, 9, 5]]))
+        emb.backward(np.ones((1, 3, 4), dtype=np.float32))
+        assert np.array_equal(emb.weight.grad[10:], np.zeros((6, 4)))
+
+
+class TestPositionalEmbedding:
+    def test_forward_broadcast(self, rng):
+        w = rng.standard_normal((8, 4)).astype(np.float32)
+        pos = LearnedPositionalEmbedding(8, 4, w)
+        out = pos(batch=3, seq_len=5)
+        assert out.shape == (3, 5, 4)
+        assert np.array_equal(out[0], out[2])
+
+    def test_too_long_raises(self, rng):
+        pos = LearnedPositionalEmbedding(8, 4, rng.standard_normal((8, 4)).astype(np.float32))
+        with pytest.raises(ValueError, match="exceeds max"):
+            pos(batch=1, seq_len=9)
+
+    def test_backward_sums_over_batch(self, rng):
+        pos = LearnedPositionalEmbedding(8, 4, rng.standard_normal((8, 4)).astype(np.float32))
+        pos(batch=3, seq_len=2)
+        pos.backward(np.ones((3, 2, 4), dtype=np.float32))
+        assert np.allclose(pos.weight.grad[:2], 3.0)
+        assert np.allclose(pos.weight.grad[2:], 0.0)
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        ln = LayerNorm(16)
+        x = rng.standard_normal((4, 16)).astype(np.float32) * 3 + 5
+        out = ln(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_input_gradient(self, rng):
+        ln = LayerNorm(8)
+        ln.weight.data[...] = rng.standard_normal(8).astype(np.float32)
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        probe = rng.standard_normal((2, 8)).astype(np.float32)
+        ln(x)
+        grad_in = ln.backward(probe)
+        eps = 1e-3
+        for idx in [(0, 0), (1, 3), (0, 7)]:
+            plus = x.copy(); plus[idx] += eps
+            minus = x.copy(); minus[idx] -= eps
+            numeric = float(((ln(plus) - ln(minus)) * probe).sum()) / (2 * eps)
+            assert np.isclose(grad_in[idx], numeric, atol=2e-2), idx
+
+    def test_weight_gradient(self, rng):
+        ln = LayerNorm(8)
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        probe = rng.standard_normal((3, 8)).astype(np.float32)
+        ln(x)
+        ln.backward(probe)
+        numeric = numerical_param_grad(
+            _loss_fn(lambda: ln(x), probe), ln.weight.data, [0, 4, 7]
+        )
+        assert_grad_close(ln.weight.grad[[0, 4, 7]], numeric)
+
+
+class TestRMSNorm:
+    def test_no_bias_parameter(self):
+        rms = RMSNorm(8)
+        assert [n for n, _ in rms.named_parameters()] == ["weight"]
+
+    def test_unit_rms_output(self, rng):
+        rms = RMSNorm(16)
+        x = rng.standard_normal((4, 16)).astype(np.float32) * 7
+        out = rms(x)
+        rms_val = np.sqrt((out * out).mean(axis=-1))
+        assert np.allclose(rms_val, 1.0, atol=1e-3)
+
+    def test_input_gradient(self, rng):
+        rms = RMSNorm(8)
+        rms.weight.data[...] = rng.standard_normal(8).astype(np.float32)
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        probe = rng.standard_normal((2, 8)).astype(np.float32)
+        rms(x)
+        grad_in = rms.backward(probe)
+        eps = 1e-3
+        for idx in [(0, 0), (1, 5)]:
+            plus = x.copy(); plus[idx] += eps
+            minus = x.copy(); minus[idx] -= eps
+            numeric = float(((rms(plus) - rms(minus)) * probe).sum()) / (2 * eps)
+            assert np.isclose(grad_in[idx], numeric, atol=2e-2), idx
+
+    def test_weight_gradient(self, rng):
+        rms = RMSNorm(8)
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        probe = rng.standard_normal((3, 8)).astype(np.float32)
+        rms(x)
+        rms.backward(probe)
+        numeric = numerical_param_grad(
+            _loss_fn(lambda: rms(x), probe), rms.weight.data, [1, 6]
+        )
+        assert_grad_close(rms.weight.grad[[1, 6]], numeric)

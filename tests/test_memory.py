@@ -1,0 +1,116 @@
+"""Tests for the per-rank memory model and its planner integration."""
+
+import pytest
+
+from repro.core.errors import UCPError
+from repro.core.resume import ElasticResumeManager
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+from repro.parallel.memory import estimate_rank_memory, fits_budget
+
+
+def estimate(model="gpt3-350m", parallel=None, **kwargs):
+    return estimate_rank_memory(
+        get_config(model),
+        parallel if parallel is not None else ParallelConfig(),
+        **kwargs,
+    )
+
+
+class TestZeroStages:
+    def test_zero1_divides_optimizer_state(self):
+        base = estimate(parallel=ParallelConfig(dp=1, zero_stage=1))
+        wide = estimate(parallel=ParallelConfig(dp=8, zero_stage=1))
+        assert wide.optimizer_bytes * 8 <= base.optimizer_bytes * 1.01
+        assert wide.params_bytes == base.params_bytes  # stage 1 keeps params
+
+    def test_zero2_additionally_divides_gradients(self):
+        s1 = estimate(parallel=ParallelConfig(dp=8, zero_stage=1))
+        s2 = estimate(parallel=ParallelConfig(dp=8, zero_stage=2))
+        assert s2.grads_bytes < s1.grads_bytes
+        assert s2.optimizer_bytes == s1.optimizer_bytes
+
+    def test_zero3_additionally_divides_params(self):
+        s2 = estimate(parallel=ParallelConfig(dp=8, zero_stage=2))
+        s3 = estimate(parallel=ParallelConfig(dp=8, zero_stage=3))
+        assert s3.params_bytes < s2.params_bytes
+
+    def test_zero0_replicates_everything(self):
+        s0 = estimate(parallel=ParallelConfig(dp=8, zero_stage=0))
+        s1 = estimate(parallel=ParallelConfig(dp=8, zero_stage=1))
+        assert s0.optimizer_bytes > s1.optimizer_bytes
+
+    def test_optimizer_dominates_unpartitioned(self):
+        """The ZeRO observation: fp32 master + moments are 12 bytes per
+        parameter vs 2 for bf16 weights."""
+        est = estimate(parallel=ParallelConfig(zero_stage=0))
+        assert est.optimizer_bytes == 6 * est.params_bytes
+
+
+class TestModelParallelism:
+    def test_tp_shrinks_params_per_rank(self):
+        solo = estimate(parallel=ParallelConfig(tp=1))
+        duo = estimate(parallel=ParallelConfig(tp=2))
+        assert duo.params_bytes < solo.params_bytes
+
+    def test_pp_shrinks_params_per_rank(self):
+        solo = estimate(parallel=ParallelConfig(pp=1))
+        deep = estimate(parallel=ParallelConfig(pp=4))
+        assert deep.params_bytes < solo.params_bytes
+
+    def test_activations_bounded_by_1f1b(self):
+        few = estimate(parallel=ParallelConfig(pp=4), micro_batches=2)
+        many = estimate(parallel=ParallelConfig(pp=4), micro_batches=64)
+        # in-flight activations cap at pp, not micro_batches
+        assert many.activations_bytes <= few.activations_bytes * 2.01
+
+    def test_longer_sequences_cost_more(self):
+        short = estimate(seq_len=512)
+        long = estimate(seq_len=4096)
+        assert long.activations_bytes > short.activations_bytes
+
+
+class TestBudget:
+    def test_paper_scale_needs_parallelism(self):
+        """GPT-3 350M with unpartitioned Adam overflows a 6 GB GPU but
+        fits with ZeRO across 8 ranks."""
+        cfg = get_config("gpt3-350m")
+        assert not fits_budget(cfg, ParallelConfig(zero_stage=0), budget_gb=6.0)
+        assert fits_budget(
+            cfg, ParallelConfig(dp=8, zero_stage=2), budget_gb=6.0
+        )
+
+    def test_bad_budget_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            fits_budget(get_config("gpt3-mini"), ParallelConfig(), budget_gb=0)
+
+    def test_total_is_component_sum(self):
+        est = estimate()
+        assert est.total_bytes == (
+            est.params_bytes + est.grads_bytes
+            + est.optimizer_bytes + est.activations_bytes
+        )
+
+
+class TestPlannerIntegration:
+    def test_budget_steers_plan_to_sharded_configs(self, tmp_path):
+        manager = ElasticResumeManager(
+            str(tmp_path), global_batch_size=256,
+            memory_budget_gb=10.0, model_cfg=get_config("gpt3-350m"),
+        )
+        source = ParallelConfig(tp=1, pp=1, dp=8, zero_stage=2)
+        plan = manager.plan_resize(source, new_world=8)
+        assert manager._fits_memory(plan.target)
+        assert plan.target.dp >= 4  # replication-heavy configs rejected
+
+    def test_infeasible_budget_raises(self, tmp_path):
+        manager = ElasticResumeManager(
+            str(tmp_path), global_batch_size=8,
+            memory_budget_gb=0.001, model_cfg=get_config("gpt3-350m"),
+        )
+        with pytest.raises(UCPError, match="budget"):
+            manager.plan_resize(ParallelConfig(dp=8, zero_stage=2), new_world=8)
+
+    def test_budget_requires_model_cfg(self, tmp_path):
+        with pytest.raises(ValueError, match="model_cfg"):
+            ElasticResumeManager(str(tmp_path), 8, memory_budget_gb=10.0)

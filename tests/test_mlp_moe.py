@@ -1,0 +1,197 @@
+"""Gradient-checked tests for the MLP, SwiGLU, and MoE layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.mlp import MLP, SwiGLUMLP
+from repro.nn.moe import MoELayer, TopKRouter
+
+from tests.helpers import assert_grad_close, numerical_param_grad
+
+
+def make_mlp(rng, hidden=6, inter=10, bias=True):
+    return MLP(
+        hidden, inter,
+        up_weight=rng.standard_normal((inter, hidden)).astype(np.float32) * 0.4,
+        down_weight=rng.standard_normal((hidden, inter)).astype(np.float32) * 0.4,
+        up_bias=rng.standard_normal(inter).astype(np.float32) * 0.1 if bias else None,
+        down_bias=rng.standard_normal(hidden).astype(np.float32) * 0.1 if bias else None,
+    )
+
+
+def make_swiglu(rng, hidden=6, inter=10):
+    return SwiGLUMLP(
+        hidden, inter,
+        gate_weight=rng.standard_normal((inter, hidden)).astype(np.float32) * 0.4,
+        up_weight=rng.standard_normal((inter, hidden)).astype(np.float32) * 0.4,
+        down_weight=rng.standard_normal((hidden, inter)).astype(np.float32) * 0.4,
+    )
+
+
+def make_moe(rng, hidden=6, inter=8, experts=4, top_k=2):
+    return MoELayer(
+        hidden, inter, experts, top_k,
+        router_weight=rng.standard_normal((experts, hidden)).astype(np.float32) * 0.4,
+        gate_weight=rng.standard_normal((experts, inter, hidden)).astype(np.float32) * 0.4,
+        up_weight=rng.standard_normal((experts, inter, hidden)).astype(np.float32) * 0.4,
+        down_weight=rng.standard_normal((experts, hidden, inter)).astype(np.float32) * 0.4,
+    )
+
+
+class TestMLP:
+    def test_output_shape(self, rng):
+        mlp = make_mlp(rng)
+        x = rng.standard_normal((2, 3, 6)).astype(np.float32)
+        assert mlp(x).shape == (2, 3, 6)
+
+    def test_up_weight_gradient(self, rng):
+        mlp = make_mlp(rng)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        probe = rng.standard_normal((2, 6)).astype(np.float32)
+        mlp(x)
+        mlp.backward(probe)
+        indices = [0, 29, 59]
+        numeric = numerical_param_grad(
+            lambda: float((mlp(x) * probe).sum()), mlp.up.weight.data, indices
+        )
+        assert_grad_close(mlp.up.weight.grad.reshape(-1)[indices], numeric)
+
+    def test_input_gradient(self, rng):
+        mlp = make_mlp(rng, bias=False)
+        x = rng.standard_normal((1, 6)).astype(np.float32)
+        probe = rng.standard_normal((1, 6)).astype(np.float32)
+        mlp(x)
+        grad_in = mlp.backward(probe)
+        eps = 1e-3
+        for j in [0, 3, 5]:
+            plus = x.copy(); plus[0, j] += eps
+            minus = x.copy(); minus[0, j] -= eps
+            numeric = float(((mlp(plus) - mlp(minus)) * probe).sum()) / (2 * eps)
+            assert np.isclose(grad_in[0, j], numeric, atol=2e-2)
+
+
+class TestSwiGLU:
+    def test_gate_weight_gradient(self, rng):
+        mlp = make_swiglu(rng)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        probe = rng.standard_normal((2, 6)).astype(np.float32)
+        mlp(x)
+        mlp.backward(probe)
+        indices = [0, 17, 59]
+        numeric = numerical_param_grad(
+            lambda: float((mlp(x) * probe).sum()), mlp.gate.weight.data, indices
+        )
+        assert_grad_close(mlp.gate.weight.grad.reshape(-1)[indices], numeric)
+
+    def test_down_weight_gradient(self, rng):
+        mlp = make_swiglu(rng)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        probe = rng.standard_normal((2, 6)).astype(np.float32)
+        mlp(x)
+        mlp.backward(probe)
+        indices = [0, 31]
+        numeric = numerical_param_grad(
+            lambda: float((mlp(x) * probe).sum()), mlp.down.weight.data, indices
+        )
+        assert_grad_close(mlp.down.weight.grad.reshape(-1)[indices], numeric)
+
+
+class TestRouter:
+    def test_gates_sum_to_one(self, rng):
+        router = TopKRouter(6, 4, 2, rng.standard_normal((4, 6)).astype(np.float32))
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        _, gates, probs = router(x)
+        assert np.allclose(gates.sum(axis=-1), 1.0, atol=1e-6)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_topk_selects_highest(self, rng):
+        router = TopKRouter(6, 4, 2, rng.standard_normal((4, 6)).astype(np.float32))
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        topk, _, probs = router(x)
+        for row in range(5):
+            selected = probs[row, topk[row]]
+            unselected = np.delete(probs[row], topk[row])
+            assert selected.min() >= unselected.max() - 1e-7
+
+    def test_selection_is_deterministic(self, rng):
+        w = rng.standard_normal((4, 6)).astype(np.float32)
+        x = rng.standard_normal((7, 6)).astype(np.float32)
+        a = TopKRouter(6, 4, 2, w.copy())(x.copy())[0]
+        b = TopKRouter(6, 4, 2, w.copy())(x.copy())[0]
+        assert np.array_equal(a, b)
+
+    def test_bad_topk_raises(self, rng):
+        with pytest.raises(ValueError, match="top_k"):
+            TopKRouter(6, 4, 5, rng.standard_normal((4, 6)).astype(np.float32))
+
+
+class TestMoE:
+    def test_output_shape(self, rng):
+        moe = make_moe(rng)
+        x = rng.standard_normal((2, 3, 6)).astype(np.float32)
+        assert moe(x).shape == (2, 3, 6)
+
+    def test_weight_shapes_validated(self, rng):
+        with pytest.raises(ValueError, match="gate_weight shape"):
+            MoELayer(
+                6, 8, 4, 2,
+                router_weight=np.zeros((4, 6), dtype=np.float32),
+                gate_weight=np.zeros((4, 9, 6), dtype=np.float32),
+                up_weight=np.zeros((4, 8, 6), dtype=np.float32),
+                down_weight=np.zeros((4, 6, 8), dtype=np.float32),
+            )
+
+    def test_expert_weight_gradient(self, rng):
+        moe = make_moe(rng, experts=3, top_k=2)
+        x = rng.standard_normal((1, 4, 6)).astype(np.float32)
+        probe = rng.standard_normal((1, 4, 6)).astype(np.float32)
+        moe(x)
+        moe.backward(probe)
+        analytic = moe.up_weight.grad.reshape(-1)
+        # probe indices in experts that actually received tokens
+        nonzero = np.nonzero(analytic)[0]
+        indices = list(nonzero[:3]) if nonzero.size else [0]
+        numeric = numerical_param_grad(
+            lambda: float((moe(x) * probe).sum()), moe.up_weight.data, indices,
+            eps=2e-3,
+        )
+        assert_grad_close(analytic[indices], numeric, rtol=1e-1)
+
+    def test_router_weight_gradient(self, rng):
+        moe = make_moe(rng, experts=3, top_k=2)
+        x = rng.standard_normal((1, 4, 6)).astype(np.float32)
+        probe = rng.standard_normal((1, 4, 6)).astype(np.float32)
+        moe(x)
+        moe.backward(probe)
+        analytic = moe.router.proj.weight.grad.reshape(-1)
+        indices = [0, 7, 17]
+        numeric = numerical_param_grad(
+            lambda: float((moe(x) * probe).sum()),
+            moe.router.proj.weight.data,
+            indices,
+            eps=2e-3,
+        )
+        assert_grad_close(analytic[indices], numeric, rtol=1.5e-1, atol=1e-3)
+
+    def test_input_gradient(self, rng):
+        moe = make_moe(rng)
+        x = rng.standard_normal((1, 3, 6)).astype(np.float32)
+        probe = rng.standard_normal((1, 3, 6)).astype(np.float32)
+        moe(x)
+        grad_in = moe.backward(probe)
+        assert grad_in.shape == x.shape
+        eps = 2e-3
+        for idx in [(0, 0, 0), (0, 2, 4)]:
+            plus = x.copy(); plus[idx] += eps
+            minus = x.copy(); minus[idx] -= eps
+            numeric = float(((moe(plus) - moe(minus)) * probe).sum()) / (2 * eps)
+            assert np.isclose(grad_in[idx], numeric, atol=5e-2), idx
+
+    def test_unused_expert_gets_zero_gradient(self, rng):
+        """An expert that routes no tokens must accumulate zero grads."""
+        moe = make_moe(rng, experts=4, top_k=1)
+        x = rng.standard_normal((1, 2, 6)).astype(np.float32)  # 2 tokens, <=2 experts used
+        moe(x)
+        moe.backward(np.ones((1, 2, 6), dtype=np.float32))
+        used_rows = moe.up_weight.grad.reshape(4, -1).any(axis=1)
+        assert used_rows.sum() <= 2

@@ -1,0 +1,120 @@
+"""Tests for repro.nn.module: Parameter/Module/ModuleList plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Module, ModuleList, Parameter
+
+
+class Leaf(Module):
+    def __init__(self, size=3):
+        super().__init__()
+        self.w = Parameter(np.ones(size, dtype=np.float32))
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Leaf(2)
+        self.b = Leaf(3)
+        self.items = ModuleList([Leaf(4), Leaf(5)])
+
+
+class TestParameter:
+    def test_data_cast_to_float32(self):
+        p = Parameter(np.arange(3, dtype=np.float64))
+        assert p.data.dtype == np.float32
+
+    def test_grad_accumulates(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        p.accumulate_grad(np.ones(3, dtype=np.float32))
+        p.accumulate_grad(np.ones(3, dtype=np.float32))
+        assert np.array_equal(p.grad, np.full(3, 2.0))
+
+    def test_grad_shape_mismatch_raises(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        with pytest.raises(ValueError, match="gradient shape"):
+            p.accumulate_grad(np.ones(4, dtype=np.float32))
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        p.accumulate_grad(np.ones(2, dtype=np.float32))
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_numel(self):
+        assert Parameter(np.zeros((2, 3), dtype=np.float32)).numel == 6
+
+
+class TestModuleNaming:
+    def test_hierarchical_names(self):
+        tree = Tree()
+        names = [name for name, _ in tree.named_parameters()]
+        assert names == ["a.w", "b.w", "items.0.w", "items.1.w"]
+
+    def test_num_parameters(self):
+        assert Tree().num_parameters() == 2 + 3 + 4 + 5
+
+    def test_zero_grad_recurses(self):
+        tree = Tree()
+        for p in tree.parameters():
+            p.accumulate_grad(np.ones(p.shape, dtype=np.float32))
+        tree.zero_grad()
+        assert all(p.grad is None for p in tree.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["a.w"][...] = 7.0
+        tree.load_state_dict(state)
+        assert np.array_equal(tree.a.w.data, np.full(2, 7.0))
+
+    def test_state_dict_is_a_copy(self):
+        tree = Tree()
+        tree.state_dict()["a.w"][...] = 99.0
+        assert tree.a.w.data[0] == 1.0
+
+    def test_strict_missing_key_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        del state["b.w"]
+        with pytest.raises(KeyError, match="missing"):
+            tree.load_state_dict(state)
+
+    def test_strict_unexpected_key_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["ghost"] = np.zeros(1, dtype=np.float32)
+        with pytest.raises(KeyError, match="unexpected"):
+            tree.load_state_dict(state)
+
+    def test_non_strict_ignores_extras(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["ghost"] = np.zeros(1, dtype=np.float32)
+        tree.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["a.w"] = np.zeros(99, dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            tree.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_len_and_index(self):
+        items = ModuleList([Leaf(1), Leaf(2)])
+        assert len(items) == 2
+        assert items[1].w.numel == 2
+
+    def test_iteration_order(self):
+        items = ModuleList([Leaf(1), Leaf(2), Leaf(3)])
+        assert [m.w.numel for m in items] == [1, 2, 3]
+
+    def test_append_registers_child(self):
+        items = ModuleList()
+        items.append(Leaf(6))
+        assert [n for n, _ in items.named_parameters()] == ["0.w"]

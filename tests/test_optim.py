@@ -1,0 +1,199 @@
+"""Tests for Adam, grad clipping, LR schedules, and mixed precision."""
+
+import numpy as np
+import pytest
+
+from repro.optim.adam import Adam, AdamParamState
+from repro.optim.grad_clip import clip_grad_norm, global_grad_norm
+from repro.optim.lr_schedule import ConstantLRSchedule, CosineLRSchedule
+from repro.optim.mixed_precision import LossScaler, MixedPrecisionPolicy
+from repro.tensor.dtypes import BF16, FP16, FP32
+
+
+class TestAdam:
+    def _run_steps(self, adam, params, grads_seq, state=None):
+        state = state if state is not None else AdamParamState.zeros(params.size)
+        for grads in grads_seq:
+            adam.step(params, grads, state)
+        return params, state
+
+    def test_single_step_matches_reference(self):
+        """First step with beta-corrected moments: delta = -lr * g/(|g|+eps)."""
+        adam = Adam(lr=0.1, weight_decay=0.0)
+        params = np.zeros(3, dtype=np.float32)
+        grads = np.array([1.0, -2.0, 0.5], dtype=np.float32)
+        self._run_steps(adam, params, [grads])
+        expected = -0.1 * np.sign(grads)
+        assert np.allclose(params, expected, atol=1e-4)
+
+    def test_descends_on_quadratic(self):
+        adam = Adam(lr=0.05, weight_decay=0.0)
+        params = np.array([5.0, -3.0], dtype=np.float32)
+        state = AdamParamState.zeros(2)
+        for _ in range(300):
+            adam.step(params, 2 * params, state)
+        assert np.abs(params).max() < 0.2
+
+    def test_partitioned_update_equals_full_update(self, rng):
+        """The ZeRO-critical property: slicing commutes with the update."""
+        adam = Adam()
+        full = rng.standard_normal(64).astype(np.float32)
+        grads = [rng.standard_normal(64).astype(np.float32) for _ in range(4)]
+
+        whole = full.copy()
+        whole_state = AdamParamState.zeros(64)
+        for g in grads:
+            adam.step(whole, g, whole_state)
+
+        parts = [full[:32].copy(), full[32:].copy()]
+        states = [AdamParamState.zeros(32), AdamParamState.zeros(32)]
+        for g in grads:
+            adam.step(parts[0], g[:32], states[0])
+            adam.step(parts[1], g[32:], states[1])
+
+        assert np.array_equal(np.concatenate(parts), whole)
+        assert np.array_equal(
+            np.concatenate([s.exp_avg for s in states]), whole_state.exp_avg
+        )
+
+    def test_weight_decay_is_decoupled(self):
+        adam = Adam(lr=0.1, weight_decay=0.5)
+        params = np.array([1.0], dtype=np.float32)
+        adam.step(params, np.zeros(1, dtype=np.float32), AdamParamState.zeros(1))
+        # zero grad: only decay applies: p -= lr * wd * p
+        assert np.isclose(params[0], 1.0 - 0.1 * 0.5)
+
+    def test_shape_mismatch_raises(self):
+        adam = Adam()
+        with pytest.raises(ValueError, match="shape"):
+            adam.step(
+                np.zeros(3, dtype=np.float32),
+                np.zeros(4, dtype=np.float32),
+                AdamParamState.zeros(3),
+            )
+
+    def test_hyperparameters_round_trip(self):
+        adam = Adam(lr=1e-3, beta1=0.8, beta2=0.9, eps=1e-7, weight_decay=0.01)
+        clone = Adam.from_hyperparameters(adam.hyperparameters())
+        assert clone.hyperparameters() == adam.hyperparameters()
+
+    def test_bad_betas_raise(self):
+        with pytest.raises(ValueError, match="betas"):
+            Adam(beta1=1.0)
+
+    def test_state_clone_is_deep(self):
+        state = AdamParamState.zeros(4)
+        clone = state.clone()
+        state.exp_avg[0] = 5.0
+        assert clone.exp_avg[0] == 0.0
+
+
+class TestGradClip:
+    def test_norm_computation(self):
+        grads = [np.array([3.0], dtype=np.float32), np.array([4.0], dtype=np.float32)]
+        assert np.isclose(global_grad_norm(grads), 5.0)
+
+    def test_no_clip_below_threshold(self):
+        grads = [np.array([0.3, 0.4], dtype=np.float32)]
+        norm = clip_grad_norm(grads, 1.0)
+        assert np.isclose(norm, 0.5)
+        assert np.allclose(grads[0], [0.3, 0.4])
+
+    def test_clip_scales_to_max_norm(self):
+        grads = [np.array([3.0], dtype=np.float32), np.array([4.0], dtype=np.float32)]
+        clip_grad_norm(grads, 1.0)
+        assert np.isclose(global_grad_norm(grads), 1.0, atol=1e-4)
+
+    def test_bad_max_norm_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            clip_grad_norm([np.ones(2, dtype=np.float32)], 0.0)
+
+
+class TestLRSchedules:
+    def test_constant(self):
+        sched = ConstantLRSchedule(3e-4)
+        assert sched.lr_at(0) == sched.lr_at(10000) == 3e-4
+
+    def test_warmup_ramps_linearly(self):
+        sched = CosineLRSchedule(max_lr=1.0, min_lr=0.0, warmup_steps=10, total_steps=100)
+        assert np.isclose(sched.lr_at(4), 0.5)
+        assert np.isclose(sched.lr_at(9), 1.0)
+
+    def test_cosine_hits_floor(self):
+        sched = CosineLRSchedule(max_lr=1.0, min_lr=0.1, warmup_steps=0, total_steps=100)
+        assert np.isclose(sched.lr_at(100), 0.1)
+        assert np.isclose(sched.lr_at(10**6), 0.1)
+
+    def test_monotone_decay_after_warmup(self):
+        sched = CosineLRSchedule(max_lr=1.0, min_lr=0.0, warmup_steps=5, total_steps=50)
+        lrs = [sched.lr_at(s) for s in range(5, 50)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_negative_step_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ConstantLRSchedule(1.0).lr_at(-1)
+
+    def test_warmup_longer_than_total_raises(self):
+        with pytest.raises(ValueError, match="shorter"):
+            CosineLRSchedule(1.0, 0.0, warmup_steps=100, total_steps=100)
+
+    def test_resume_continuity(self):
+        """The resumed-schedule property: lr is a pure function of step."""
+        sched = CosineLRSchedule(max_lr=1.0, min_lr=0.0, warmup_steps=10, total_steps=200)
+        assert sched.lr_at(137) == CosineLRSchedule(1.0, 0.0, 10, 200).lr_at(137)
+
+
+class TestMixedPrecision:
+    def test_fp32_working_copy_is_identity(self, rng):
+        policy = MixedPrecisionPolicy(FP32)
+        x = rng.standard_normal(10).astype(np.float32)
+        assert np.array_equal(policy.working_copy(x), x)
+
+    def test_bf16_working_copy_truncates(self, rng):
+        policy = MixedPrecisionPolicy(BF16)
+        x = rng.standard_normal(100).astype(np.float32)
+        copy = policy.working_copy(x)
+        assert (copy.view(np.uint32) & 0xFFFF).max() == 0
+
+    def test_policy_round_trip(self):
+        policy = MixedPrecisionPolicy(FP16)
+        assert MixedPrecisionPolicy.from_dict(policy.to_dict()).compute_dtype is FP16
+
+
+class TestLossScaler:
+    def test_overflow_halves_scale(self):
+        scaler = LossScaler(init_scale=1024.0)
+        scaler.update(found_overflow=True)
+        assert scaler.scale == 512.0
+
+    def test_growth_after_interval(self):
+        scaler = LossScaler(init_scale=8.0, growth_interval=3)
+        for _ in range(3):
+            scaler.update(found_overflow=False)
+        assert scaler.scale == 16.0
+
+    def test_overflow_resets_growth_counter(self):
+        scaler = LossScaler(init_scale=8.0, growth_interval=2)
+        scaler.update(False)
+        scaler.update(True)
+        scaler.update(False)
+        assert scaler.scale == 4.0  # halved once, no growth yet
+
+    def test_scale_floor(self):
+        scaler = LossScaler(init_scale=2.0, min_scale=1.0)
+        for _ in range(5):
+            scaler.update(True)
+        assert scaler.scale == 1.0
+
+    def test_detects_inf_and_nan(self):
+        scaler = LossScaler()
+        assert scaler.check_overflow(np.array([np.inf], dtype=np.float32))
+        assert scaler.check_overflow(np.array([np.nan], dtype=np.float32))
+        assert not scaler.check_overflow(np.array([1e30], dtype=np.float32))
+
+    def test_state_round_trip(self):
+        scaler = LossScaler(init_scale=4096.0)
+        scaler.update(True)
+        other = LossScaler()
+        other.load_state_dict(scaler.state_dict())
+        assert other.scale == scaler.scale

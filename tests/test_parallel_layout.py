@@ -1,0 +1,225 @@
+"""Tests for TP shard specs, PP stage plans, and the flat layouts."""
+
+import pytest
+
+from repro.dist.topology import ParallelConfig
+from repro.models import build_model, get_config
+from repro.parallel.layout import ModelParallelLayout
+from repro.parallel.pp import build_stage_plan
+from repro.parallel.sharding import ExpertFragment, FusedSectionsFragment, VocabFragment
+from repro.parallel.tp import (
+    PATTERN_FRAGMENT,
+    PATTERN_REPLICATED,
+    ShardSpec,
+    build_shard_specs,
+)
+
+FAMILIES = ["gpt3-mini", "llama-mini", "bloom-mini", "moe-mini"]
+
+
+class TestShardSpecs:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_specs_cover_model_exactly(self, name):
+        cfg = get_config(name)
+        model = build_model(name)
+        spec_names = set(build_shard_specs(cfg))
+        model_names = {n for n, _ in model.named_parameters()}
+        assert spec_names == model_names
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_spec_shapes_match_model(self, name):
+        cfg = get_config(name)
+        model = build_model(name)
+        specs = build_shard_specs(cfg)
+        for pname, param in model.named_parameters():
+            assert specs[pname].logical_shape == param.shape, pname
+
+    def test_qkv_uses_fused_sections(self):
+        specs = build_shard_specs(get_config("llama-mini"))
+        spec = specs["blocks.0.attn.qkv.weight"]
+        assert isinstance(spec.fragmenter, FusedSectionsFragment)
+        # GQA: q section larger than k/v sections
+        q, k, v = spec.fragmenter.section_sizes
+        assert q == 2 * k and k == v
+
+    def test_moe_uses_expert_fragments(self):
+        specs = build_shard_specs(get_config("moe-mini"))
+        up = specs["blocks.0.ffn.up_weight"]
+        down = specs["blocks.0.ffn.down_weight"]
+        assert isinstance(up.fragmenter, ExpertFragment) and up.fragmenter.shard_dim == 1
+        assert isinstance(down.fragmenter, ExpertFragment) and down.fragmenter.shard_dim == 2
+
+    def test_embedding_is_vocab_padded(self):
+        cfg = get_config("gpt3-mini")
+        spec = build_shard_specs(cfg)["embedding.weight"]
+        assert isinstance(spec.fragmenter, VocabFragment)
+        assert spec.has_padding
+        assert spec.unpadded_shape[0] == cfg.vocab_size
+
+    def test_norms_are_replicated(self):
+        specs = build_shard_specs(get_config("gpt3-mini"))
+        assert specs["blocks.0.norm1.weight"].pattern == PATTERN_REPLICATED
+        assert specs["final_norm.bias"].pattern == PATTERN_REPLICATED
+
+    def test_spec_serialization_round_trip(self):
+        specs = build_shard_specs(get_config("moe-mini"))
+        for spec in specs.values():
+            assert ShardSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fragment_without_fragmenter_raises(self):
+        with pytest.raises(ValueError, match="requires a fragmenter"):
+            ShardSpec(PATTERN_FRAGMENT, (4, 4), (4, 4), None)
+
+
+class TestStagePlan:
+    def _plan(self, name, stages):
+        cfg = get_config(name)
+        names = list(build_shard_specs(cfg))
+        return cfg, build_stage_plan(cfg, names, stages)
+
+    def test_blocks_partition_contiguously(self):
+        _, plan = self._plan("gpt3-mini", 2)  # 4 layers -> (0,2),(2,4)
+        assert plan.stage_blocks == ((0, 2), (2, 4))
+        assert plan.stages_of("blocks.1.attn.qkv.weight") == (0,)
+        assert plan.stages_of("blocks.2.attn.qkv.weight") == (1,)
+
+    def test_uneven_split(self):
+        cfg = get_config("bloom-mini")  # 8 layers
+        names = list(build_shard_specs(cfg))
+        plan = build_stage_plan(cfg, names, 3)
+        sizes = [end - start for start, end in plan.stage_blocks]
+        assert sizes == [3, 3, 2]
+
+    def test_embedding_on_first_stage(self):
+        _, plan = self._plan("gpt3-mini", 2)
+        assert 0 in plan.stages_of("embedding.weight")
+
+    def test_tied_embedding_replicated_on_last_stage(self):
+        """The paper's replicated-across-PP case."""
+        _, plan = self._plan("gpt3-mini", 2)  # tied head
+        assert plan.stages_of("embedding.weight") == (0, 1)
+        assert plan.is_replicated_across_pp("embedding.weight")
+
+    def test_untied_head_on_last_stage_only(self):
+        _, plan = self._plan("llama-mini", 2)
+        assert plan.stages_of("embedding.weight") == (0,)
+        assert plan.stages_of("lm_head") == (1,)
+
+    def test_final_norm_on_last_stage(self):
+        _, plan = self._plan("gpt3-mini", 4)
+        assert plan.stages_of("final_norm.weight") == (3,)
+
+    def test_single_stage_owns_everything(self):
+        cfg, plan = self._plan("gpt3-mini", 1)
+        names = set(build_shard_specs(cfg))
+        assert set(plan.params_of_stage(0)) == names
+
+    def test_more_stages_than_layers_raises(self):
+        cfg = get_config("gpt3-mini")
+        names = list(build_shard_specs(cfg))
+        with pytest.raises(ValueError, match="cannot place"):
+            build_stage_plan(cfg, names, 5)
+
+    def test_unknown_param_raises(self):
+        cfg = get_config("gpt3-mini")
+        with pytest.raises(KeyError, match="placement rule"):
+            build_stage_plan(cfg, ["mystery.weight"], 1)
+
+
+class TestModelParallelLayout:
+    def test_flat_numel_divides_across_dp(self):
+        layout = ModelParallelLayout(get_config("gpt3-mini"), ParallelConfig(tp=2, pp=2, dp=4))
+        for coord in layout.mp_coords():
+            rank_layout = layout.rank_layout(*coord)
+            assert rank_layout.flat_numel % 4 == 0
+            assert rank_layout.partition_numel % rank_layout.alignment == 0
+
+    def test_entries_are_contiguous(self):
+        layout = ModelParallelLayout(get_config("llama-mini"), ParallelConfig(tp=2, pp=2, dp=2))
+        for coord in layout.mp_coords():
+            offset = 0
+            for entry in layout.rank_layout(*coord).entries:
+                assert entry.offset == offset
+                offset = entry.end
+
+    def test_partition_slices_cover_each_shard(self):
+        layout = ModelParallelLayout(get_config("gpt3-mini"), ParallelConfig(dp=4))
+        rank_layout = layout.rank_layout(0, 0, 0)
+        for entry in rank_layout.entries:
+            slices = rank_layout.partition_slices(entry.name)
+            covered = sum(s.shard_end - s.shard_start for s in slices)
+            assert covered == entry.numel
+            assert slices[0].shard_start == 0
+            assert slices[-1].shard_end == entry.numel
+
+    def test_slices_in_partition_are_disjoint_and_complete(self):
+        layout = ModelParallelLayout(get_config("gpt3-mini"), ParallelConfig(dp=3))
+        rank_layout = layout.rank_layout(0, 0, 0)
+        total = 0
+        for d in range(3):
+            for s in rank_layout.slices_in_partition(d):
+                total += s.local_end - s.local_start
+        assert total == rank_layout.payload_numel
+
+    def test_sp_ranks_have_identical_layouts(self):
+        layout = ModelParallelLayout(get_config("gpt3-mini"), ParallelConfig(sp=2, dp=2))
+        a = layout.rank_layout(0, 0, 0)
+        b = layout.rank_layout(0, 1, 0)
+        assert [e.name for e in a.entries] == [e.name for e in b.entries]
+        assert a.flat_numel == b.flat_numel
+
+    def test_tp_shards_shrink_fragmented_params(self):
+        cfg = get_config("gpt3-mini")
+        solo = ModelParallelLayout(cfg, ParallelConfig(tp=1))
+        duo = ModelParallelLayout(cfg, ParallelConfig(tp=2))
+        name = "blocks.0.attn.qkv.weight"
+        full = solo.rank_layout(0, 0, 0).entry(name)
+        half = duo.rank_layout(0, 0, 0).entry(name)
+        assert half.numel * 2 == full.numel
+
+    def test_owners_of_tied_embedding(self):
+        layout = ModelParallelLayout(get_config("gpt3-mini"), ParallelConfig(pp=2))
+        owners = layout.owners_of("embedding.weight")
+        assert owners == [(0, 0, 0), (1, 0, 0)]
+
+    def test_total_state_is_topology_invariant(self):
+        """Summing each parameter's shards over its TP group (counting
+        each name once) must always recover the full model size."""
+        cfg = get_config("llama-mini")  # untied head: every param unique
+
+        def reconstructed_numel(parallel):
+            layout = ModelParallelLayout(cfg, parallel)
+            seen = {}
+            for coord in layout.mp_coords():
+                if coord[1] != 0:  # one SP replica
+                    continue
+                for entry in layout.rank_layout(*coord).entries:
+                    spec = layout.spec(entry.name)
+                    if spec.fragmenter is not None:
+                        seen[entry.name] = entry.numel * parallel.tp
+                    else:
+                        seen[entry.name] = entry.numel
+            return sum(seen.values())
+
+        base = reconstructed_numel(ParallelConfig())
+        assert reconstructed_numel(ParallelConfig(tp=2, pp=2)) == base
+        assert reconstructed_numel(ParallelConfig(tp=2, pp=1, dp=2)) == base
+        assert reconstructed_numel(ParallelConfig(tp=1, pp=4, dp=1)) == base
+
+    def test_mp_rank_index_matches_topology(self):
+        from repro.dist.topology import Topology
+
+        parallel = ParallelConfig(tp=2, pp=2, dp=2)
+        layout = ModelParallelLayout(get_config("gpt3-mini"), parallel)
+        topo = Topology(parallel)
+        for rank in topo.ranks():
+            coord = topo.coord(rank)
+            assert (
+                layout.mp_rank_index(coord.pp, coord.sp, coord.tp)
+                == topo.model_parallel_rank(rank)
+            )
+
+    def test_bad_coord_raises(self):
+        layout = ModelParallelLayout(get_config("gpt3-mini"), ParallelConfig())
+        with pytest.raises(IndexError, match="not on grid"):
+            layout.rank_layout(1, 0, 0)

@@ -1,0 +1,123 @@
+"""Tests for the resilience/checkpoint-interval planner."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckpt.planner import (
+    FailureCostModel,
+    cluster_mtbf_hours,
+    plan_resilience,
+    wasted_gpu_hours_elastic,
+    wasted_gpu_hours_inmemory,
+    wasted_gpu_hours_wait_for_repair,
+    young_daly_interval_hours,
+)
+
+
+class TestMTBF:
+    def test_more_nodes_fail_more_often(self):
+        assert cluster_mtbf_hours(10_000, 1000) < cluster_mtbf_hours(10_000, 10)
+
+    def test_single_node(self):
+        assert cluster_mtbf_hours(5000, 1) == 5000
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            cluster_mtbf_hours(0, 10)
+        with pytest.raises(ValueError):
+            cluster_mtbf_hours(100, 0)
+
+
+class TestYoungDaly:
+    def test_formula(self):
+        assert young_daly_interval_hours(0.5, 100) == pytest.approx(math.sqrt(100))
+
+    def test_cheaper_checkpoints_mean_shorter_intervals(self):
+        assert young_daly_interval_hours(0.01, 100) < young_daly_interval_hours(1.0, 100)
+
+    @given(
+        cost=st.floats(1e-3, 1.0),
+        mtbf=st.floats(1.0, 1e4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_optimum_property(self, cost, mtbf):
+        """The Young/Daly point minimizes expected overhead-per-hour:
+        checkpointing cost c/T plus expected rework T/(2*MTBF)."""
+
+        def overhead(interval):
+            return cost / interval + interval / (2 * mtbf)
+
+        best = young_daly_interval_hours(cost, mtbf)
+        assert overhead(best) <= overhead(best * 1.3) + 1e-12
+        assert overhead(best) <= overhead(best * 0.7) + 1e-12
+
+
+class TestWasteModels:
+    def _model(self, **overrides):
+        defaults = dict(
+            num_gpus=1024,
+            checkpoint_interval_hours=1.0,
+            repair_hours=6.0,
+            restart_hours=0.1,
+            failed_fraction=8 / 1024,
+        )
+        defaults.update(overrides)
+        return FailureCostModel(**defaults)
+
+    def test_elastic_beats_waiting(self):
+        model = self._model()
+        assert wasted_gpu_hours_elastic(model) < wasted_gpu_hours_wait_for_repair(model)
+
+    def test_inmemory_cheapest_when_spares_exist(self):
+        model = self._model()
+        assert wasted_gpu_hours_inmemory(model) < wasted_gpu_hours_elastic(model)
+
+    def test_waiting_waste_scales_with_repair_time(self):
+        fast = wasted_gpu_hours_wait_for_repair(self._model(repair_hours=1.0))
+        slow = wasted_gpu_hours_wait_for_repair(self._model(repair_hours=24.0))
+        assert slow > fast
+
+    def test_elastic_waste_mostly_insensitive_to_repair_time(self):
+        """UCP's point: only the failed GPUs idle during repair."""
+        fast = wasted_gpu_hours_elastic(self._model(repair_hours=1.0))
+        slow = wasted_gpu_hours_elastic(self._model(repair_hours=24.0))
+        wait_slow = wasted_gpu_hours_wait_for_repair(self._model(repair_hours=24.0))
+        assert (slow - fast) < 0.05 * wait_slow
+
+    def test_bad_model_inputs(self):
+        with pytest.raises(ValueError):
+            self._model(num_gpus=0)
+        with pytest.raises(ValueError):
+            self._model(failed_fraction=0.0)
+        with pytest.raises(ValueError):
+            self._model(repair_hours=-1)
+
+
+class TestPlanResilience:
+    def test_gpt4_scale_story(self):
+        """The paper's motivating scale: ~25k GPUs, multi-month runs."""
+        plan = plan_resilience(
+            num_gpus=24576,
+            gpus_per_node=8,
+            node_mtbf_hours=50_000,
+            checkpoint_cost_hours=0.05,
+            repair_hours=6.0,
+        )
+        # failures are frequent at this scale...
+        assert plan.failures_per_30_days > 10
+        # ...and elastic continuation eliminates most of the waste
+        assert plan.elastic_savings_fraction > 0.5
+
+    def test_interval_is_young_daly(self):
+        plan = plan_resilience(1024, 8, 10_000, 0.02, 4.0)
+        mtbf = cluster_mtbf_hours(10_000, 128)
+        assert plan.interval_hours == pytest.approx(
+            young_daly_interval_hours(0.02, mtbf)
+        )
+
+    def test_indivisible_nodes_raise(self):
+        with pytest.raises(ValueError):
+            plan_resilience(10, 8, 1000, 0.1, 1.0)

@@ -1,0 +1,64 @@
+"""Tests for the paper-scale projection model."""
+
+from repro.core.projection import project_checkpoint_costs
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+from repro.storage.nvme import NVMeModel
+
+
+def project(model="gpt3-350m", parallel=None, **kwargs):
+    return project_checkpoint_costs(
+        get_config(model),
+        parallel if parallel is not None else ParallelConfig(tp=2, pp=2, dp=2),
+        **kwargs,
+    )
+
+
+class TestFootprints:
+    def test_total_state_is_12_bytes_per_param(self):
+        proj = project("llama-7b")
+        cfg = get_config("llama-7b")
+        # ~6.7B params (with padding) x 12 bytes, one SP replica
+        assert 70e9 < proj.total_state_bytes < 95e9
+
+    def test_bloom_state_matches_paper_scale(self):
+        proj = project("bloom-176b", ParallelConfig(tp=2, pp=24, dp=8))
+        assert 1.8 <= proj.total_state_tb <= 2.6
+
+    def test_file_count_matches_topology(self):
+        proj = project(parallel=ParallelConfig(tp=2, pp=2, dp=4))
+        assert proj.num_optim_files == 4 * 4
+        assert proj.world_size == 16
+
+    def test_wider_dp_means_smaller_files(self):
+        narrow = project(parallel=ParallelConfig(tp=2, pp=2, dp=2))
+        wide = project(parallel=ParallelConfig(tp=2, pp=2, dp=8))
+        assert wide.bytes_per_optim_file < narrow.bytes_per_optim_file
+
+
+class TestTimings:
+    def test_bigger_models_save_slower(self):
+        assert project("llama-7b").save_seconds > project("gpt3-350m").save_seconds
+
+    def test_faster_device_saves_faster(self):
+        slow = project(nvme=NVMeModel(read_gbps=1.0, write_gbps=0.5))
+        fast = project(nvme=NVMeModel(read_gbps=10.0, write_gbps=5.0))
+        assert fast.save_seconds < slow.save_seconds
+
+    def test_overhead_ratio_is_small_factor(self):
+        for model in ["gpt3-350m", "llama-7b", "bloom-176b"]:
+            parallel = (
+                ParallelConfig(tp=2, pp=24, dp=8)
+                if model == "bloom-176b"
+                else ParallelConfig(tp=2, pp=2, dp=2)
+            )
+            proj = project(model, parallel)
+            assert 1.0 <= proj.ucp_overhead_ratio <= 6.0, model
+
+    def test_projection_is_cheap(self):
+        """Projecting a 176B job must not instantiate weights."""
+        import time
+
+        start = time.perf_counter()
+        project("bloom-176b", ParallelConfig(tp=2, pp=24, dp=8))
+        assert time.perf_counter() - start < 2.0

@@ -1,0 +1,154 @@
+"""Property-based tests over the UCP pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convert import ucp_convert
+from repro.core.ops import add_padding, strip_padding
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+from repro.parallel.layout import ModelParallelLayout
+from repro.parallel.sharding import VocabFragment
+from repro.parallel.tp import PATTERN_FRAGMENT, ShardSpec
+
+from tests.helpers import make_engine
+
+
+def parallel_configs():
+    """Strategy over valid mini-model parallel configs (batch size 8)."""
+
+    def build(tp, pp, dp_exp, zero):
+        dp = 2 ** dp_exp
+        if zero == 3:
+            tp = pp = 1
+        return ParallelConfig(tp=tp, pp=pp, dp=dp, zero_stage=zero)
+
+    return st.builds(
+        build,
+        tp=st.sampled_from([1, 2]),
+        pp=st.sampled_from([1, 2, 4]),
+        dp_exp=st.integers(0, 2),
+        zero=st.sampled_from([0, 1, 2, 3]),
+    )
+
+
+class TestPaddingProperties:
+    @given(
+        logical_rows=st.integers(1, 30),
+        pad_to=st.sampled_from([1, 4, 8, 16]),
+        cols=st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_strip_add_inverse(self, logical_rows, pad_to, cols):
+        padded_rows = ((logical_rows + pad_to - 1) // pad_to) * pad_to
+        spec = ShardSpec(
+            PATTERN_FRAGMENT,
+            (padded_rows, cols),
+            (logical_rows, cols),
+            VocabFragment(logical_rows=logical_rows),
+        )
+        gen = np.random.default_rng(logical_rows)
+        unpadded = gen.standard_normal((logical_rows, cols)).astype(np.float32)
+        assert np.array_equal(
+            strip_padding(add_padding(unpadded, spec), spec), unpadded
+        )
+
+
+class TestLayoutProperties:
+    @given(parallel=parallel_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_partitions_tile_payload(self, parallel):
+        """Every layout's DP partitions exactly tile the payload, for
+        any valid topology."""
+        layout = ModelParallelLayout(get_config("gpt3-mini"), parallel)
+        for coord in layout.mp_coords():
+            rank_layout = layout.rank_layout(*coord)
+            covered = 0
+            for d in range(parallel.dp):
+                for piece in rank_layout.slices_in_partition(d):
+                    assert piece.local_start < piece.local_end
+                    covered += piece.local_end - piece.local_start
+            assert covered == rank_layout.payload_numel
+
+    @given(parallel=parallel_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_shard_shapes_consistent_with_specs(self, parallel):
+        layout = ModelParallelLayout(get_config("llama-mini"), parallel)
+        for coord in layout.mp_coords():
+            for entry in layout.rank_layout(*coord).entries:
+                spec = layout.spec(entry.name)
+                assert entry.shard_shape == spec.shard_shape(parallel.tp)
+
+
+@pytest.mark.slow
+class TestConvertLoadProperty:
+    @given(source=parallel_configs(), target=parallel_configs())
+    @settings(max_examples=8, deadline=None)
+    def test_random_reshard_preserves_state(self, tmp_path_factory, source, target):
+        """For random (source, target) pairs: save -> convert -> load
+        reproduces the source's consolidated state exactly."""
+        tmp = tmp_path_factory.mktemp("prop")
+        src = make_engine(parallel=source, seed=3, global_batch_size=8)
+        src.train(1)
+        ckpt, ucp = str(tmp / "c"), str(tmp / "u")
+        src.save_checkpoint(ckpt)
+        ucp_convert(ckpt, ucp)
+
+        dst = make_engine(parallel=target, seed=0, global_batch_size=8)
+        dst.load_universal(ucp)
+        for kind in ("fp32", "exp_avg"):
+            a = src.zero.consolidated_tensors(kind)
+            b = dst.zero.consolidated_tensors(kind)
+            for name in a:
+                spec = src.layout.spec(name)
+                cut = tuple(slice(0, d) for d in spec.unpadded_shape)
+                assert np.array_equal(a[name][cut], b[name][cut]), (name, kind)
+
+
+class TestFragmentAlgebraProperties:
+    @given(
+        rows_per_rank=st.integers(1, 6),
+        cols=st.integers(1, 5),
+        tp=st.integers(1, 4),
+        num_cuts=st.integers(0, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_dp_cuts_union_exactly(
+        self, rows_per_rank, cols, tp, num_cuts, seed
+    ):
+        """Property: however a ZeRO boundary slices the TP shards into
+        contiguous pieces, Union reassembles the consolidated tensor
+        exactly."""
+        import numpy as np
+        from repro.core.ops import ParamFragment, union
+        from repro.parallel.sharding import EvenFragment
+
+        gen = np.random.default_rng(seed)
+        full = gen.standard_normal((rows_per_rank * tp, cols)).astype(np.float32)
+        frag = EvenFragment(dim=0)
+        spec = ShardSpec(
+            PATTERN_FRAGMENT, tuple(full.shape), tuple(full.shape), frag
+        )
+        fragments = []
+        for tp_rank in range(tp):
+            shard = frag.shard(full, tp, tp_rank) if tp > 1 else full
+            flat = shard.reshape(-1)
+            cut_points = sorted(
+                set(gen.integers(1, flat.size, size=num_cuts).tolist())
+            ) if flat.size > 1 and num_cuts else []
+            bounds = [0] + cut_points + [flat.size]
+            for dp_rank, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+                fragments.append(
+                    ParamFragment(
+                        name="p", kind="fp32", data=flat[lo:hi].copy(),
+                        shard_start=lo, shard_end=hi,
+                        pp_stage=0, sp_rank=0, tp_rank=tp_rank, dp_rank=dp_rank,
+                        shard_shape=tuple(shard.shape),
+                    )
+                )
+        gen.shuffle(fragments)  # order of arrival must not matter
+        out = union(fragments, spec, tp_degree=tp)
+        assert np.array_equal(out, full)

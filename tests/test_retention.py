@@ -1,0 +1,86 @@
+"""Tests for checkpoint retention policies."""
+
+import pytest
+
+from repro.ckpt.errors import CheckpointNotFoundError
+from repro.ckpt.retention import RetentionPolicy, list_tags, prune_checkpoints
+from repro.core.resume import resume_training
+from repro.dist.topology import ParallelConfig
+from repro.storage.store import ObjectStore
+
+from tests.helpers import make_engine
+
+
+@pytest.fixture
+def many_checkpoints(tmp_path):
+    """A run that checkpointed at steps 1..6."""
+    engine = make_engine(seed=7)
+    ckpt = str(tmp_path / "ckpt")
+    for _ in range(6):
+        engine.train(1)
+        engine.save_checkpoint(ckpt)
+    return engine, ckpt
+
+
+class TestListTags:
+    def test_sorted_by_step(self, many_checkpoints):
+        _, ckpt = many_checkpoints
+        assert list_tags(ckpt) == [f"global_step{i}" for i in range(1, 7)]
+
+    def test_ignores_foreign_directories(self, many_checkpoints):
+        _, ckpt = many_checkpoints
+        (ObjectStore(ckpt).base / "notes").mkdir()
+        assert len(list_tags(ckpt)) == 6
+
+
+class TestPrune:
+    def test_keep_last_window(self, many_checkpoints):
+        _, ckpt = many_checkpoints
+        pruned = prune_checkpoints(ckpt, RetentionPolicy(keep_last=2))
+        assert pruned == [f"global_step{i}" for i in range(1, 5)]
+        assert list_tags(ckpt) == ["global_step5", "global_step6"]
+
+    def test_anchors_survive(self, many_checkpoints):
+        _, ckpt = many_checkpoints
+        pruned = prune_checkpoints(
+            ckpt, RetentionPolicy(keep_last=1, keep_every=3)
+        )
+        kept = list_tags(ckpt)
+        assert "global_step3" in kept  # anchor
+        assert "global_step6" in kept  # anchor + latest
+        assert "global_step2" not in kept
+        assert "global_step2" in pruned
+
+    def test_latest_always_protected(self, many_checkpoints):
+        _, ckpt = many_checkpoints
+        # point latest at an old tag, then prune aggressively
+        ObjectStore(ckpt).write_text("latest", "global_step2")
+        prune_checkpoints(ckpt, RetentionPolicy(keep_last=1))
+        assert "global_step2" in list_tags(ckpt)
+
+    def test_remaining_checkpoint_still_loads(self, many_checkpoints):
+        engine, ckpt = many_checkpoints
+        continued = [r.loss for r in engine.train(2)]
+        prune_checkpoints(ckpt, RetentionPolicy(keep_last=1))
+        resumed = resume_training(ckpt, ParallelConfig())
+        assert resumed.iteration == 6
+        assert [r.loss for r in resumed.train(2)] == continued
+
+    def test_cached_ucp_pruned_with_tag(self, many_checkpoints):
+        _, ckpt = many_checkpoints
+        # create a cached conversion for an old tag
+        resume_training(ckpt, ParallelConfig(dp=2), tag="global_step2")
+        store = ObjectStore(ckpt)
+        assert (store.base / "ucp_global_step2").is_dir()
+        prune_checkpoints(ckpt, RetentionPolicy(keep_last=1))
+        assert not (store.base / "ucp_global_step2").exists()
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointNotFoundError):
+            prune_checkpoints(str(tmp_path))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="keep_last"):
+            RetentionPolicy(keep_last=0)
+        with pytest.raises(ValueError, match="keep_every"):
+            RetentionPolicy(keep_every=-1)

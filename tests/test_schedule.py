@@ -1,0 +1,156 @@
+"""Tests for the pipeline schedule simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.schedule import (
+    analytic_bubble_fraction,
+    simulate_1f1b,
+    simulate_gpipe,
+)
+
+
+def _check_dependencies(report):
+    """Forward of (s, m) after forward of (s-1, m); backward of (s, m)
+    after backward of (s+1, m) and its own forward."""
+    f_tick, b_tick = {}, {}
+    for stage, slots in report.timelines.items():
+        for slot in slots:
+            if slot.kind == "F":
+                f_tick[(stage, slot.micro_batch)] = slot.tick
+            elif slot.kind == "B":
+                b_tick[(stage, slot.micro_batch)] = slot.tick
+    p = report.num_stages
+    for (stage, micro), tick in f_tick.items():
+        if stage > 0:
+            assert tick > f_tick[(stage - 1, micro)]
+    for (stage, micro), tick in b_tick.items():
+        assert tick > f_tick[(stage, micro)]
+        if stage < p - 1:
+            assert tick > b_tick[(stage + 1, micro)]
+
+
+def _check_no_double_booking(report):
+    for stage, slots in report.timelines.items():
+        ticks = [s.tick for s in slots if s.kind != "idle"]
+        assert len(ticks) == len(set(ticks)), f"stage {stage} double-booked"
+
+
+class TestGPipe:
+    def test_op_counts(self):
+        report = simulate_gpipe(4, 8)
+        for stage in range(4):
+            slots = report.timelines[stage]
+            assert sum(1 for s in slots if s.kind == "F") == 8
+            assert sum(1 for s in slots if s.kind == "B") == 8
+
+    def test_dependencies_respected(self):
+        _check_dependencies(simulate_gpipe(4, 6))
+
+    def test_no_double_booking(self):
+        _check_no_double_booking(simulate_gpipe(3, 5))
+
+    def test_single_stage_has_no_bubble(self):
+        report = simulate_gpipe(1, 4)
+        assert report.bubble_fraction == pytest.approx(0.0)
+
+    def test_activation_memory_scales_with_micro_batches(self):
+        assert simulate_gpipe(4, 16).peak_in_flight == 16
+        assert simulate_gpipe(4, 2).peak_in_flight == 2
+
+    def test_bubble_shrinks_with_more_micro_batches(self):
+        few = simulate_gpipe(4, 2).bubble_fraction
+        many = simulate_gpipe(4, 32).bubble_fraction
+        assert many < few
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            simulate_gpipe(0, 4)
+        with pytest.raises(ValueError):
+            simulate_gpipe(4, 0)
+
+
+class Test1F1B:
+    def test_op_counts(self):
+        report = simulate_1f1b(4, 8)
+        for stage in range(4):
+            slots = report.timelines[stage]
+            assert sum(1 for s in slots if s.kind == "F") == 8
+            assert sum(1 for s in slots if s.kind == "B") == 8
+
+    def test_dependencies_respected(self):
+        _check_dependencies(simulate_1f1b(4, 8))
+
+    def test_no_double_booking(self):
+        _check_no_double_booking(simulate_1f1b(3, 7))
+
+    def test_memory_bounded_by_pipeline_depth(self):
+        """1F1B's point: live activations <= p, independent of m."""
+        report = simulate_1f1b(4, 32)
+        assert report.peak_in_flight <= 4
+        assert simulate_gpipe(4, 32).peak_in_flight == 32
+
+    def test_no_slower_than_gpipe(self):
+        for p, m in [(2, 4), (4, 8), (4, 16), (8, 8)]:
+            assert (
+                simulate_1f1b(p, m).total_ticks
+                <= simulate_gpipe(p, m).total_ticks
+            ), (p, m)
+
+    def test_first_stage_warmup_depth(self):
+        report = simulate_1f1b(4, 8)
+        slots = [s for s in report.timelines[0] if s.kind != "idle"]
+        # stage 0 runs p forwards before its first backward
+        kinds = [s.kind for s in slots[:5]]
+        assert kinds == ["F", "F", "F", "F", "B"]
+
+
+class TestAnalyticBubble:
+    def test_formula(self):
+        assert analytic_bubble_fraction(4, 12) == pytest.approx(3 / 15)
+
+    @given(p=st.integers(1, 8), m=st.integers(1, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_gpipe_matches_per_phase_formula(self, p, m):
+        """GPipe's measured bubble equals the analytic value computed
+        on its own total ticks: each of F and B waves idles (p-1)
+        ticks per stage on average."""
+        report = simulate_gpipe(p, m)
+        busy = 2 * m  # per stage
+        expected = 1.0 - busy / report.total_ticks
+        assert report.bubble_fraction == pytest.approx(expected, abs=1e-9)
+
+    @given(p=st.integers(1, 6), m=st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_1f1b_valid_for_any_geometry(self, p, m):
+        report = simulate_1f1b(p, m)
+        _check_dependencies(report)
+        _check_no_double_booking(report)
+        assert report.peak_in_flight <= min(m, p)
+
+
+class TestInterleavedBubble:
+    def test_reduces_to_plain_1f1b_at_v1(self):
+        from repro.parallel.schedule import analytic_interleaved_bubble
+
+        assert analytic_interleaved_bubble(4, 8, 1) == analytic_bubble_fraction(4, 8)
+
+    def test_more_virtual_stages_shrink_the_bubble(self):
+        from repro.parallel.schedule import analytic_interleaved_bubble
+
+        bubbles = [analytic_interleaved_bubble(8, 8, v) for v in (1, 2, 4)]
+        assert bubbles[0] > bubbles[1] > bubbles[2]
+
+    def test_megatron_example(self):
+        """Megatron's canonical numbers: p=8, m=8, v=2 halves-ish the
+        bubble from 7/15 to 7/23."""
+        from repro.parallel.schedule import analytic_interleaved_bubble
+
+        assert analytic_interleaved_bubble(8, 8, 2) == pytest.approx(7 / 23)
+
+    def test_bad_virtual_stages_raise(self):
+        from repro.parallel.schedule import analytic_interleaved_bubble
+
+        with pytest.raises(ValueError, match="virtual_stages"):
+            analytic_interleaved_bubble(4, 8, 0)

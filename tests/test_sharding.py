@@ -1,0 +1,208 @@
+"""Tests + properties for the fragment sub-patterns (paper Fig 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.sharding import (
+    EvenFragment,
+    ExpertFragment,
+    Fragmenter,
+    FusedSectionsFragment,
+    VocabFragment,
+)
+
+
+def roundtrip(frag, full, degree):
+    shards = [frag.shard(full, degree, r) for r in range(degree)]
+    return frag.join(shards), shards
+
+
+class TestEvenFragment:
+    def test_row_split(self, rng):
+        full = rng.standard_normal((8, 3)).astype(np.float32)
+        joined, shards = roundtrip(EvenFragment(0), full, 4)
+        assert all(s.shape == (2, 3) for s in shards)
+        assert np.array_equal(joined, full)
+
+    def test_column_split(self, rng):
+        full = rng.standard_normal((3, 8)).astype(np.float32)
+        joined, shards = roundtrip(EvenFragment(1), full, 2)
+        assert all(s.shape == (3, 4) for s in shards)
+        assert np.array_equal(joined, full)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            EvenFragment(0).shard(np.zeros((7, 2), dtype=np.float32), 2, 0)
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(IndexError):
+            EvenFragment(0).shard(np.zeros((4, 2), dtype=np.float32), 2, 5)
+
+    def test_dim_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            EvenFragment(3).shard_shape((4, 4), 2)
+
+
+class TestFusedSectionsFragment:
+    """The GQA QKV sub-pattern: variable-size fused sections."""
+
+    def test_gqa_layout(self, rng):
+        # q=8 rows, k=4 rows, v=4 rows (nq=4, nkv=2, head_dim=2)
+        frag = FusedSectionsFragment(dim=0, section_sizes=(8, 4, 4))
+        full = rng.standard_normal((16, 6)).astype(np.float32)
+        shards = [frag.shard(full, 2, r) for r in range(2)]
+        # each rank holds [q_r (4); k_r (2); v_r (2)]
+        assert shards[0].shape == (8, 6)
+        assert np.array_equal(shards[0][:4], full[:4])       # first half of q
+        assert np.array_equal(shards[0][4:6], full[8:10])    # first half of k
+        assert np.array_equal(shards[0][6:8], full[12:14])   # first half of v
+        assert np.array_equal(shards[1][:4], full[4:8])
+
+    def test_round_trip(self, rng):
+        frag = FusedSectionsFragment(dim=0, section_sizes=(8, 4, 4))
+        full = rng.standard_normal((16, 3)).astype(np.float32)
+        joined, _ = roundtrip(frag, full, 4)
+        assert np.array_equal(joined, full)
+
+    def test_round_trip_on_bias_vector(self, rng):
+        frag = FusedSectionsFragment(dim=0, section_sizes=(8, 4, 4))
+        full = rng.standard_normal(16).astype(np.float32)
+        joined, _ = roundtrip(frag, full, 2)
+        assert np.array_equal(joined, full)
+
+    def test_wrong_total_raises(self):
+        frag = FusedSectionsFragment(dim=0, section_sizes=(8, 4, 4))
+        with pytest.raises(ValueError, match="section total"):
+            frag.shard(np.zeros((15, 2), dtype=np.float32), 2, 0)
+
+    def test_indivisible_section_raises(self):
+        frag = FusedSectionsFragment(dim=0, section_sizes=(8, 2, 2))
+        with pytest.raises(ValueError, match="not divisible"):
+            frag.shard(np.zeros((12, 2), dtype=np.float32), 4, 0)
+
+    def test_empty_sections_raise(self):
+        with pytest.raises(ValueError, match="at least one section"):
+            FusedSectionsFragment(dim=0, section_sizes=())
+
+
+class TestExpertFragment:
+    """The MoE sub-pattern: 3-dim [experts, out, in] tensors."""
+
+    def test_shards_along_hidden_out(self, rng):
+        frag = ExpertFragment(expert_axis=0, shard_dim=1)
+        full = rng.standard_normal((4, 8, 6)).astype(np.float32)  # E, I, H
+        shards = [frag.shard(full, 2, r) for r in range(2)]
+        assert shards[0].shape == (4, 4, 6)  # every expert keeps its slice
+        assert np.array_equal(shards[0], full[:, :4, :])
+        assert np.array_equal(frag.join(shards), full)
+
+    def test_shard_along_last_dim(self, rng):
+        frag = ExpertFragment(expert_axis=0, shard_dim=2)
+        full = rng.standard_normal((4, 6, 8)).astype(np.float32)  # E, H, I
+        joined, shards = roundtrip(frag, full, 4)
+        assert shards[0].shape == (4, 6, 2)
+        assert np.array_equal(joined, full)
+
+    def test_cannot_shard_expert_axis(self):
+        with pytest.raises(ValueError, match="expert axis"):
+            ExpertFragment(expert_axis=0, shard_dim=0)
+
+
+class TestVocabFragment:
+    def test_round_trip_with_padding(self, rng):
+        frag = VocabFragment(logical_rows=11)
+        full = rng.standard_normal((16, 4)).astype(np.float32)  # padded to 16
+        joined, shards = roundtrip(frag, full, 4)
+        assert shards[0].shape == (4, 4)
+        assert np.array_equal(joined, full)
+
+    def test_padded_height_must_divide(self):
+        frag = VocabFragment(logical_rows=11)
+        with pytest.raises(ValueError, match="not divisible"):
+            frag.shard(np.zeros((18, 2), dtype=np.float32), 4, 0)
+
+    def test_table_shorter_than_vocab_raises(self):
+        frag = VocabFragment(logical_rows=20)
+        with pytest.raises(ValueError, match="logical vocab"):
+            frag.shard_shape((16, 4), 2)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "frag",
+        [
+            EvenFragment(dim=1),
+            FusedSectionsFragment(dim=0, section_sizes=(8, 4, 4)),
+            ExpertFragment(expert_axis=0, shard_dim=2),
+            VocabFragment(logical_rows=211),
+        ],
+    )
+    def test_round_trip(self, frag):
+        assert Fragmenter.from_dict(frag.to_dict()) == frag
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown fragmenter"):
+            Fragmenter.from_dict({"kind": "hologram"})
+
+
+# --- property-based round-trips over randomized geometries ---
+
+@given(
+    rows_per_rank=st.integers(1, 5),
+    cols=st.integers(1, 6),
+    degree=st.integers(1, 4),
+    dim=st.sampled_from([0, 1]),
+)
+@settings(max_examples=60, deadline=None)
+def test_even_fragment_roundtrip_property(rows_per_rank, cols, degree, dim):
+    shape = [rows_per_rank * degree, cols]
+    if dim == 1:
+        shape = [cols, rows_per_rank * degree]
+    gen = np.random.default_rng(0)
+    full = gen.standard_normal(shape).astype(np.float32)
+    frag = EvenFragment(dim=dim)
+    shards = [frag.shard(full, degree, r) for r in range(degree)]
+    assert np.array_equal(frag.join(shards), full)
+    assert all(tuple(s.shape) == frag.shard_shape(tuple(full.shape), degree) for s in shards)
+
+
+@given(
+    q_heads_per_rank=st.integers(1, 4),
+    kv_heads_per_rank=st.integers(1, 2),
+    head_dim=st.sampled_from([2, 4]),
+    degree=st.integers(1, 4),
+    hidden=st.integers(2, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_gqa_fragment_roundtrip_property(
+    q_heads_per_rank, kv_heads_per_rank, head_dim, degree, hidden
+):
+    """Property: fused variable-size QKV shards always rejoin exactly."""
+    q = q_heads_per_rank * degree * head_dim
+    kv = kv_heads_per_rank * degree * head_dim
+    frag = FusedSectionsFragment(dim=0, section_sizes=(q, kv, kv))
+    gen = np.random.default_rng(degree)
+    full = gen.standard_normal((q + 2 * kv, hidden)).astype(np.float32)
+    shards = [frag.shard(full, degree, r) for r in range(degree)]
+    assert np.array_equal(frag.join(shards), full)
+
+
+@given(
+    experts=st.integers(1, 4),
+    per_rank=st.integers(1, 4),
+    degree=st.integers(1, 4),
+    inner=st.integers(1, 4),
+    shard_dim=st.sampled_from([1, 2]),
+)
+@settings(max_examples=60, deadline=None)
+def test_expert_fragment_roundtrip_property(experts, per_rank, degree, inner, shard_dim):
+    shape = [experts, per_rank * degree, inner]
+    if shard_dim == 2:
+        shape = [experts, inner, per_rank * degree]
+    gen = np.random.default_rng(7)
+    full = gen.standard_normal(shape).astype(np.float32)
+    frag = ExpertFragment(expert_axis=0, shard_dim=shard_dim)
+    shards = [frag.shard(full, degree, r) for r in range(degree)]
+    assert np.array_equal(frag.join(shards), full)

@@ -1,0 +1,181 @@
+"""Tests for CheckFreq-style snapshots and Gemini-style in-memory ckpts."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt.inmemory import InMemoryCheckpoint, InMemoryCheckpointError
+from repro.ckpt.snapshot import (
+    SnapshotManager,
+    tune_checkpoint_interval,
+)
+from repro.dist.topology import ParallelConfig
+
+from tests.helpers import make_engine
+
+
+class TestSnapshotConsistency:
+    def test_persist_after_more_training_matches_sync_save(self, tmp_path):
+        """The CheckFreq property: a snapshot at step t persists the
+        same bytes a synchronous save at t would, even though training
+        ran on before the persist."""
+        engine = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+        engine.train(3)
+        sync_dir = str(tmp_path / "sync")
+        engine.save_checkpoint(sync_dir)
+
+        engine2 = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+        engine2.train(3)
+        manager = SnapshotManager(engine2)
+        snap = manager.snapshot()
+        engine2.train(4)  # training advances past the snapshot
+        async_dir = str(tmp_path / "async")
+        info = manager.persist(snap, async_dir)
+        assert info.step == 3
+
+        resumed_sync = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=0)
+        resumed_sync.load_checkpoint(sync_dir)
+        resumed_async = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=0)
+        resumed_async.load_checkpoint(async_dir)
+        a = [r.loss for r in resumed_sync.train(2)]
+        b = [r.loss for r in resumed_async.train(2)]
+        assert a == b  # bit-exact
+
+    def test_snapshot_is_isolated_from_future_updates(self):
+        engine = make_engine()
+        engine.train(2)
+        manager = SnapshotManager(engine)
+        snap = manager.snapshot()
+        before = snap.zero.consolidated_tensors("fp32")["final_norm.weight"].copy()
+        engine.train(3)
+        after = snap.zero.consolidated_tensors("fp32")["final_norm.weight"]
+        assert np.array_equal(before, after)
+
+    def test_pending_tracking_and_drain(self, tmp_path):
+        engine = make_engine()
+        engine.train(1)
+        manager = SnapshotManager(engine)
+        manager.save_async(str(tmp_path / "a"))
+        engine.train(1)
+        manager.save_async(str(tmp_path / "b"))
+        assert manager.pending_count == 2
+        infos = manager.drain()
+        assert manager.pending_count == 0
+        assert [i.step for i in infos] == [1, 2]
+
+    def test_snapshot_checkpoint_is_ucp_convertible(self, tmp_path):
+        """Snapshots persist standard distributed checkpoints, so UCP
+        conversion composes."""
+        from repro.core.resume import resume_training
+
+        engine = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+        engine.train(2)
+        manager = SnapshotManager(engine)
+        snap = manager.snapshot()
+        continued = [r.loss for r in engine.train(2)]
+        manager.persist(snap, str(tmp_path))
+        resumed = resume_training(str(tmp_path), ParallelConfig(dp=2))
+        b = [r.loss for r in resumed.train(2)]
+        assert np.allclose(continued, b, atol=2e-2)
+
+
+class TestFrequencyTuning:
+    def test_interval_meets_budget(self):
+        plan = tune_checkpoint_interval(
+            step_time_s=1.0, snapshot_time_s=0.5, max_overhead_fraction=0.05
+        )
+        overhead = 0.5 / (plan.interval_steps * 1.0 + 0.5)
+        assert overhead <= 0.05
+        # and the next-smaller interval would violate it
+        smaller = plan.interval_steps - 1
+        if smaller >= 1:
+            assert 0.5 / (smaller * 1.0 + 0.5) > 0.05
+
+    def test_cheap_snapshots_allow_every_step(self):
+        plan = tune_checkpoint_interval(
+            step_time_s=1.0, snapshot_time_s=0.001, max_overhead_fraction=0.05
+        )
+        assert plan.interval_steps == 1
+
+    def test_expected_loss_is_half_interval(self):
+        plan = tune_checkpoint_interval(1.0, 0.5, 0.05)
+        assert plan.expected_lost_steps_on_failure == plan.interval_steps / 2
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ValueError):
+            tune_checkpoint_interval(0.0, 0.1)
+        with pytest.raises(ValueError):
+            tune_checkpoint_interval(1.0, 0.1, max_overhead_fraction=1.5)
+
+
+class TestInMemoryCheckpoint:
+    def test_recovery_restores_training_bitwise(self):
+        engine = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+        engine.train(3)
+        mem = InMemoryCheckpoint(engine, replication_factor=2)
+        mem.commit()
+        reference = [r.loss for r in engine.train(2)]
+
+        # lose a rank, re-provision (same topology), recover from peers
+        engine.cluster.fail_rank(1)
+        engine.cluster.heal_rank(1)
+        mem.recover(failed_ranks={1})
+        assert engine.iteration == 3
+        resumed = [r.loss for r in engine.train(2)]
+        assert reference == resumed
+
+    def test_replicas_avoid_owner_rank(self):
+        engine = make_engine(parallel=ParallelConfig(tp=2, dp=2))
+        engine.train(1)
+        mem = InMemoryCheckpoint(engine, replication_factor=2)
+        mem.commit()
+        for (coord, dp_rank), replicas in mem._replicas.items():
+            owner = mem._owner_rank(coord, dp_rank)
+            assert all(r.host_rank != owner for r in replicas)
+
+    def test_losing_all_replicas_is_detected(self):
+        engine = make_engine(parallel=ParallelConfig(dp=2), seed=3)
+        engine.train(1)
+        mem = InMemoryCheckpoint(engine, replication_factor=1)
+        mem.commit()
+        # with replication 1 on a 2-rank world, failing both hosts kills it
+        with pytest.raises(InMemoryCheckpointError, match="every replica"):
+            mem.recover(failed_ranks={0, 1})
+
+    def test_survivor_counting(self):
+        engine = make_engine(parallel=ParallelConfig(tp=2, dp=2))
+        engine.train(1)
+        mem = InMemoryCheckpoint(engine, replication_factor=2)
+        mem.commit()
+        counts = mem.surviving_replicas(failed_ranks={0})
+        assert all(c >= 1 for c in counts.values())
+
+    def test_commit_accounts_traffic(self):
+        engine = make_engine(parallel=ParallelConfig(dp=2))
+        engine.train(1)
+        before = engine.cluster.tracker.count("broadcast")
+        mem = InMemoryCheckpoint(engine, replication_factor=2)
+        copied = mem.commit()
+        assert copied > 0
+        assert mem.memory_bytes == copied
+        assert engine.cluster.tracker.count("broadcast") == before + 1
+
+    def test_recover_without_commit_raises(self):
+        engine = make_engine()
+        mem = InMemoryCheckpoint(engine, replication_factor=1)
+        with pytest.raises(InMemoryCheckpointError, match="no committed"):
+            mem.recover(set())
+
+    def test_bad_replication_factor(self):
+        engine = make_engine(parallel=ParallelConfig(dp=2))
+        with pytest.raises(ValueError, match="replication factor"):
+            InMemoryCheckpoint(engine, replication_factor=3)
+
+    def test_commit_overwrites_previous(self):
+        engine = make_engine(parallel=ParallelConfig(dp=2), seed=5)
+        engine.train(1)
+        mem = InMemoryCheckpoint(engine, replication_factor=1)
+        mem.commit()
+        engine.train(2)
+        mem.commit()
+        mem.recover(set())
+        assert engine.iteration == 3

@@ -1,0 +1,170 @@
+"""Tests for SP helpers, the transformer block, and deterministic init."""
+
+import numpy as np
+import pytest
+
+from repro.dist.topology import ParallelConfig
+from repro.nn.block import TransformerBlock
+from repro.nn.init import generator_for, normal_init, ones_init, zeros_init
+from repro.nn.norm import LayerNorm
+from repro.parallel.sp import (
+    average_param_copies,
+    perturb_copies_for_demo,
+    sp_replication_factor,
+)
+
+from tests.helpers import make_engine
+
+
+class TestSPHelpers:
+    def test_replication_factor(self):
+        assert sp_replication_factor(ParallelConfig(sp=4)) == 4
+
+    def test_average_of_identical_copies_is_exact(self, rng):
+        base = rng.standard_normal(16).astype(np.float32)
+        assert np.array_equal(average_param_copies([base, base.copy()]), base)
+
+    def test_average_is_elementwise_mean(self):
+        a = np.array([1.0, 2.0], dtype=np.float32)
+        b = np.array([3.0, 6.0], dtype=np.float32)
+        assert np.allclose(average_param_copies([a, b]), [2.0, 4.0])
+
+    def test_average_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            average_param_copies([np.zeros(2, np.float32), np.zeros(3, np.float32)])
+
+    def test_average_empty_raises(self):
+        with pytest.raises(ValueError, match="zero copies"):
+            average_param_copies([])
+
+    def test_perturb_is_deterministic(self, rng):
+        base = rng.standard_normal(8).astype(np.float32)
+        a = perturb_copies_for_demo(base, 3, seed=5)
+        b = perturb_copies_for_demo(base, 3, seed=5)
+        for rank in range(3):
+            assert np.array_equal(a[rank], b[rank])
+
+    def test_perturb_copies_differ_across_ranks(self, rng):
+        base = rng.standard_normal(8).astype(np.float32)
+        copies = perturb_copies_for_demo(base, 2, seed=1)
+        assert not np.array_equal(copies[0], copies[1])
+
+
+class TestTransformerBlock:
+    class _AddOne:
+        """A stand-in layer: y = x + 1, backward is identity."""
+
+        def __call__(self, x):
+            return x + 1.0
+
+        def forward(self, x):
+            return x + 1.0
+
+        def backward(self, grad):
+            return grad
+
+    def test_residual_structure(self, rng):
+        block = TransformerBlock(
+            norm1=self._AddOne(), attn=self._AddOne(),
+            norm2=self._AddOne(), ffn=self._AddOne(),
+        )
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        # h = x + (x + 2); y = h + (h + 2)
+        expected = 2 * (2 * x + 2) + 2
+        assert np.allclose(block.forward(x), expected)
+
+    def test_backward_doubles_through_residuals(self, rng):
+        block = TransformerBlock(
+            norm1=self._AddOne(), attn=self._AddOne(),
+            norm2=self._AddOne(), ffn=self._AddOne(),
+        )
+        x = rng.standard_normal((1, 2, 4)).astype(np.float32)
+        block.forward(x)
+        grad = np.ones_like(x)
+        grad_in = block.backward(grad)
+        assert np.allclose(grad_in, 4.0)  # two residual doublings
+
+    def test_parameters_collected_from_children(self):
+        from repro.nn.module import Module
+
+        class NoOp(Module):
+            def forward(self, x):
+                return x
+
+            def backward(self, grad):
+                return grad
+
+        block = TransformerBlock(LayerNorm(4), NoOp(), LayerNorm(4), NoOp())
+        names = [n for n, _ in block.named_parameters()]
+        assert names == [
+            "norm1.weight", "norm1.bias", "norm2.weight", "norm2.bias",
+        ]
+
+
+class TestDeterministicInit:
+    def test_same_key_same_stream(self):
+        a = generator_for(1, "blocks.0.attn.qkv.weight").standard_normal(5)
+        b = generator_for(1, "blocks.0.attn.qkv.weight").standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        a = generator_for(1, "a").standard_normal(5)
+        b = generator_for(1, "b").standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_normal_init_std(self):
+        values = normal_init(0, "x", (100_000,), std=0.02)
+        assert abs(float(values.std()) - 0.02) < 0.002
+
+    def test_zeros_and_ones(self):
+        assert np.array_equal(zeros_init((3,)), np.zeros(3))
+        assert np.array_equal(ones_init((3,)), np.ones(3))
+
+    def test_engine_init_is_topology_independent(self):
+        """Two engines with the same seed but different topologies hold
+        identical initial weights (Fig 7's prerequisite)."""
+        a = make_engine(parallel=ParallelConfig(tp=2, pp=2, dp=2), seed=9)
+        b = make_engine(parallel=ParallelConfig(), seed=9)
+        sa, sb = a.model.state_dict(), b.model.state_dict()
+        for name in sa:
+            assert np.array_equal(sa[name], sb[name]), name
+
+
+class TestUlyssesExchange:
+    def _shards(self, rng, sp=2, seq=8, heads=4, dim=3):
+        full = rng.standard_normal((seq, heads, dim)).astype(np.float32)
+        chunk = seq // sp
+        return full, [full[r * chunk : (r + 1) * chunk] for r in range(sp)]
+
+    def test_produces_head_split_layout(self, rng):
+        from repro.parallel.sp import ulysses_exchange
+
+        full, shards = self._shards(rng)
+        out = ulysses_exchange(shards, num_heads=4)
+        # rank r now holds the FULL sequence for its head slice
+        assert out[0].shape == (8, 2, 3)
+        assert np.array_equal(out[0], full[:, :2, :])
+        assert np.array_equal(out[1], full[:, 2:, :])
+
+    def test_exchange_preserves_every_element(self, rng):
+        from repro.parallel.sp import ulysses_exchange
+
+        full, shards = self._shards(rng, sp=4, seq=8, heads=8)
+        out = ulysses_exchange(shards, num_heads=8)
+        reassembled = np.concatenate(out, axis=1)
+        assert np.array_equal(reassembled, full)
+
+    def test_indivisible_heads_raise(self):
+        from repro.parallel.sp import ulysses_exchange
+
+        # 3 ranks do not divide 4 heads
+        full = np.zeros((6, 4, 2), dtype=np.float32)
+        thirds = [full[:2], full[2:4], full[4:]]
+        with pytest.raises(ValueError, match="not divisible"):
+            ulysses_exchange(thirds, num_heads=4)
+
+    def test_wrong_shape_raises(self):
+        from repro.parallel.sp import ulysses_exchange
+
+        with pytest.raises(ValueError, match="expected"):
+            ulysses_exchange([np.zeros((4, 4), dtype=np.float32)], num_heads=4)

@@ -1,0 +1,224 @@
+"""Tests for the storage substrate: serializer, object store, NVMe model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.nvme import NVMeModel
+from repro.storage.serializer import (
+    SerializationError,
+    deserialize,
+    serialize,
+)
+from repro.storage.store import ObjectStore
+
+
+class TestSerializer:
+    def test_round_trip_nested(self, rng):
+        obj = {
+            "weights": rng.standard_normal((3, 4)).astype(np.float32),
+            "meta": {"step": 100, "name": "gpt", "flag": True, "none": None},
+            "history": [1.5, 2.5, {"inner": rng.standard_normal(5).astype(np.float32)}],
+        }
+        out = deserialize(serialize(obj))
+        assert np.array_equal(out["weights"], obj["weights"])
+        assert out["meta"] == obj["meta"]
+        assert out["history"][:2] == [1.5, 2.5]
+        assert np.array_equal(out["history"][2]["inner"], obj["history"][2]["inner"])
+
+    def test_preserves_dtypes(self):
+        obj = {
+            "f32": np.zeros(3, dtype=np.float32),
+            "f16": np.zeros(3, dtype=np.float16),
+            "i64": np.arange(3, dtype=np.int64),
+        }
+        out = deserialize(serialize(obj))
+        assert out["f32"].dtype == np.float32
+        assert out["f16"].dtype == np.float16
+        assert out["i64"].dtype == np.int64
+
+    def test_tuple_becomes_list(self):
+        assert deserialize(serialize({"t": (1, 2)}))["t"] == [1, 2]
+
+    def test_numpy_scalars_become_python(self):
+        out = deserialize(serialize({"i": np.int64(5), "f": np.float32(1.5)}))
+        assert out == {"i": 5, "f": 1.5}
+
+    def test_reserved_key_raises(self):
+        with pytest.raises(SerializationError, match="reserved"):
+            serialize({"__tensor__": 1})
+
+    def test_non_string_key_raises(self):
+        with pytest.raises(SerializationError, match="keys must be str"):
+            serialize({1: "a"})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SerializationError, match="unsupported type"):
+            serialize({"f": lambda: None})
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(SerializationError, match="magic"):
+            deserialize(b"NOPE" + b"\x00" * 100)
+
+    def test_truncated_file_raises(self):
+        data = serialize({"x": np.arange(100, dtype=np.float32)})
+        with pytest.raises(SerializationError, match="truncated"):
+            deserialize(data[: len(data) // 2])
+
+    def test_empty_array(self):
+        out = deserialize(serialize({"e": np.zeros(0, dtype=np.float32)}))
+        assert out["e"].size == 0
+
+    @given(
+        shapes=st.lists(
+            st.lists(st.integers(1, 5), min_size=1, max_size=3), min_size=0, max_size=4
+        ),
+        scalars=st.dictionaries(
+            st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=6),
+            st.one_of(st.integers(-1000, 1000), st.booleans(), st.none(),
+                      st.floats(allow_nan=False, allow_infinity=False, width=32)),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, shapes, scalars):
+        gen = np.random.default_rng(0)
+        obj = dict(scalars)
+        arrays = {
+            f"tensor_{i}": gen.standard_normal(shape).astype(np.float32)
+            for i, shape in enumerate(shapes)
+        }
+        obj.update(arrays)
+        out = deserialize(serialize(obj))
+        for key, value in scalars.items():
+            if key in arrays:
+                continue
+            assert out[key] == value or (value is None and out[key] is None)
+        for key, arr in arrays.items():
+            assert np.array_equal(out[key], arr)
+
+
+class TestObjectStore:
+    def test_save_load_round_trip(self, tmp_path, rng):
+        store = ObjectStore(str(tmp_path))
+        obj = {"x": rng.standard_normal(10).astype(np.float32)}
+        nbytes = store.save("sub/dir/file.npt", obj)
+        assert nbytes > 0
+        out = store.load("sub/dir/file.npt")
+        assert np.array_equal(out["x"], obj["x"])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ObjectStore(str(tmp_path)).load("ghost.npt")
+
+    def test_exists_and_delete(self, tmp_path):
+        store = ObjectStore(str(tmp_path))
+        store.save("a.npt", {"v": 1})
+        assert store.exists("a.npt")
+        store.delete("a.npt")
+        assert not store.exists("a.npt")
+        store.delete("a.npt")  # idempotent
+
+    def test_list_sorted_recursive(self, tmp_path):
+        store = ObjectStore(str(tmp_path))
+        store.save("b/2.npt", {"v": 1})
+        store.save("a/1.npt", {"v": 1})
+        assert store.list() == ["a/1.npt", "b/2.npt"]
+        assert store.list("a") == ["a/1.npt"]
+
+    def test_path_escape_rejected(self, tmp_path):
+        store = ObjectStore(str(tmp_path / "inner"))
+        with pytest.raises(ValueError, match="escapes"):
+            store.save("../outside.npt", {"v": 1})
+
+    def test_byte_accounting(self, tmp_path, rng):
+        store = ObjectStore(str(tmp_path))
+        n = store.save("x.npt", {"x": rng.standard_normal(100).astype(np.float32)})
+        store.load("x.npt")
+        assert store.bytes_written == n
+        assert store.bytes_read == n
+        store.reset_accounting()
+        assert store.bytes_written == 0
+
+    def test_simulated_time_accumulates(self, tmp_path, rng):
+        store = ObjectStore(str(tmp_path))
+        store.save("x.npt", {"x": rng.standard_normal(1000).astype(np.float32)})
+        store.load("x.npt")
+        assert store.simulated_write_s > 0
+        assert store.simulated_read_s > 0
+
+    def test_text_markers(self, tmp_path):
+        store = ObjectStore(str(tmp_path))
+        store.write_text("latest", "global_step100")
+        assert store.read_text("latest") == "global_step100"
+
+
+class TestNVMeModel:
+    def test_time_scales_with_bytes(self):
+        nvme = NVMeModel()
+        assert nvme.read_time(10**9) > nvme.read_time(10**6)
+
+    def test_latency_floor(self):
+        nvme = NVMeModel(latency_s=1e-3)
+        assert nvme.read_time(0) == pytest.approx(1e-3)
+
+    def test_parallelism_amortizes_latency(self):
+        nvme = NVMeModel(latency_s=1e-3)
+        assert nvme.read_time(0, parallel=4) == pytest.approx(2.5e-4)
+
+    def test_parallelism_capped_at_queue_depth(self):
+        nvme = NVMeModel(latency_s=1e-3, max_parallel=4)
+        assert nvme.read_time(0, parallel=100) == nvme.read_time(0, parallel=4)
+
+    def test_writes_slower_than_reads(self):
+        nvme = NVMeModel(read_gbps=3.2, write_gbps=1.8)
+        nbytes = 10**9
+        assert nvme.write_time(nbytes) > nvme.read_time(nbytes)
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            NVMeModel().read_time(-1)
+
+    def test_bad_profile_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            NVMeModel(read_gbps=0)
+
+
+class TestChecksums:
+    def test_flipped_payload_byte_detected(self, rng):
+        from repro.storage.serializer import ChecksumError
+        data = bytearray(serialize({"x": rng.standard_normal(64).astype(np.float32)}))
+        data[-5] ^= 0xFF  # corrupt a tensor payload byte
+        with pytest.raises(ChecksumError, match="CRC32"):
+            deserialize(bytes(data))
+
+    def test_verification_can_be_disabled(self, rng):
+        import io
+        from repro.storage.serializer import read_npt
+        data = bytearray(serialize({"x": rng.standard_normal(64).astype(np.float32)}))
+        data[-5] ^= 0xFF
+        out = read_npt(io.BytesIO(bytes(data)), verify_checksums=False)
+        assert out["x"].shape == (64,)
+
+    def test_files_without_checksums_still_read(self, rng):
+        """Forward compatibility: pre-checksum files lack the crc32
+        field and must load without error."""
+        import json
+        from repro.storage.serializer import MAGIC
+        data = serialize({"x": rng.standard_normal(8).astype(np.float32)})
+        header_len = int.from_bytes(data[4:12], "little")
+        header = json.loads(data[12 : 12 + header_len].decode())
+        for entry in header["tensors"]:
+            entry.pop("crc32", None)
+        new_header = json.dumps(header).encode()
+        # only safe if the header length is preserved; pad with spaces
+        assert len(new_header) <= header_len
+        new_header = new_header + b" " * (header_len - len(new_header))
+        patched = data[:12] + new_header + data[12 + header_len:]
+        out = deserialize(patched)
+        assert out["x"].shape == (8,)
+
+    def test_checksum_error_is_a_serialization_error(self):
+        from repro.storage.serializer import ChecksumError
+        assert issubclass(ChecksumError, SerializationError)
