@@ -10,11 +10,19 @@ any topology change, reproducing the paper's Fig 1 failure mode; UCP
 from repro.ckpt.errors import (
     CheckpointError,
     CheckpointIncompatibleError,
+    CheckpointIntegrityError,
     CheckpointNotFoundError,
+)
+from repro.ckpt.manifest import (
+    read_manifest,
+    require_manifest,
+    verify_tag,
+    write_manifest,
 )
 from repro.ckpt.naming import (
     LATEST_FILE,
     JOB_CONFIG_FILE,
+    MANIFEST_FILE,
     model_states_name,
     optim_states_name,
     tag_for_step,
@@ -37,9 +45,15 @@ from repro.ckpt.retention import RetentionPolicy, prune_checkpoints
 __all__ = [
     "CheckpointError",
     "CheckpointIncompatibleError",
+    "CheckpointIntegrityError",
     "CheckpointNotFoundError",
+    "read_manifest",
+    "require_manifest",
+    "verify_tag",
+    "write_manifest",
     "LATEST_FILE",
     "JOB_CONFIG_FILE",
+    "MANIFEST_FILE",
     "model_states_name",
     "optim_states_name",
     "tag_for_step",

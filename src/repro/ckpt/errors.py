@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.storage.serializer import SerializationError
+
 
 class CheckpointError(RuntimeError):
     """Base class for checkpoint failures."""
@@ -18,4 +20,16 @@ class CheckpointIncompatibleError(CheckpointError):
     tightly coupled to the parallelism strategy and hardware
     configuration that wrote them, so loading under a different
     strategy hits missing files or name/shape mismatches.
+    """
+
+
+class CheckpointIntegrityError(CheckpointError, SerializationError):
+    """A checkpoint's on-disk state does not match its commit record.
+
+    Raised when a tag has no manifest (the save never committed), when
+    a manifest-listed file is missing or hashes differently than it did
+    at commit time, or when an object fails structural validation.
+    Subclasses :class:`SerializationError` too, because every byte-level
+    corruption the serializer detects surfaces through this type on the
+    checkpoint read path — callers can catch either level.
     """

@@ -8,6 +8,11 @@ size — surfaces as a :class:`CheckpointIncompatibleError`, reproducing
 the name/shape mismatch failures the paper describes for existing
 frameworks (Fig 1).  UCP is the escape hatch: convert to universal
 format, then ``engine.load_universal``.
+
+The loader also enforces the commit protocol: only tags with a commit
+manifest are loadable, and every file read is verified against its
+manifest digest — torn or tampered state raises
+:class:`CheckpointIntegrityError` instead of loading garbage.
 """
 
 from __future__ import annotations
@@ -16,8 +21,13 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.ckpt import manifest as manifest_mod
 from repro.ckpt import naming
-from repro.ckpt.errors import CheckpointIncompatibleError, CheckpointNotFoundError
+from repro.ckpt.errors import (
+    CheckpointIncompatibleError,
+    CheckpointIntegrityError,
+    CheckpointNotFoundError,
+)
 from repro.dist.topology import ParallelConfig
 from repro.models.configs import ModelConfig
 from repro.storage.store import ObjectStore
@@ -36,13 +46,44 @@ def resolve_tag(store: ObjectStore, tag: Optional[str]) -> str:
 
 
 def read_job_config(directory: str, tag: Optional[str] = None) -> Dict:
-    """Read a checkpoint's job config (model/parallel configs, seeds)."""
+    """Read a checkpoint's job config (model/parallel configs, seeds).
+
+    Verified against the tag's commit manifest when one exists; lenient
+    about missing manifests so inspection of foreign or pre-protocol
+    directories keeps working.
+    """
     store = ObjectStore(directory)
     tag = resolve_tag(store, tag)
     rel = f"{tag}/{naming.JOB_CONFIG_FILE}"
     if not store.exists(rel):
         raise CheckpointNotFoundError(f"missing {rel} in {directory}")
-    return store.load(rel)
+    manifest = manifest_mod.read_manifest(store, tag)
+    entry = manifest_mod.manifest_entry(manifest, naming.JOB_CONFIG_FILE)
+    return manifest_mod.load_verified(store, rel, entry)
+
+
+def _verified_rank_payload(
+    store: ObjectStore, tag: str, basename: str, manifest: Dict
+) -> Dict:
+    """Load one rank file under the commit protocol.
+
+    A file the manifest records but the disk lacks is integrity loss
+    (the tag *was* committed with it); a file neither side has is a
+    topology mismatch — the paper's Fig 1 failure.
+    """
+    rel = f"{tag}/{basename}"
+    entry = manifest_mod.manifest_entry(manifest, basename)
+    if not store.exists(rel):
+        if entry is not None:
+            raise CheckpointIntegrityError(
+                f"missing rank file {rel}: it is recorded in the commit "
+                f"manifest but absent on disk (deleted or lost after commit)"
+            )
+        raise CheckpointIncompatibleError(
+            f"missing rank file {rel}: the checkpoint was saved under "
+            f"a different topology or world size"
+        )
+    return manifest_mod.load_verified(store, rel, entry)
 
 
 def _check_model_config(engine, job_config: Dict) -> None:
@@ -87,7 +128,9 @@ def _check_segments(expected_meta: Dict, payload_meta: Dict, path: str) -> None:
         )
 
 
-def _load_per_param(engine, store: ObjectStore, tag: str, job_config: Dict) -> None:
+def _load_per_param(
+    engine, store: ObjectStore, tag: str, job_config: Dict, manifest: Dict
+) -> None:
     """Strict load of a Megatron-classic per-parameter checkpoint.
 
     Requires zero_stage=0 on the engine (the layout implies replicated
@@ -104,12 +147,9 @@ def _load_per_param(engine, store: ObjectStore, tag: str, job_config: Dict) -> N
         mp_rank = engine.layout.mp_rank_index(*coord)
         rank_layout = engine.layout.rank_layout(*coord)
         rel = f"{tag}/{naming.optim_states_name(0, mp_rank)}"
-        if not store.exists(rel):
-            raise CheckpointIncompatibleError(
-                f"missing rank file {rel}: the checkpoint was saved under "
-                f"a different topology or world size"
-            )
-        payload = store.load(rel)
+        payload = _verified_rank_payload(
+            store, tag, naming.optim_states_name(0, mp_rank), manifest
+        )
         states = payload["param_states"]
         expected = [e.name for e in rank_layout.entries]
         got = sorted(states["fp32"])
@@ -155,11 +195,14 @@ def load_distributed_checkpoint(
     Raises:
         CheckpointNotFoundError: missing directory, tag, or rank file.
         CheckpointIncompatibleError: any topology/layout mismatch.
+        CheckpointIntegrityError: the tag never committed (no manifest)
+            or a file fails its digest / structural verification.
     """
     store = ObjectStore(directory)
     tag = resolve_tag(store, tag)
     job_config = read_job_config(directory, tag)
     _check_model_config(engine, job_config)
+    manifest = manifest_mod.require_manifest(store, tag)
 
     cfg: ParallelConfig = engine.parallel_cfg
     saved_cfg = ParallelConfig.from_dict(job_config["parallel_config"])
@@ -170,7 +213,7 @@ def load_distributed_checkpoint(
         )
 
     if job_config.get("optimizer_layout", "flat") == "per_param":
-        _load_per_param(engine, store, tag, job_config)
+        _load_per_param(engine, store, tag, job_config, manifest)
         return tag
 
     from repro.ckpt.saver import _partition_meta  # layout comparison helper
@@ -181,12 +224,9 @@ def load_distributed_checkpoint(
         dp_ranks = [0] if cfg.zero_stage == 0 else list(range(cfg.dp))
         for d in dp_ranks:
             rel = f"{tag}/{naming.optim_states_name(d, mp_rank)}"
-            if not store.exists(rel):
-                raise CheckpointIncompatibleError(
-                    f"missing rank file {rel}: the checkpoint was saved "
-                    f"under a different topology or world size"
-                )
-            payload = store.load(rel)
+            payload = _verified_rank_payload(
+                store, tag, naming.optim_states_name(d, mp_rank), manifest
+            )
             expected = _partition_meta(rank_layout, d)
             if cfg.zero_stage == 0:
                 expected["partition_numel"] = rank_layout.flat_numel

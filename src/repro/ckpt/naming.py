@@ -8,6 +8,11 @@ Mirrors DeepSpeed's on-disk layout::
         mp_rank_{MM}_model_states.npt  <- per model-parallel rank module
         zero_dp_rank_{D}_mp_rank_{MM}_optim_states.npt
         zero3_dp_rank_{D}_model_states.npt   (ZeRO-3 only)
+        manifest.npt                   <- per-tag commit record (digests)
+
+The manifest is written after every data file and ``latest`` is only
+advanced after the manifest — a tag without a manifest is uncommitted
+and is never trusted by the strict loader or the converter.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import re
 
 LATEST_FILE = "latest"
 JOB_CONFIG_FILE = "job_config.npt"
+MANIFEST_FILE = "manifest.npt"
 
 _TAG_RE = re.compile(r"^global_step(\d+)$")
 

@@ -8,6 +8,10 @@ per-parameter sharding metadata (pattern + fragmenter) that the UCP
 language later consumes — this *is* the "existing distributed
 checkpoint saving logic does not need any change" property: UCP adds no
 save-time work beyond metadata that is already known at save time.
+
+Saves are crash-consistent: every file is an atomic commit, a per-tag
+manifest (:mod:`repro.ckpt.manifest`) records each file's digest, and
+``latest`` advances only after the manifest is durable.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
+from repro.ckpt import manifest as manifest_mod
 from repro.ckpt import naming
 from repro.dist.topology import ParallelConfig
 from repro.storage.store import ObjectStore
@@ -22,7 +27,13 @@ from repro.storage.store import ObjectStore
 
 @dataclasses.dataclass(frozen=True)
 class CheckpointInfo:
-    """Summary of one completed save."""
+    """Summary of one completed save.
+
+    ``files`` and ``total_bytes`` cover the data files only; the
+    commit manifest is protocol overhead, reported via
+    ``manifest_digest`` (the SHA-256 of the committed manifest bytes —
+    a content identity for the whole tag).
+    """
 
     directory: str
     tag: str
@@ -30,6 +41,7 @@ class CheckpointInfo:
     files: List[str]
     total_bytes: int
     simulated_write_s: float
+    manifest_digest: str = ""
 
 
 def _job_config_payload(engine) -> Dict:
@@ -107,12 +119,21 @@ def save_distributed_checkpoint(
     tag = tag if tag is not None else naming.tag_for_step(engine.iteration)
     cfg: ParallelConfig = engine.parallel_cfg
     files: List[str] = []
+    entries: Dict[str, Dict] = {}
     total = 0
+
+    def _commit(basename: str, payload: Dict) -> None:
+        # every data file is an atomic commit; its digest feeds the
+        # tag manifest written at the end (the tag's commit point)
+        nonlocal total
+        nbytes, digest = store.save_with_digest(f"{tag}/{basename}", payload)
+        entries[basename] = {"nbytes": nbytes, "sha256": digest}
+        files.append(f"{tag}/{basename}")
+        total += nbytes
 
     job_config = _job_config_payload(engine)
     job_config["optimizer_layout"] = optimizer_layout
-    total += store.save(f"{tag}/{naming.JOB_CONFIG_FILE}", job_config)
-    files.append(f"{tag}/{naming.JOB_CONFIG_FILE}")
+    _commit(naming.JOB_CONFIG_FILE, job_config)
 
     scaler_state = (
         engine.loss_scaler.state_dict() if engine.loss_scaler is not None else None
@@ -140,9 +161,7 @@ def save_distributed_checkpoint(
                 "parallel_config": cfg.to_dict(),
                 "sharding": _sharding_metadata(engine, names),
             }
-            rel = f"{tag}/{naming.model_states_name(mp_rank)}"
-            total += store.save(rel, payload)
-            files.append(rel)
+            _commit(naming.model_states_name(mp_rank), payload)
         else:
             # ZeRO-3: parameters are flat partitions per dp rank
             for d in range(cfg.dp):
@@ -155,9 +174,7 @@ def save_distributed_checkpoint(
                     "partition_meta": _partition_meta(rank_layout, d),
                     "sharding": _sharding_metadata(engine, names),
                 }
-                rel = f"{tag}/{naming.zero3_model_states_name(d)}"
-                total += store.save(rel, payload)
-                files.append(rel)
+                _commit(naming.zero3_model_states_name(d), payload)
 
         if optimizer_layout == "per_param":
             payload = {
@@ -175,9 +192,7 @@ def save_distributed_checkpoint(
                 "loss_scaler": scaler_state,
                 "sharding": _sharding_metadata(engine, names),
             }
-            rel = f"{tag}/{naming.optim_states_name(0, mp_rank)}"
-            total += store.save(rel, payload)
-            files.append(rel)
+            _commit(naming.optim_states_name(0, mp_rank), payload)
             continue
 
         dp_ranks = [0] if cfg.zero_stage == 0 else list(range(cfg.dp))
@@ -211,10 +226,13 @@ def save_distributed_checkpoint(
                 "loss_scaler": scaler_state,
                 "sharding": _sharding_metadata(engine, names),
             }
-            rel = f"{tag}/{naming.optim_states_name(d, mp_rank)}"
-            total += store.save(rel, payload)
-            files.append(rel)
+            _commit(naming.optim_states_name(d, mp_rank), payload)
 
+    # commit protocol: manifest after every data file, `latest` only
+    # after the manifest — a crash anywhere leaves the previous tag
+    # fully intact and this tag either committed or provably torn
+    manifest_mod.write_manifest(store, tag, entries)
+    manifest_digest = store.digest(manifest_mod.manifest_path(tag))
     store.write_text(naming.LATEST_FILE, tag)
     return CheckpointInfo(
         directory=directory,
@@ -223,4 +241,5 @@ def save_distributed_checkpoint(
         files=files,
         total_bytes=total,
         simulated_write_s=store.simulated_write_s,
+        manifest_digest=manifest_digest,
     )

@@ -82,8 +82,10 @@ def cmd_convert(args: argparse.Namespace) -> int:
         program=program,
         workers=args.workers,
     )
+    reused = f", {report.num_reused} reused" if report.num_reused else ""
     print(f"converted {report.source_tag}: {report.num_files} rank files -> "
-          f"{report.num_params} atoms ({report.atom_bytes / 1e6:.1f} MB) "
+          f"{report.num_params} atoms{reused} "
+          f"({report.atom_bytes / 1e6:.1f} MB) "
           f"in {report.total_seconds:.2f}s "
           f"(extract {report.extract_seconds:.2f}s, "
           f"union {report.union_seconds:.2f}s, "
@@ -110,16 +112,23 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    """Read every object in a directory, validating checksums."""
+    """Verify every object against checksums and commit manifests."""
     from repro.core.inspect import verify_directory
 
-    report = verify_directory(args.directory)
+    report = verify_directory(args.directory, deep=not args.shallow)
     if report.total == 0:
         print(f"no .npt objects under {args.directory}")
         return 1
-    print(f"verified {report.total - len(report.corrupt)}/{report.total} objects")
+    suffix = ""
+    if report.manifests:
+        plural = "s" if report.manifests != 1 else ""
+        suffix = f" against {report.manifests} commit manifest{plural}"
+    print(f"verified {report.total - len(report.corrupt)}/{report.total} "
+          f"objects{suffix}")
     for rel, err in report.corrupt:
         print(f"  CORRUPT {rel}: {err[:100]}")
+    for rel, err in report.missing:
+        print(f"  MISSING {rel}: {err[:100]}")
     return 0 if report.ok else 1
 
 
@@ -157,8 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=0, help="global batch override")
     p.set_defaults(func=cmd_plan)
 
-    p = sub.add_parser("verify", help="checksum-verify every object")
+    p = sub.add_parser(
+        "verify", help="verify objects against checksums and commit manifests"
+    )
     p.add_argument("directory")
+    p.add_argument(
+        "--shallow",
+        action="store_true",
+        help="check presence and sizes only (skip digests and CRCs)",
+    )
     p.set_defaults(func=cmd_verify)
     return parser
 

@@ -11,6 +11,14 @@ UCP (the paper's zero-save-overhead claim).  Phases:
    the paper's parallelism/memory trade-off).
 3. **StripPadding** and write one atom per parameter, plus global
    metadata.
+
+Conversion is crash-consistent and resumable: the source tag must be
+committed (its manifest is required, and every rank file is verified
+against it before use), ``ucp_meta.npt`` is written last as the
+destination's commit point, and a re-run after a mid-conversion crash
+reuses every atom that already exists and passes its integrity check —
+provided a source-identity marker proves the partial output came from
+the *same* committed source.
 """
 
 from __future__ import annotations
@@ -21,23 +29,36 @@ import re
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.ckpt.loader import read_job_config, resolve_tag
+from repro.ckpt import manifest as manifest_mod
+from repro.ckpt import naming
+from repro.ckpt.errors import CheckpointIntegrityError, CheckpointNotFoundError
+from repro.ckpt.loader import resolve_tag
 from repro.core.atom import STATE_KINDS, AtomCheckpoint, AtomStore
-from repro.core.errors import PatternMatchError, UCPFormatError
+from repro.core.errors import PatternMatchError, UCPError, UCPFormatError
 from repro.core.metadata import UCPMetadata
 from repro.core.ops import ParamFragment, extract, strip_padding, union
 from repro.core.patterns import PatternProgram, program_for_config
 from repro.dist.topology import ParallelConfig
 from repro.models.configs import ModelConfig
 from repro.parallel.tp import ShardSpec
+from repro.storage.serializer import SerializationError
 from repro.storage.store import ObjectStore
 
 _OPTIM_FILE_RE = re.compile(r"^zero_dp_rank_(\d+)_mp_rank_(\d+)_optim_states\.npt$")
 
+CONVERT_SOURCE_FILE = "ucp_convert_source.npt"
+"""Marker recording which committed source a (possibly partial)
+conversion was produced from; gates atom reuse on resume."""
+
 
 @dataclasses.dataclass(frozen=True)
 class ConversionReport:
-    """Metrics from one conversion run."""
+    """Metrics from one conversion run.
+
+    ``num_reused`` counts atoms carried over from a previous
+    (interrupted) conversion of the same committed source — they were
+    verified, not rewritten.
+    """
 
     source_tag: str
     num_files: int
@@ -48,6 +69,7 @@ class ConversionReport:
     write_seconds: float
     simulated_read_s: float
     simulated_write_s: float
+    num_reused: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -73,6 +95,88 @@ def _map_maybe_parallel(fn, items, workers: int):
     return [fn(item) for item in items]
 
 
+def _verify_source_commit(
+    store: ObjectStore, tag: str, manifest: Dict, files: List[str]
+) -> None:
+    """Cross-check a committed tag's rank files against its manifest.
+
+    A committed tag whose manifest lists an optimizer-state file the
+    disk no longer has would otherwise convert *silently wrong* — the
+    missing ranks' fragments would simply be absent from the union.
+    """
+    on_disk = {rel.split("/")[-1] for rel in files}
+    for basename in sorted(manifest["files"]):
+        if _OPTIM_FILE_RE.match(basename) and basename not in on_disk:
+            raise CheckpointIntegrityError(
+                f"missing rank file {tag}/{basename}: it is recorded in the "
+                f"commit manifest but absent on disk; converting without it "
+                f"would drop that rank's optimizer state"
+            )
+
+
+def _check_cross_rank_consistency(
+    files: List[str], payloads: List[Dict]
+) -> Tuple[Dict, Optional[Dict]]:
+    """Adam hyperparameters and loss-scaler state, asserted rank-uniform.
+
+    Every rank file records the job-wide Adam hyperparameters and loss
+    scaler; a disagreement means the tag mixes incompatible optimizer
+    states (e.g. files spliced from different runs) and silently
+    picking one would corrupt the converted checkpoint.
+    """
+    adam_hyper: Optional[Dict] = None
+    adam_src = ""
+    scaler_state: Optional[Dict] = None
+    scaler_src = ""
+    scaler_seen = False
+    for rel, payload in zip(files, payloads):
+        adam = payload["adam"]
+        if adam_hyper is None:
+            adam_hyper, adam_src = adam, rel
+        elif adam != adam_hyper:
+            raise UCPFormatError(
+                f"adam hyperparameters disagree across rank files: "
+                f"{adam_src} has {adam_hyper}, {rel} has {adam}; the tag "
+                f"mixes optimizer states from incompatible runs"
+            )
+        scaler = payload.get("loss_scaler")
+        if not scaler_seen:
+            scaler_state, scaler_src, scaler_seen = scaler, rel, True
+        elif scaler != scaler_state:
+            raise UCPFormatError(
+                f"loss-scaler state disagrees across rank files: "
+                f"{scaler_src} has {scaler_state}, {rel} has {scaler}; the "
+                f"tag mixes optimizer states from incompatible runs"
+            )
+    return adam_hyper or {}, scaler_state
+
+
+def _reusable_atom_meta(
+    atom_store: AtomStore, name: str, spec: ShardSpec
+) -> Optional[Dict]:
+    """A previously written atom's metadata, iff it can be trusted.
+
+    Reusable means: the metadata sidecar and all three state files
+    exist, decode cleanly (per-tensor CRC checked by the serializer),
+    and match the spec the current conversion resolved for the
+    parameter.  Anything less re-converts the atom from source.
+    """
+    try:
+        meta = atom_store.read_meta(name)
+        kinds = meta.get("kinds")
+        if kinds is None or sorted(kinds) != sorted(STATE_KINDS):
+            return None
+        if meta.get("spec") != spec.to_dict():
+            return None
+        shape = tuple(meta.get("shape", ()))
+        for kind in STATE_KINDS:
+            if tuple(atom_store.read_state(name, kind).shape) != shape:
+                return None
+    except (UCPError, SerializationError):
+        return None
+    return meta
+
+
 def ucp_convert(
     ckpt_dir: str,
     ucp_dir: str,
@@ -81,6 +185,9 @@ def ucp_convert(
     workers: int = 0,
     verify_replicas: bool = True,
     strict_spec_check: bool = True,
+    src_store: Optional[ObjectStore] = None,
+    dst_store: Optional[ObjectStore] = None,
+    resume: bool = True,
 ) -> ConversionReport:
     """Convert a distributed checkpoint into UCP atom format.
 
@@ -94,10 +201,40 @@ def ucp_convert(
         verify_replicas: fail if replicated copies are not bit-equal.
         strict_spec_check: cross-check the program's classification
             against the sharding metadata recorded at save time.
+        src_store: optional pre-built source store (shares simulated-IO
+            accounting and fault policy with the caller).
+        dst_store: optional pre-built destination store.
+        resume: reuse intact atoms left by a previous interrupted
+            conversion of the same committed source.
+
+    Raises:
+        CheckpointNotFoundError: missing directory or tag.
+        CheckpointIntegrityError: uncommitted source tag, or a source
+            file that is missing or fails digest verification.
+        UCPFormatError: structurally valid but semantically
+            inconsistent source (e.g. rank files disagreeing on Adam
+            hyperparameters).
     """
-    src_store = ObjectStore(ckpt_dir)
+    if src_store is None:
+        src_store = ObjectStore(ckpt_dir)
     src_tag = resolve_tag(src_store, tag)
-    job_config = read_job_config(ckpt_dir, src_tag)
+    if not (src_store.base / src_tag).is_dir():
+        raise CheckpointNotFoundError(f"no tag {src_tag!r} under {ckpt_dir}")
+
+    # --- Extract (parallel across rank files), verified vs manifest ---
+    t0 = time.perf_counter()
+    src_manifest = manifest_mod.require_manifest(src_store, src_tag)
+    files = _optim_files(src_store, src_tag)
+    _verify_source_commit(src_store, src_tag, src_manifest, files)
+
+    job_rel = f"{src_tag}/{naming.JOB_CONFIG_FILE}"
+    if not src_store.exists(job_rel):
+        raise CheckpointNotFoundError(f"missing {job_rel} in {ckpt_dir}")
+    job_config = manifest_mod.load_verified(
+        src_store,
+        job_rel,
+        manifest_mod.manifest_entry(src_manifest, naming.JOB_CONFIG_FILE),
+    )
     model_cfg = ModelConfig.from_dict(job_config["model_config"])
     source_cfg = ParallelConfig.from_dict(job_config["parallel_config"])
     if program is None:
@@ -105,21 +242,18 @@ def ucp_convert(
             model_cfg, expert_parallel=source_cfg.expert_parallel
         )
 
-    # --- Extract (parallel across rank files) ---
-    t0 = time.perf_counter()
-    files = _optim_files(src_store, src_tag)
-    payloads = _map_maybe_parallel(src_store.load, files, workers)
+    def _load_rank_file(rel: str) -> Dict:
+        entry = manifest_mod.manifest_entry(src_manifest, rel.split("/")[-1])
+        return manifest_mod.load_verified(src_store, rel, entry)
+
+    payloads = _map_maybe_parallel(_load_rank_file, files, workers)
+    adam_hyper, loss_scaler = _check_cross_rank_consistency(files, payloads)
 
     fragments: Dict[Tuple[str, str], List[ParamFragment]] = {}
     shapes: Dict[str, Dict] = {}
     optimizer_step = 0
-    loss_scaler = None
-    adam_hyper: Dict = {}
     for payload in payloads:
         optimizer_step = max(optimizer_step, int(payload["optimizer_step"]))
-        adam_hyper = payload["adam"]
-        if payload.get("loss_scaler") is not None:
-            loss_scaler = payload["loss_scaler"]
         for name, saved_spec in payload["sharding"].items():
             shapes[name] = saved_spec
         for fragment in extract(payload):
@@ -153,6 +287,41 @@ def ucp_convert(
                 )
         specs[name] = spec
 
+    # --- resumability gate: only reuse atoms proven to come from this
+    # exact committed source (tag + manifest digest) ---
+    if dst_store is None:
+        dst_store = ObjectStore(ucp_dir)
+    atom_store = AtomStore(ucp_dir, dst_store)
+    src_digest = src_store.digest(manifest_mod.manifest_path(src_tag))
+    marker_matches = False
+    if dst_store.exists(CONVERT_SOURCE_FILE):
+        try:
+            marker = dst_store.load(CONVERT_SOURCE_FILE)
+            marker_matches = (
+                marker.get("source_tag") == src_tag
+                and marker.get("source_manifest_sha256") == src_digest
+            )
+        except SerializationError:
+            marker_matches = False
+    if not marker_matches:
+        # declare intent before the first atom write, so a crashed run
+        # leaves enough evidence for the next one to trust its output
+        dst_store.save(
+            CONVERT_SOURCE_FILE,
+            {
+                "source_dir": str(src_store.base),
+                "source_tag": src_tag,
+                "source_manifest_sha256": src_digest,
+            },
+        )
+    reused: Dict[str, Dict] = {}
+    if resume and marker_matches:
+        for name in names:
+            meta = _reusable_atom_meta(atom_store, name, specs[name])
+            if meta is not None:
+                reused[name] = meta
+    fresh_names = [n for n in names if n not in reused]
+
     # --- Union + StripPadding (parallel across parameters) ---
     def consolidate(name: str) -> AtomCheckpoint:
         states = {}
@@ -166,27 +335,38 @@ def ucp_convert(
             states[kind] = strip_padding(merged, specs[name])
         return AtomCheckpoint(name=name, states=states, spec=specs[name].to_dict())
 
-    atoms = _map_maybe_parallel(consolidate, names, workers)
+    atoms = _map_maybe_parallel(consolidate, fresh_names, workers)
     t2 = time.perf_counter()
 
-    # --- write atoms + metadata ---
-    dst_store = ObjectStore(ucp_dir)
-    atom_store = AtomStore(ucp_dir, dst_store)
+    # --- write atoms, then metadata: ucp_meta.npt is the destination's
+    # commit point, written only after every atom is durable ---
     atom_bytes = sum(_map_maybe_parallel(atom_store.write, atoms, workers))
 
+    # params in canonical name order so resumed and clean conversions
+    # produce byte-identical metadata
+    atom_by_name = {atom.name: atom for atom in atoms}
+    params = {}
+    for name in names:
+        if name in reused:
+            meta = reused[name]
+            params[name] = {
+                "shape": [int(d) for d in meta["shape"]],
+                "spec": meta["spec"],
+                "kinds": sorted(meta["kinds"]),
+            }
+        else:
+            atom = atom_by_name[name]
+            params[name] = {
+                "shape": list(atom.shape),
+                "spec": atom.spec,
+                "kinds": sorted(atom.states),
+            }
     metadata = UCPMetadata(
         iteration=int(job_config["iteration"]),
         optimizer_step=optimizer_step,
         model_config=model_cfg.to_dict(),
         source_parallel_config=source_cfg.to_dict(),
-        params={
-            atom.name: {
-                "shape": list(atom.shape),
-                "spec": atom.spec,
-                "kinds": sorted(atom.states),
-            }
-            for atom in atoms
-        },
+        params=params,
         adam=adam_hyper,
         training={
             "seed": job_config["seed"],
@@ -204,11 +384,12 @@ def ucp_convert(
     return ConversionReport(
         source_tag=src_tag,
         num_files=len(files),
-        num_params=len(atoms),
+        num_params=len(params),
         atom_bytes=atom_bytes,
         extract_seconds=t1 - t0,
         union_seconds=t2 - t1,
         write_seconds=t3 - t2,
         simulated_read_s=src_store.simulated_read_s,
         simulated_write_s=dst_store.simulated_write_s,
+        num_reused=len(reused),
     )

@@ -11,12 +11,16 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro.ckpt import manifest as manifest_mod
+from repro.ckpt import naming
 from repro.ckpt.consolidated import CONSOLIDATED_FILE
+from repro.ckpt.errors import CheckpointIntegrityError
 from repro.ckpt.loader import read_job_config, resolve_tag
 from repro.core.metadata import UCP_META_FILE, UCPMetadata
 from repro.dist.topology import ParallelConfig
 from repro.models.configs import ModelConfig
-from repro.storage.store import ObjectStore
+from repro.storage.serializer import SerializationError, validate_npt
+from repro.storage.store import ObjectStore, sha256_hex
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,25 +139,107 @@ def inspect_directory(directory: str) -> DirectorySummary:
 
 @dataclasses.dataclass(frozen=True)
 class VerificationReport:
-    """Outcome of an integrity pass."""
+    """Outcome of an integrity pass.
+
+    Attributes:
+        total: ``.npt`` objects examined.
+        corrupt: (rel path, problem) for objects that fail structural
+            or digest verification.
+        missing: (rel path, problem) for files a commit manifest (or
+            the ``latest`` pointer) records but the disk lacks.
+        manifests: commit manifests found and cross-checked.
+    """
 
     total: int
     corrupt: List[Tuple[str, str]]
+    missing: List[Tuple[str, str]] = dataclasses.field(default_factory=list)
+    manifests: int = 0
 
     @property
     def ok(self) -> bool:
-        """True when every object read back cleanly."""
-        return not self.corrupt and self.total > 0
+        """True when every object read back cleanly and none is lost."""
+        return not self.corrupt and not self.missing and self.total > 0
 
 
-def verify_directory(directory: str) -> VerificationReport:
-    """Read every ``.npt`` object, validating CRC32 checksums."""
+def verify_directory(directory: str, deep: bool = True) -> VerificationReport:
+    """Integrity-check every ``.npt`` object under a directory.
+
+    Each file's bytes are read once and validated structurally (magic,
+    header, per-tensor CRC32 — without materializing arrays).  Files
+    covered by a tag's commit manifest are additionally digest-checked
+    against it, manifest entries with no file on disk are reported as
+    missing, and the ``latest`` pointer is checked to name a committed
+    tag.  With ``deep=False`` only sizes and presence are checked.
+    """
     store = ObjectStore(directory)
     files = [f for f in store.list() if f.endswith(".npt")]
     corrupt: List[Tuple[str, str]] = []
+    missing: List[Tuple[str, str]] = []
+
+    manifests: Dict[str, Dict] = {}
     for rel in files:
+        parts = rel.split("/")
+        if len(parts) == 2 and parts[1] == naming.MANIFEST_FILE:
+            try:
+                manifests[parts[0]] = manifest_mod.require_manifest(
+                    store, parts[0]
+                )
+            except CheckpointIntegrityError as exc:
+                corrupt.append((rel, str(exc)))
+
+    for rel in files:
+        parts = rel.split("/")
+        if len(parts) == 2 and parts[1] == naming.MANIFEST_FILE:
+            continue  # verified (and CRC-checked) above
+        entry = None
+        if len(parts) == 2 and parts[0] in manifests:
+            entry = manifest_mod.manifest_entry(manifests[parts[0]], parts[1])
         try:
-            store.load(rel)
-        except Exception as exc:
+            data = (store.base / rel).read_bytes()
+        except OSError as exc:
             corrupt.append((rel, str(exc)))
-    return VerificationReport(total=len(files), corrupt=corrupt)
+            continue
+        problem: Optional[str] = None
+        if entry is not None:
+            if len(data) != int(entry["nbytes"]):
+                problem = (
+                    f"size mismatch: commit manifest records "
+                    f"{entry['nbytes']} bytes, found {len(data)}"
+                )
+            elif deep and sha256_hex(data) != entry["sha256"]:
+                problem = "sha256 digest mismatch vs commit manifest"
+        if problem is None and deep:
+            try:
+                validate_npt(data)
+            except SerializationError as exc:
+                problem = str(exc)
+        if problem is not None:
+            corrupt.append((rel, problem))
+
+    for tag in sorted(manifests):
+        for basename in sorted(manifests[tag]["files"]):
+            rel = f"{tag}/{basename}"
+            if not store.exists(rel):
+                missing.append(
+                    (rel, "recorded in commit manifest but absent on disk")
+                )
+
+    if store.exists(naming.LATEST_FILE):
+        tag = store.read_text(naming.LATEST_FILE).strip()
+        if not (store.base / tag).is_dir():
+            missing.append(
+                (naming.LATEST_FILE,
+                 f"points at tag {tag!r} which does not exist")
+            )
+        elif tag not in manifests:
+            corrupt.append(
+                (naming.LATEST_FILE,
+                 f"points at tag {tag!r} which has no commit manifest")
+            )
+
+    return VerificationReport(
+        total=len(files),
+        corrupt=corrupt,
+        missing=missing,
+        manifests=len(manifests),
+    )

@@ -174,3 +174,38 @@ def read_npt(fh: BinaryIO, verify_checksums: bool = True) -> Any:
 def deserialize(data: bytes) -> Any:
     """Decode ``.npt`` bytes back to the object tree."""
     return read_npt(io.BytesIO(data))
+
+
+def validate_npt(data: bytes) -> None:
+    """Structurally validate ``.npt`` bytes without materializing arrays.
+
+    Walks the container exactly like :func:`read_npt` — magic, header,
+    padding, per-tensor CRC32 — but never copies or reshapes payloads,
+    so integrity sweeps over large checkpoints stay cheap.  Raises
+    :class:`SerializationError` / :class:`ChecksumError` on any damage.
+    """
+    fh = io.BytesIO(data)
+    magic = _read_exact(fh, len(MAGIC), "magic")
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}; not an .npt file")
+    header_len = int.from_bytes(_read_exact(fh, 8, "header length"), "little")
+    header = json.loads(_read_exact(fh, header_len, "header").decode("utf-8"))
+    header_block = len(MAGIC) + 8 + header_len
+    _read_exact(fh, _align(header_block) - header_block, "header padding")
+    cursor = 0
+    for index, entry in enumerate(header["tensors"]):
+        pad = entry["offset"] - cursor
+        if pad:
+            _read_exact(fh, pad, "tensor padding")
+            cursor += pad
+        raw = _read_exact(fh, entry["nbytes"], "tensor payload")
+        cursor += entry["nbytes"]
+        expected_crc = entry.get("crc32")
+        if expected_crc is not None:
+            actual = zlib.crc32(raw) & 0xFFFFFFFF
+            if actual != expected_crc:
+                raise ChecksumError(
+                    f"tensor {index} failed CRC32: stored "
+                    f"{expected_crc:#010x}, computed {actual:#010x} "
+                    f"(corrupt or tampered payload)"
+                )

@@ -1,13 +1,30 @@
-"""Directory-backed object store with byte and simulated-time accounting."""
+"""Directory-backed object store with byte and simulated-time accounting.
+
+All writes are *atomic commits*: bytes land in a ``*.tmp`` sibling and
+are published with ``os.replace``, so a reader never observes a torn
+object — it sees either the previous version or the new one.  Every IO
+boundary runs through the optional :class:`~repro.storage.faults.
+FaultPolicy` hook (crash injection, transient errors, latency spikes),
+and transient faults are retried under a
+:class:`~repro.storage.faults.RetryPolicy` whose backoff is charged to
+the simulated NVMe clock.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pathlib
-from typing import Any, List
+from typing import Any, List, Optional, Tuple
 
+from repro.storage.faults import FaultPolicy, RetryPolicy, TransientIOError
 from repro.storage.nvme import DEFAULT_NVME, NVMeModel
-from repro.storage.serializer import read_npt, write_npt
+from repro.storage.serializer import deserialize, serialize
+
+
+def sha256_hex(data: bytes) -> str:
+    """Content digest used by checkpoint manifests."""
+    return hashlib.sha256(data).hexdigest()
 
 
 class ObjectStore:
@@ -16,13 +33,27 @@ class ObjectStore:
     Tracks bytes read/written and accumulates simulated NVMe time, so
     the benchmark harness can report the same save/load cost curves as
     the paper's Figs 11-12 without real datacenter storage.
+
+    Args:
+        base_dir: directory all relative paths resolve under.
+        nvme: device profile for simulated-time accounting.
+        faults: optional fault-injection policy hooked into every IO.
+        retry: how injected transient faults are retried.
     """
 
-    def __init__(self, base_dir: str, nvme: NVMeModel = DEFAULT_NVME) -> None:
+    def __init__(
+        self,
+        base_dir: str,
+        nvme: NVMeModel = DEFAULT_NVME,
+        faults: Optional[FaultPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.base = pathlib.Path(base_dir)
         self.base.mkdir(parents=True, exist_ok=True)
         self._base_str = os.path.normpath(str(self.base))
         self.nvme = nvme
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
         self.bytes_written = 0
         self.bytes_read = 0
         self.simulated_write_s = 0.0
@@ -36,36 +67,109 @@ class ObjectStore:
             raise ValueError(f"path {rel_path!r} escapes the store root")
         return pathlib.Path(normalized)
 
-    def save(self, rel_path: str, obj: Any, parallel: int = 1) -> int:
-        """Serialize and write one object; returns bytes written."""
+    def _attempt_with_retry(self, hook, charge_to: str) -> None:
+        """Run a fault hook, absorbing transient faults per the policy."""
+        attempt = 1
+        while True:
+            try:
+                hook()
+                return
+            except TransientIOError:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                backoff = self.retry.delay_s(attempt)
+                if charge_to == "write":
+                    self.simulated_write_s += backoff
+                else:
+                    self.simulated_read_s += backoff
+                attempt += 1
+
+    # --- byte-level primitives (all object IO funnels through these) ---
+
+    def put_bytes(self, rel_path: str, data: bytes, parallel: int = 1) -> int:
+        """Atomically commit raw bytes; returns bytes written.
+
+        The write goes to a temp file first and is published with an
+        atomic rename — a crash at any point leaves either the previous
+        object or the new one visible, never a torn file.
+        """
         path = self._resolve(rel_path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(path.suffix + ".tmp")
+        if self.faults is not None:
+            self._attempt_with_retry(
+                lambda: self.faults.on_write(rel_path, tmp, data), "write"
+            )
         with open(tmp, "wb") as fh:
-            nbytes = write_npt(fh, obj)
+            fh.write(data)
         os.replace(tmp, path)
-        self.bytes_written += nbytes
-        self.simulated_write_s += self.nvme.write_time(nbytes, parallel)
-        return nbytes
+        self.bytes_written += len(data)
+        self.simulated_write_s += self.nvme.write_time(len(data), parallel)
+        if self.faults is not None:
+            self.simulated_write_s += self.faults.write_latency_s(
+                rel_path, len(data)
+            )
+        return len(data)
 
-    def load(self, rel_path: str, parallel: int = 1) -> Any:
-        """Read and deserialize one object."""
+    def read_bytes(self, rel_path: str, parallel: int = 1) -> bytes:
+        """Read one object's raw bytes."""
         path = self._resolve(rel_path)
         if not path.is_file():
             raise FileNotFoundError(f"no object at {rel_path!r} in {self.base}")
-        nbytes = path.stat().st_size
-        with open(path, "rb") as fh:
-            obj = read_npt(fh)
-        self.bytes_read += nbytes
-        self.simulated_read_s += self.nvme.read_time(nbytes, parallel)
-        return obj
+        if self.faults is not None:
+            self._attempt_with_retry(
+                lambda: self.faults.on_read(rel_path, path), "read"
+            )
+        data = path.read_bytes()
+        self.bytes_read += len(data)
+        self.simulated_read_s += self.nvme.read_time(len(data), parallel)
+        if self.faults is not None:
+            self.simulated_read_s += self.faults.read_latency_s(
+                rel_path, len(data)
+            )
+        return data
+
+    # --- object API ---
+
+    def save(self, rel_path: str, obj: Any, parallel: int = 1) -> int:
+        """Serialize and write one object; returns bytes written."""
+        nbytes, _ = self.save_with_digest(rel_path, obj, parallel=parallel)
+        return nbytes
+
+    def save_with_digest(
+        self, rel_path: str, obj: Any, parallel: int = 1
+    ) -> Tuple[int, str]:
+        """Serialize and write one object; returns (bytes, sha256 hex).
+
+        The digest is computed over the exact committed bytes, so a
+        manifest entry recorded from it detects any later mutation.
+        """
+        data = serialize(obj)
+        digest = sha256_hex(data)
+        self.put_bytes(rel_path, data, parallel=parallel)
+        return len(data), digest
+
+    def load(self, rel_path: str, parallel: int = 1) -> Any:
+        """Read and deserialize one object."""
+        return deserialize(self.read_bytes(rel_path, parallel=parallel))
+
+    def digest(self, rel_path: str) -> str:
+        """SHA-256 of an object's current on-disk bytes (no accounting)."""
+        path = self._resolve(rel_path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no object at {rel_path!r} in {self.base}")
+        return sha256_hex(path.read_bytes())
 
     def exists(self, rel_path: str) -> bool:
         """Whether an object exists at the path."""
         return self._resolve(rel_path).is_file()
 
     def list(self, rel_dir: str = ".") -> List[str]:
-        """Relative paths of all objects under a directory, sorted."""
+        """Relative paths of all objects under a directory, sorted.
+
+        Uncommitted ``*.tmp`` leftovers (from crashes mid-write) are
+        never listed — they are not part of any committed state.
+        """
         root = self._resolve(rel_dir)
         if not root.is_dir():
             return []
@@ -82,11 +186,12 @@ class ObjectStore:
             path.unlink()
 
     def write_text(self, rel_path: str, text: str) -> None:
-        """Write a small text marker file (e.g. the ``latest`` tag)."""
-        path = self._resolve(rel_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(text)
-        self.bytes_written += len(text.encode())
+        """Atomically write a small text marker file (e.g. ``latest``).
+
+        Goes through the same temp-file + rename commit as object
+        writes: advancing the ``latest`` tag is all-or-nothing.
+        """
+        self.put_bytes(rel_path, text.encode())
 
     def read_text(self, rel_path: str) -> str:
         """Read a text marker file."""

@@ -104,7 +104,7 @@ class TestVerify:
     def test_corrupt_file_detected(self, checkpoint, capsys):
         ckpt, _ = checkpoint
         store = ObjectStore(ckpt)
-        rel = store.list()[1]
+        rel = next(f for f in store.list() if "optim_states" in f)
         path = store.base / rel
         data = bytearray(path.read_bytes())
         data[-3] ^= 0xFF

@@ -1,0 +1,212 @@
+"""Crash matrix: injected crashes at every file-write boundary.
+
+The commit-protocol invariant under test: whatever the crash point,
+recovery either lands on the previous committed tag bit-identically or
+fails with a typed error — a torn save or conversion is never silently
+loaded as wrong weights.  Conversion additionally resumes: a re-run
+after a crash reuses every atom that already committed intact.
+"""
+
+import dataclasses
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.ckpt.errors import CheckpointError
+from repro.ckpt.loader import load_distributed_checkpoint
+from repro.ckpt.saver import save_distributed_checkpoint
+from repro.core.convert import ucp_convert
+from repro.core.inspect import verify_directory
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+from repro.parallel.engine import TrainingEngine
+from repro.storage.faults import CrashAtWrite, FaultPolicy, InjectedCrash
+from repro.storage.store import ObjectStore
+
+PARALLEL = ParallelConfig(tp=2, dp=2, zero_stage=1)
+
+
+def tiny_engine(seed: int = 7) -> TrainingEngine:
+    """A one-layer model keeps the write-boundary count tractable."""
+    cfg = dataclasses.replace(get_config("gpt3-mini"), num_layers=1)
+    return TrainingEngine(
+        cfg, PARALLEL, seed=seed, global_batch_size=4, seq_len=16
+    )
+
+
+def dir_digests(root, sub: str = "."):
+    """rel path -> sha256 for every committed object under a directory."""
+    store = ObjectStore(str(root))
+    return {rel: store.digest(rel) for rel in store.list(sub)}
+
+
+@pytest.fixture(scope="module")
+def save_setup(tmp_path_factory):
+    """A committed tag, a trained-further engine, and the boundary count
+    of the save that would commit the next tag."""
+    root = tmp_path_factory.mktemp("crash_save")
+    baseline = root / "baseline"
+    engine = tiny_engine()
+    engine.train(2)
+    save_distributed_checkpoint(engine, str(baseline))
+    engine.train(2)  # iteration 4: the next save writes global_step4
+    committed = dir_digests(baseline, "global_step2")
+
+    probe = root / "probe"
+    shutil.copytree(baseline, probe)
+    counter = FaultPolicy()
+    save_distributed_checkpoint(
+        engine, str(probe), store=ObjectStore(str(probe), faults=counter)
+    )
+    return engine, baseline, committed, counter.write_ops
+
+
+class TestSaveCrashMatrix:
+    def test_boundary_count_covers_manifest_and_latest(self, save_setup):
+        _, _, committed, n_boundaries = save_setup
+        # every data file + the manifest + the `latest` marker
+        assert n_boundaries == len(committed) - 1 + 2
+
+    def test_crash_at_every_write_boundary(self, save_setup, tmp_path):
+        engine, baseline, committed, n_boundaries = save_setup
+        for k in range(n_boundaries):
+            for torn in (False, True):
+                work = tmp_path / f"k{k}_{'torn' if torn else 'clean'}"
+                shutil.copytree(baseline, work)
+                store = ObjectStore(str(work), faults=CrashAtWrite(k, torn=torn))
+                with pytest.raises(InjectedCrash):
+                    save_distributed_checkpoint(engine, str(work), store=store)
+
+                # recovery via `latest` always succeeds...
+                recovered = tiny_engine(seed=0)
+                tag = None
+                try:
+                    tag = load_distributed_checkpoint(recovered, str(work))
+                except CheckpointError as exc:
+                    pytest.fail(
+                        f"crash at boundary {k} (torn={torn}) broke "
+                        f"recovery via latest: {exc}"
+                    )
+                if k < n_boundaries - 1:
+                    # ...onto the previous tag, bit-identical on disk
+                    assert tag == "global_step2", (k, torn)
+                    assert dir_digests(work, "global_step2") == committed
+                else:
+                    # crash during the `latest` write itself: the new
+                    # tag is already committed, only the pointer is old
+                    assert tag == "global_step2"
+
+                # the in-flight tag loads only once its manifest
+                # committed; anything less raises a typed error
+                probe = tiny_engine(seed=0)
+                try:
+                    load_distributed_checkpoint(
+                        probe, str(work), tag="global_step4"
+                    )
+                except CheckpointError:
+                    assert k < n_boundaries - 1, (k, torn)
+                else:
+                    assert k == n_boundaries - 1, (k, torn)
+
+                # an integrity sweep never flags the directory: torn
+                # bytes live only in .tmp files outside committed state
+                assert verify_directory(str(work)).ok, (k, torn)
+
+
+@pytest.fixture(scope="module")
+def convert_setup(tmp_path_factory):
+    """A committed source, its reference conversion, and the conversion
+    write-boundary count."""
+    root = tmp_path_factory.mktemp("crash_convert")
+    ckpt = root / "ckpt"
+    engine = tiny_engine()
+    engine.train(2)
+    save_distributed_checkpoint(engine, str(ckpt))
+
+    ref_ucp = root / "ref_ucp"
+    ucp_convert(str(ckpt), str(ref_ucp))
+    ref_digests = dir_digests(ref_ucp)
+
+    probe = root / "probe_ucp"
+    counter = FaultPolicy()
+    ucp_convert(
+        str(ckpt), str(probe),
+        dst_store=ObjectStore(str(probe), faults=counter),
+    )
+    return engine, ckpt, ref_digests, counter.write_ops
+
+
+class TestConversionCrashMatrix:
+    def test_boundary_count_decomposes(self, convert_setup):
+        _, _, _, n_boundaries = convert_setup
+        # source marker + 4 files per atom + ucp_meta
+        assert n_boundaries > 2
+        assert (n_boundaries - 2) % 4 == 0
+
+    def test_crash_at_every_write_boundary_then_resume(
+        self, convert_setup, tmp_path
+    ):
+        engine, ckpt, ref_digests, n_boundaries = convert_setup
+        total_reused = 0
+        for k in range(n_boundaries):
+            work = tmp_path / f"k{k}"
+            store = ObjectStore(str(work), faults=CrashAtWrite(k))
+            with pytest.raises(InjectedCrash):
+                ucp_convert(str(ckpt), str(work), dst_store=store)
+
+            report = ucp_convert(str(ckpt), str(work))
+            # atoms commit in 4 writes each, after the boundary-0
+            # source marker; every fully committed atom is reused
+            expected_reused = (k - 1) // 4 if k >= 1 else 0
+            assert report.num_reused == expected_reused, k
+            total_reused += report.num_reused
+            # resumed output is bit-identical to a clean conversion
+            assert dir_digests(work) == ref_digests, k
+        assert total_reused > 0
+
+    def test_torn_conversion_crash_resumes_identically(
+        self, convert_setup, tmp_path
+    ):
+        _, ckpt, ref_digests, n_boundaries = convert_setup
+        for k in (1, n_boundaries - 1):
+            work = tmp_path / f"torn{k}"
+            store = ObjectStore(str(work), faults=CrashAtWrite(k, torn=True))
+            with pytest.raises(InjectedCrash):
+                ucp_convert(str(ckpt), str(work), dst_store=store)
+            ucp_convert(str(ckpt), str(work))
+            assert dir_digests(work) == ref_digests, k
+
+    def test_reference_conversion_loads_exactly(self, convert_setup, tmp_path):
+        engine, ckpt, _, _ = convert_setup
+        ucp = tmp_path / "ucp"
+        ucp_convert(str(ckpt), str(ucp))
+        target = tiny_engine(seed=0)
+        target.load_universal(str(ucp))
+        for kind in ("fp32", "exp_avg", "exp_avg_sq"):
+            a = engine.zero.consolidated_tensors(kind)
+            b = target.zero.consolidated_tensors(kind)
+            for name in a:
+                cut = tuple(
+                    slice(0, d)
+                    for d in engine.layout.spec(name).unpadded_shape
+                )
+                assert np.array_equal(a[name][cut], b[name][cut]), (name, kind)
+
+    def test_stale_output_from_other_source_not_reused(
+        self, convert_setup, tmp_path
+    ):
+        """Atoms left by a conversion of a *different* committed source
+        must be rewritten, not reused — the identity marker gates it."""
+        _, ckpt, ref_digests, _ = convert_setup
+        other = tiny_engine(seed=3)
+        other.train(2)
+        other_ckpt = tmp_path / "other_ckpt"
+        save_distributed_checkpoint(other, str(other_ckpt))
+
+        work = tmp_path / "ucp"
+        ucp_convert(str(other_ckpt), str(work))
+        report = ucp_convert(str(ckpt), str(work))
+        assert report.num_reused == 0
+        # fully rewritten: every object matches the clean conversion
+        assert dir_digests(work) == ref_digests

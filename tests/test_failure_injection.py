@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.ckpt import naming
-from repro.ckpt.errors import CheckpointIncompatibleError, CheckpointNotFoundError
+from repro.ckpt import manifest, naming
+from repro.ckpt.errors import (
+    CheckpointIntegrityError,
+    CheckpointNotFoundError,
+)
 from repro.core.convert import ucp_convert
 from repro.core.errors import AtomMissingError, UCPFormatError
 from repro.core.loader import load_ucp_into_engine
@@ -45,12 +48,14 @@ class TestCorruptCheckpointFiles:
         with pytest.raises(SerializationError, match="magic"):
             fresh.load_checkpoint(ckpt)
 
-    def test_deleted_rank_file_is_incompatible(self, checkpoint):
+    def test_deleted_rank_file_is_integrity_loss(self, checkpoint):
+        # the commit manifest records the file, so its absence is data
+        # loss after commit — not a topology mismatch
         _, ckpt, _ = checkpoint
         store = ObjectStore(ckpt)
         store.delete(f"global_step2/{naming.optim_states_name(1, 1)}")
         fresh = make_engine(parallel=ParallelConfig(tp=2, dp=2))
-        with pytest.raises(CheckpointIncompatibleError, match="missing rank file"):
+        with pytest.raises(CheckpointIntegrityError, match="missing rank file"):
             fresh.load_checkpoint(ckpt)
 
     def test_stale_latest_marker(self, checkpoint):
@@ -63,12 +68,68 @@ class TestCorruptCheckpointFiles:
     def test_conversion_rejects_corrupt_source(self, checkpoint):
         _, ckpt, tmp = checkpoint
         store = ObjectStore(ckpt)
+        basename = naming.optim_states_name(0, 0)
+        rel = f"global_step2/{basename}"
+        payload = store.load(rel)
+        payload["partition_meta"]["segments"][0]["numel"] += 1
+        store.save(rel, payload)
+        # re-commit the manifest so the *semantic* inconsistency is
+        # what the converter trips on, not the digest mismatch
+        manifest.refresh_entry(store, "global_step2", basename)
+        with pytest.raises(UCPFormatError):
+            ucp_convert(ckpt, str(tmp / "ucp"))
+
+    def test_out_of_band_modification_is_integrity_error(self, checkpoint):
+        # same tampering, but without re-committing the manifest: the
+        # digest check catches it before any semantic validation
+        _, ckpt, tmp = checkpoint
+        store = ObjectStore(ckpt)
         rel = f"global_step2/{naming.optim_states_name(0, 0)}"
         payload = store.load(rel)
         payload["partition_meta"]["segments"][0]["numel"] += 1
         store.save(rel, payload)
-        with pytest.raises(UCPFormatError):
+        with pytest.raises(CheckpointIntegrityError, match="modified after commit"):
             ucp_convert(ckpt, str(tmp / "ucp"))
+
+    def test_cross_rank_adam_mismatch_rejected(self, checkpoint):
+        """Regression: the converter used to take adam/loss-scaler
+        state from whichever rank file it read last, silently masking a
+        checkpoint spliced from incompatible runs."""
+        _, ckpt, tmp = checkpoint
+        store = ObjectStore(ckpt)
+        basename = naming.optim_states_name(1, 1)
+        rel = f"global_step2/{basename}"
+        payload = store.load(rel)
+        payload["adam"]["lr"] = payload["adam"]["lr"] * 10
+        store.save(rel, payload)
+        manifest.refresh_entry(store, "global_step2", basename)
+        with pytest.raises(UCPFormatError, match="adam hyperparameters disagree"):
+            ucp_convert(ckpt, str(tmp / "ucp"))
+
+    def test_cross_rank_loss_scaler_mismatch_rejected(self, checkpoint):
+        _, ckpt, tmp = checkpoint
+        store = ObjectStore(ckpt)
+        basename = naming.optim_states_name(0, 1)
+        rel = f"global_step2/{basename}"
+        payload = store.load(rel)
+        # fp32 runs record no scaler; one rank claiming fp16 scaler
+        # state is exactly the spliced-checkpoint case
+        assert payload["loss_scaler"] is None
+        payload["loss_scaler"] = {"scale": 1024.0, "good_steps": 3}
+        store.save(rel, payload)
+        manifest.refresh_entry(store, "global_step2", basename)
+        with pytest.raises(UCPFormatError, match="loss-scaler state disagrees"):
+            ucp_convert(ckpt, str(tmp / "ucp"))
+
+    def test_uncommitted_tag_refuses_to_load(self, checkpoint):
+        # deleting the manifest makes the tag look torn: all data files
+        # are present and valid, but the commit record is gone
+        _, ckpt, _ = checkpoint
+        store = ObjectStore(ckpt)
+        store.delete(manifest.manifest_path("global_step2"))
+        fresh = make_engine(parallel=ParallelConfig(tp=2, dp=2))
+        with pytest.raises(CheckpointIntegrityError, match="no commit manifest"):
+            fresh.load_checkpoint(ckpt)
 
 
 class TestCorruptUCPDirectories:

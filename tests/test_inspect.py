@@ -30,7 +30,7 @@ class TestInspectDirectory:
         assert summary.parallel == engine.parallel_cfg
         assert summary.iteration == 2
         assert summary.tag == "global_step2"
-        assert summary.num_files == 13
+        assert summary.num_files == 14  # 13 data files + commit manifest
         assert summary.total_bytes > 0
 
     def test_distributed_census_covers_all_stages(self, trained):
@@ -82,7 +82,9 @@ class TestVerifyDirectory:
         _, ckpt, _ = trained
         report = verify_directory(ckpt)
         assert report.ok
-        assert report.total == 13
+        assert report.total == 14  # 13 data files + commit manifest
+        assert report.manifests == 1
+        assert not report.missing
 
     def test_corruption_located(self, trained):
         _, ckpt, _ = trained

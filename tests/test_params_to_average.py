@@ -13,7 +13,7 @@ saved checkpoint files*, then verify:
 import numpy as np
 import pytest
 
-from repro.ckpt import naming
+from repro.ckpt import manifest, naming
 from repro.core.convert import ucp_convert
 from repro.core.atom import AtomStore
 from repro.core.errors import PatternMatchError
@@ -36,7 +36,8 @@ def _perturb_norm_on_sp_rank(ckpt_dir: str, tag: str, sp_rank: int) -> np.ndarra
     mp_rank = sp_rank  # pp=1, tp=1 -> mp index == sp coordinate
     noise = None
     for dp_rank in range(SOURCE.dp):
-        rel = f"{tag}/{naming.optim_states_name(dp_rank, mp_rank)}"
+        basename = naming.optim_states_name(dp_rank, mp_rank)
+        rel = f"{tag}/{basename}"
         payload = store.load(rel)
         meta = payload["partition_meta"]
         segment = next(s for s in meta["segments"] if s["name"] == NORM_NAME)
@@ -46,6 +47,7 @@ def _perturb_norm_on_sp_rank(ckpt_dir: str, tag: str, sp_rank: int) -> np.ndarra
         hi = min(segment["offset"] + segment["numel"], part_hi)
         if lo >= hi:
             store.save(rel, payload)
+            manifest.refresh_entry(store, tag, basename)
             continue
         flat = payload["fp32_flat_partition"]
         gen = np.random.default_rng(sp_rank + 1)
@@ -58,6 +60,9 @@ def _perturb_norm_on_sp_rank(ckpt_dir: str, tag: str, sp_rank: int) -> np.ndarra
             lo - segment["offset"] : hi - segment["offset"]
         ]
         store.save(rel, payload)
+        # out-of-band edit: re-commit the manifest entry so integrity
+        # checks reflect the perturbed content
+        manifest.refresh_entry(store, tag, basename)
     return noise
 
 

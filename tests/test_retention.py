@@ -84,3 +84,56 @@ class TestPrune:
             RetentionPolicy(keep_last=0)
         with pytest.raises(ValueError, match="keep_every"):
             RetentionPolicy(keep_every=-1)
+
+
+class TestPruneEdgeCases:
+    def test_non_numeric_tag_suffixes_ignored(self, many_checkpoints):
+        _, ckpt = many_checkpoints
+        base = ObjectStore(ckpt).base
+        (base / "global_stepabc").mkdir()
+        (base / "global_step2b").mkdir()
+        assert list_tags(ckpt) == [f"global_step{i}" for i in range(1, 7)]
+        prune_checkpoints(ckpt, RetentionPolicy(keep_last=1))
+        # foreign directories are neither counted nor deleted
+        assert (base / "global_stepabc").is_dir()
+        assert (base / "global_step2b").is_dir()
+
+    def test_keep_every_zero_disables_anchors(self, many_checkpoints):
+        _, ckpt = many_checkpoints
+        pruned = prune_checkpoints(
+            ckpt, RetentionPolicy(keep_last=1, keep_every=0)
+        )
+        assert pruned == [f"global_step{i}" for i in range(1, 6)]
+        assert list_tags(ckpt) == ["global_step6"]
+
+    def test_missing_latest_file_prunes_by_window_only(
+        self, many_checkpoints
+    ):
+        _, ckpt = many_checkpoints
+        (ObjectStore(ckpt).base / "latest").unlink()
+        prune_checkpoints(ckpt, RetentionPolicy(keep_last=2))
+        assert list_tags(ckpt) == ["global_step5", "global_step6"]
+
+    def test_latest_pointing_at_missing_tag_is_harmless(
+        self, many_checkpoints
+    ):
+        _, ckpt = many_checkpoints
+        ObjectStore(ckpt).write_text("latest", "global_step999")
+        pruned = prune_checkpoints(ckpt, RetentionPolicy(keep_last=1))
+        assert "global_step6" not in pruned
+        assert list_tags(ckpt) == ["global_step6"]
+
+    def test_protected_latest_tag_loads_after_aggressive_prune(
+        self, many_checkpoints
+    ):
+        """Pruning around the tag `latest` names must leave a loadable,
+        integrity-clean checkpoint behind."""
+        from repro.core.inspect import verify_directory
+
+        _, ckpt = many_checkpoints
+        ObjectStore(ckpt).write_text("latest", "global_step2")
+        prune_checkpoints(ckpt, RetentionPolicy(keep_last=1))
+        assert sorted(list_tags(ckpt)) == ["global_step2", "global_step6"]
+        resumed = resume_training(ckpt, ParallelConfig())
+        assert resumed.iteration == 2
+        assert verify_directory(ckpt).ok
