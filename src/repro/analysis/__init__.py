@@ -1,0 +1,64 @@
+"""Static analysis over checkpoint layouts and collective schedules.
+
+Three analyzers, none of which ever materializes a tensor:
+
+- :mod:`~repro.analysis.layout_lint` — derive every rank's expected
+  checkpoint contents from the configs and diff against a tag's commit
+  manifest and rank-file headers (``repro lint-ckpt``).
+- :mod:`~repro.analysis.interchange` — prove a source -> target
+  reconfiguration well-formed before any IO (``repro lint-plan`` and
+  ``ucp_convert``'s mandatory pre-flight).
+- :mod:`~repro.analysis.collective_trace` — verify all ranks of each
+  process group issued identical collective sequences.
+
+All findings carry stable rule IDs (``UCP001``...); see
+``docs/ANALYSIS.md`` for the catalogue.
+"""
+
+from repro.analysis.collective_trace import (
+    CollectiveTraceRecorder,
+    TraceEvent,
+    check_collective_ordering,
+    numel_class,
+)
+from repro.analysis.diagnostics import (
+    RULES,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+    LayoutLintError,
+    LintReport,
+    error,
+    warning,
+)
+from repro.analysis.interchange import (
+    config_diagnostics,
+    lint_plan,
+    preflight_convert,
+)
+from repro.analysis.layout_lint import (
+    crosscheck_manifest,
+    expected_tag_basenames,
+    lint_checkpoint,
+)
+
+__all__ = [
+    "RULES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "CollectiveTraceRecorder",
+    "Diagnostic",
+    "LayoutLintError",
+    "LintReport",
+    "TraceEvent",
+    "check_collective_ordering",
+    "config_diagnostics",
+    "crosscheck_manifest",
+    "error",
+    "expected_tag_basenames",
+    "lint_checkpoint",
+    "lint_plan",
+    "numel_class",
+    "preflight_convert",
+    "warning",
+]

@@ -1,0 +1,162 @@
+"""Collective-ordering race detector.
+
+Deadlocks and silent corruption in distributed training very often
+trace back to one bug shape: ranks of the same process group issuing
+*different* collective sequences — one rank skips an all-reduce behind
+a data-dependent branch, two ranks disagree on message size, a save
+path gathers in a different order than its peers.  A real NCCL job
+hangs (or worse, mismatched buffers silently reduce); the simulator,
+which executes collectives group-wide, cannot hang — so the bug class
+would be invisible here without an explicit check.
+
+The detector closes that gap: every collective records one
+:class:`TraceEvent` per member rank (op, group, dtype, numel-class),
+and :func:`check_collective_ordering` statically verifies that all
+ranks of each group logged identical sequences.  Numel is bucketed to
+its power-of-two class so benign size wobble (e.g. uneven final micro
+batch) is tolerated while genuine size disagreement is flagged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import LintReport, error
+
+
+def numel_class(numel: int) -> int:
+    """Power-of-two bucket of an element count (0 stays 0).
+
+    Collectives whose sizes fall in the same bucket are considered
+    order-compatible; a rank sending half its peers' message size lands
+    in a different bucket and is flagged.
+    """
+    if numel < 0:
+        raise ValueError(f"numel must be >= 0, got {numel}")
+    return int(numel).bit_length()
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One collective call as one rank observed it."""
+
+    op: str
+    group: str
+    dtype: str
+    numel_class: int
+
+    def render(self) -> str:
+        """Compact text form, e.g. ``all_reduce(dp:0,2 f32 ~2^14)``."""
+        return (
+            f"{self.op}({self.group} {self.dtype} ~2^{self.numel_class})"
+        )
+
+
+class CollectiveTraceRecorder:
+    """Per-rank log of every collective a job issues.
+
+    One recorder is shared by all of a :class:`~repro.dist.cluster.
+    Cluster`'s process groups.  Well-behaved group-wide calls append
+    the same event to every member rank; the ``rank=`` override exists
+    so tests (and future per-rank execution paths) can record what one
+    rank alone observed — which is exactly the divergence the checker
+    then catches.
+    """
+
+    def __init__(self) -> None:
+        self.events: Dict[int, List[TraceEvent]] = {}
+        self.group_members: Dict[str, Tuple[int, ...]] = {}
+
+    def record(
+        self,
+        op: str,
+        group: str,
+        ranks: Sequence[int],
+        numel: int,
+        dtype: str = "float32",
+        rank: Optional[int] = None,
+    ) -> TraceEvent:
+        """Log one collective call.
+
+        Args:
+            op: collective name (``all_reduce``, ``barrier:save`` ...).
+            group: process-group name the call ran on.
+            ranks: the group's member ranks.
+            numel: per-rank input element count (bucketed for matching).
+            dtype: element dtype name.
+            rank: record for this member only (divergence injection);
+                default records the event for every member.
+        """
+        members = tuple(ranks)
+        self.group_members.setdefault(group, members)
+        event = TraceEvent(
+            op=op, group=group, dtype=dtype, numel_class=numel_class(numel)
+        )
+        targets = members if rank is None else (rank,)
+        for r in targets:
+            self.events.setdefault(r, []).append(event)
+        return event
+
+    def events_of(self, rank: int, group: Optional[str] = None) -> List[TraceEvent]:
+        """One rank's event log, optionally restricted to one group."""
+        log = self.events.get(rank, [])
+        if group is None:
+            return list(log)
+        return [e for e in log if e.group == group]
+
+    @property
+    def num_events(self) -> int:
+        """Total logged events across all ranks."""
+        return sum(len(v) for v in self.events.values())
+
+    def reset(self) -> None:
+        """Drop all logged events and group memberships."""
+        self.events.clear()
+        self.group_members.clear()
+
+
+def check_collective_ordering(recorder: CollectiveTraceRecorder) -> LintReport:
+    """Prove every group's ranks issued identical collective sequences.
+
+    For each group the recorder saw, the per-rank event subsequences
+    (restricted to that group) must be element-wise identical across
+    all member ranks: same ops, in the same order, with matching dtype
+    and numel-class.  Any divergence is a UCP014 error naming the
+    group, the disagreeing ranks, and the first divergent position —
+    the information needed to find the data-dependent branch that
+    caused it.
+    """
+    report = LintReport(subject="collective trace")
+    for group in sorted(recorder.group_members):
+        members = recorder.group_members[group]
+        logs = {r: recorder.events_of(r, group) for r in members}
+        reference_rank = members[0]
+        reference = logs[reference_rank]
+        for r in members[1:]:
+            log = logs[r]
+            if log == reference:
+                continue
+            limit = min(len(log), len(reference))
+            index = next(
+                (i for i in range(limit) if log[i] != reference[i]), limit
+            )
+            if index < limit:
+                detail = (
+                    f"rank {reference_rank} issued "
+                    f"{reference[index].render()}, rank {r} issued "
+                    f"{log[index].render()}"
+                )
+            else:
+                detail = (
+                    f"rank {reference_rank} issued {len(reference)} "
+                    f"calls, rank {r} issued {len(log)}"
+                )
+            report.add(error(
+                "UCP014",
+                f"ranks {reference_rank} and {r} diverge at collective "
+                f"#{index}: {detail}; mismatched sequences deadlock (or "
+                f"silently corrupt) a real communicator",
+                location=f"group {group}",
+            ))
+    return report

@@ -1,0 +1,203 @@
+"""Structured diagnostics for the static-analysis layer.
+
+Every check in :mod:`repro.analysis` reports through the same three
+types: a :class:`Diagnostic` (one finding, carrying a stable rule ID),
+a :class:`LintReport` (an ordered collection with text/JSON rendering),
+and :class:`LayoutLintError` (the typed exception raised when a caller
+needs a hard failure — e.g. ``ucp_convert``'s mandatory pre-flight).
+
+Rule IDs are part of the tool's contract: scripts and CI gates key off
+them, so an ID is never renumbered or reused.  The catalogue lives in
+:data:`RULES`; ``docs/ANALYSIS.md`` documents the rationale per rule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.errors import UCPFormatError
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+RULES: Dict[str, str] = {
+    "UCP001": "missing-atom",
+    "UCP002": "unknown-atom",
+    "UCP003": "padding-mismatch",
+    "UCP004": "shard-shape-mismatch",
+    "UCP005": "overlapping-partition-slices",
+    "UCP006": "partition-gap",
+    "UCP007": "fragment-indivisible",
+    "UCP008": "missing-rank-file",
+    "UCP009": "unknown-rank-file",
+    "UCP010": "manifest-mismatch",
+    "UCP011": "flat-extent-mismatch",
+    "UCP012": "expert-count-mismatch",
+    "UCP013": "config-mismatch",
+    "UCP014": "collective-order-mismatch",
+    "UCP015": "cross-rank-divergence",
+    "UCP016": "uncommitted-tag",
+}
+"""Stable rule ID -> short kebab-case name.  Append-only."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes:
+        rule_id: stable ID from :data:`RULES` (e.g. ``"UCP001"``).
+        severity: ``"error"`` or ``"warning"``.
+        message: human-readable description of the finding.
+        location: what the finding is anchored to — a store-relative
+            file path, a parameter name, or a rank/group label.
+    """
+
+    rule_id: str
+    severity: str
+    message: str
+    location: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rule_id not in RULES:
+            raise ValueError(f"unknown rule id {self.rule_id!r}")
+        if self.severity not in (SEVERITY_ERROR, SEVERITY_WARNING):
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def rule_name(self) -> str:
+        """The rule's kebab-case name (e.g. ``missing-atom``)."""
+        return RULES[self.rule_id]
+
+    def render(self) -> str:
+        """One-line text form, e.g. ``error UCP001 [missing-atom] ...``."""
+        where = f" at {self.location}" if self.location else ""
+        return (
+            f"{self.severity} {self.rule_id} [{self.rule_name}]"
+            f"{where}: {self.message}"
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly form (used by ``--format json`` and CI gates)."""
+        return {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+        }
+
+
+def error(rule_id: str, message: str, location: str = "") -> Diagnostic:
+    """Shorthand for an error-severity diagnostic."""
+    return Diagnostic(rule_id, SEVERITY_ERROR, message, location)
+
+
+def warning(rule_id: str, message: str, location: str = "") -> Diagnostic:
+    """Shorthand for a warning-severity diagnostic."""
+    return Diagnostic(rule_id, SEVERITY_WARNING, message, location)
+
+
+class LintReport:
+    """An ordered collection of diagnostics from one analysis run."""
+
+    def __init__(
+        self,
+        subject: str = "",
+        diagnostics: Optional[Iterable[Diagnostic]] = None,
+    ) -> None:
+        self.subject = subject
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one finding."""
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append several findings."""
+        self.diagnostics.extend(diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """Error-severity findings only."""
+        return [d for d in self.diagnostics if d.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """Warning-severity findings only."""
+        return [d for d in self.diagnostics if d.severity == SEVERITY_WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was reported."""
+        return not self.errors
+
+    def rule_ids(self) -> List[str]:
+        """Distinct rule IDs reported, sorted."""
+        return sorted({d.rule_id for d in self.diagnostics})
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        """All findings for one rule ID."""
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def summary(self) -> str:
+        """One-line outcome, e.g. ``2 errors, 1 warning``."""
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        if not n_err and not n_warn:
+            return "clean"
+        parts = []
+        if n_err:
+            parts.append(f"{n_err} error{'s' if n_err != 1 else ''}")
+        if n_warn:
+            parts.append(f"{n_warn} warning{'s' if n_warn != 1 else ''}")
+        return ", ".join(parts)
+
+    def render_text(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = []
+        head = f"lint {self.subject}: " if self.subject else "lint: "
+        lines.append(head + self.summary())
+        for diag in self.diagnostics:
+            lines.append(f"  {diag.render()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly form."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "num_errors": len(self.errors),
+            "num_warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self) -> str:
+        """Stable JSON rendering (for ``--format json`` and CI)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def raise_if_errors(self) -> "LintReport":
+        """Raise :class:`LayoutLintError` when any error was found."""
+        if self.errors:
+            raise LayoutLintError(self)
+        return self
+
+
+class LayoutLintError(UCPFormatError):
+    """A static layout check found error-severity diagnostics.
+
+    Subclasses :class:`~repro.core.errors.UCPFormatError` so existing
+    callers that treat "semantically inconsistent checkpoint" as one
+    failure class keep working; the attached :class:`LintReport`
+    preserves the individual findings and their rule IDs.
+    """
+
+    def __init__(self, report: LintReport, prefix: str = "") -> None:
+        self.report = report
+        errors = report.errors
+        shown = "; ".join(d.render() for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        subject = f" {report.subject}" if report.subject else ""
+        lead = prefix if prefix else f"layout lint failed for{subject}"
+        super().__init__(f"{lead}: {shown}{more}")

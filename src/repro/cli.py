@@ -4,13 +4,16 @@ Mirrors the operational surface DeepSpeed ships for UCP (the
 ``ds_to_universal``-style converter plus inspection tools)::
 
     python -m repro models
-    python -m repro inspect  <dir>
-    python -m repro convert  <ckpt_dir> <ucp_dir> [--tag T] [--workers N]
-    python -m repro plan     <ckpt_dir> --world N [--batch B]
-    python -m repro verify   <dir>
+    python -m repro inspect   <dir>
+    python -m repro convert   <ckpt_dir> <ucp_dir> [--tag T] [--workers N]
+    python -m repro plan      <ckpt_dir> --world N [--batch B]
+    python -m repro verify    <dir>
+    python -m repro lint-ckpt <dir> [--tag T] [--format text|json] [--deep]
+    python -m repro lint-plan --source <dir> --target tp2.pp1.dp4.sp1.zero1
 
 Every command prints human-readable text and returns a process exit
-code (0 success, 1 failure), so it scripts cleanly.
+code (0 success, 1 failure), so it scripts cleanly; the lint verbs
+also offer ``--format json`` for CI gates.
 """
 
 from __future__ import annotations
@@ -132,6 +135,45 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_lint_ckpt(args: argparse.Namespace) -> int:
+    """Statically lint a checkpoint layout against its configs."""
+    from repro.analysis import lint_checkpoint
+
+    report = lint_checkpoint(args.directory, tag=args.tag, deep=args.deep)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+def cmd_lint_plan(args: argparse.Namespace) -> int:
+    """Statically prove a source -> target conversion well-formed."""
+    from repro.analysis import lint_plan
+    from repro.core.metadata import UCP_META_FILE, UCPMetadata
+    from repro.storage.store import ObjectStore
+
+    store = ObjectStore(args.source)
+    atom_names = None
+    if store.exists(UCP_META_FILE):
+        meta = UCPMetadata.load(store)
+        model = ModelConfig.from_dict(meta.model_config)
+        source = ParallelConfig.from_dict(meta.source_parallel_config)
+        atom_names = meta.param_names()
+    else:
+        job = read_job_config(args.source, args.tag)
+        model = ModelConfig.from_dict(job["model_config"])
+        source = ParallelConfig.from_dict(job["parallel_config"])
+    target = ParallelConfig.from_describe(args.target)
+
+    report = lint_plan(model, source, target, atom_names=atom_names)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -176,6 +218,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="check presence and sizes only (skip digests and CRCs)",
     )
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "lint-ckpt",
+        help="statically lint a checkpoint's layout (no tensor reads)",
+    )
+    p.add_argument("directory")
+    p.add_argument("--tag", default=None, help="tag to lint (default: latest)")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output rendering (json is stable for CI gates)",
+    )
+    p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also recompute file digests during the manifest cross-check",
+    )
+    p.set_defaults(func=cmd_lint_ckpt)
+
+    p = sub.add_parser(
+        "lint-plan",
+        help="statically prove a source -> target conversion well-formed",
+    )
+    p.add_argument(
+        "--source", required=True,
+        help="source checkpoint or UCP directory (provides the configs)",
+    )
+    p.add_argument(
+        "--target", required=True,
+        help="target strategy, e.g. tp2.pp1.dp4.sp1.zero1[.ep]",
+    )
+    p.add_argument("--tag", default=None, help="source tag (default: latest)")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output rendering (json is stable for CI gates)",
+    )
+    p.set_defaults(func=cmd_lint_plan)
     return parser
 
 

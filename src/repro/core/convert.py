@@ -29,6 +29,8 @@ import re
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.diagnostics import LayoutLintError, LintReport, error
+from repro.analysis.interchange import preflight_convert
 from repro.ckpt import manifest as manifest_mod
 from repro.ckpt import naming
 from repro.ckpt.errors import CheckpointIntegrityError, CheckpointNotFoundError
@@ -114,6 +116,24 @@ def _verify_source_commit(
             )
 
 
+def _rank_label(rel: str) -> str:
+    """Human rank coordinates of an optimizer-state file path."""
+    match = _OPTIM_FILE_RE.match(rel.split("/")[-1])
+    if match is None:
+        return rel
+    return f"dp_rank {int(match.group(1))} / mp_rank {int(match.group(2))}"
+
+
+def _diverging_keys(a: Optional[Dict], b: Optional[Dict]) -> List[str]:
+    """Keys on which two (possibly absent) state dicts disagree."""
+    if a is None or b is None:
+        return ["<entire state>"]
+    return sorted(
+        k for k in set(a) | set(b)
+        if k not in a or k not in b or a[k] != b[k]
+    )
+
+
 def _check_cross_rank_consistency(
     files: List[str], payloads: List[Dict]
 ) -> Tuple[Dict, Optional[Dict]]:
@@ -122,33 +142,44 @@ def _check_cross_rank_consistency(
     Every rank file records the job-wide Adam hyperparameters and loss
     scaler; a disagreement means the tag mixes incompatible optimizer
     states (e.g. files spliced from different runs) and silently
-    picking one would corrupt the converted checkpoint.
+    picking one would corrupt the converted checkpoint.  Each
+    divergence is reported as a UCP015 diagnostic naming *which* ranks
+    and *which* hyperparameter disagree, aggregated into one
+    :class:`LayoutLintError` so no mismatch hides behind another.
     """
-    adam_hyper: Optional[Dict] = None
-    adam_src = ""
-    scaler_state: Optional[Dict] = None
-    scaler_src = ""
-    scaler_seen = False
-    for rel, payload in zip(files, payloads):
+    report = LintReport(subject="cross-rank consistency")
+    ref_rel = files[0]
+    adam_hyper: Dict = payloads[0]["adam"]
+    scaler_state: Optional[Dict] = payloads[0].get("loss_scaler")
+    for rel, payload in zip(files[1:], payloads[1:]):
         adam = payload["adam"]
-        if adam_hyper is None:
-            adam_hyper, adam_src = adam, rel
-        elif adam != adam_hyper:
-            raise UCPFormatError(
+        if adam != adam_hyper:
+            keys = _diverging_keys(adam_hyper, adam)
+            detail = ", ".join(
+                f"{k}: {adam_hyper.get(k)!r} vs {adam.get(k)!r}" for k in keys
+            )
+            report.add(error(
+                "UCP015",
                 f"adam hyperparameters disagree across rank files: "
-                f"{adam_src} has {adam_hyper}, {rel} has {adam}; the tag "
-                f"mixes optimizer states from incompatible runs"
-            )
+                f"{_rank_label(rel)} differs from {_rank_label(ref_rel)} "
+                f"on {detail}; the tag mixes optimizer states from "
+                f"incompatible runs",
+                location=rel,
+            ))
         scaler = payload.get("loss_scaler")
-        if not scaler_seen:
-            scaler_state, scaler_src, scaler_seen = scaler, rel, True
-        elif scaler != scaler_state:
-            raise UCPFormatError(
+        if scaler != scaler_state:
+            keys = _diverging_keys(scaler_state, scaler)
+            report.add(error(
+                "UCP015",
                 f"loss-scaler state disagrees across rank files: "
-                f"{scaler_src} has {scaler_state}, {rel} has {scaler}; the "
-                f"tag mixes optimizer states from incompatible runs"
-            )
-    return adam_hyper or {}, scaler_state
+                f"{_rank_label(rel)} differs from {_rank_label(ref_rel)} "
+                f"on {', '.join(keys)} ({scaler_state} vs {scaler}); the "
+                f"tag mixes optimizer states from incompatible runs",
+                location=rel,
+            ))
+    if not report.ok:
+        raise LayoutLintError(report, prefix="source tag is inconsistent")
+    return adam_hyper, scaler_state
 
 
 def _reusable_atom_meta(
@@ -214,6 +245,10 @@ def ucp_convert(
         UCPFormatError: structurally valid but semantically
             inconsistent source (e.g. rank files disagreeing on Adam
             hyperparameters).
+        repro.analysis.diagnostics.LayoutLintError: the mandatory
+            static pre-flight found the source layout unsound or the
+            manifest structurally incomplete (a UCPFormatError
+            subclass; carries the individual rule-ID diagnostics).
     """
     if src_store is None:
         src_store = ObjectStore(ckpt_dir)
@@ -237,6 +272,23 @@ def ucp_convert(
     )
     model_cfg = ModelConfig.from_dict(job_config["model_config"])
     source_cfg = ParallelConfig.from_dict(job_config["parallel_config"])
+
+    # mandatory pre-flight: prove the source layout self-consistent and
+    # the commit manifest structurally complete before reading a single
+    # tensor — a doomed conversion is refused at header cost
+    preflight = preflight_convert(
+        src_store,
+        src_tag,
+        src_manifest,
+        model_cfg,
+        source_cfg,
+        job_config.get("optimizer_layout", "flat"),
+    )
+    if not preflight.ok:
+        raise LayoutLintError(
+            preflight, prefix=f"conversion pre-flight failed for {src_tag}"
+        )
+
     if program is None:
         program = program_for_config(
             model_cfg, expert_parallel=source_cfg.expert_parallel

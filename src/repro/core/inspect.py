@@ -20,7 +20,7 @@ from repro.core.metadata import UCP_META_FILE, UCPMetadata
 from repro.dist.topology import ParallelConfig
 from repro.models.configs import ModelConfig
 from repro.storage.serializer import SerializationError, validate_npt
-from repro.storage.store import ObjectStore, sha256_hex
+from repro.storage.store import ObjectStore
 
 
 @dataclasses.dataclass(frozen=True)
@@ -164,13 +164,16 @@ class VerificationReport:
 def verify_directory(directory: str, deep: bool = True) -> VerificationReport:
     """Integrity-check every ``.npt`` object under a directory.
 
-    Each file's bytes are read once and validated structurally (magic,
-    header, per-tensor CRC32 — without materializing arrays).  Files
-    covered by a tag's commit manifest are additionally digest-checked
-    against it, manifest entries with no file on disk are reported as
-    missing, and the ``latest`` pointer is checked to name a committed
-    tag.  With ``deep=False`` only sizes and presence are checked.
+    The per-tag manifest cross-check (presence, size, and — when deep —
+    digest of every recorded file) is the layout linter's
+    :func:`~repro.analysis.layout_lint.crosscheck_manifest`; this
+    function only adds the byte-level structural sweep (magic, header,
+    per-tensor CRC32 — without materializing arrays) and the ``latest``
+    pointer check.  With ``deep=False`` only sizes and presence are
+    checked, which costs stat calls rather than full reads.
     """
+    from repro.analysis.layout_lint import crosscheck_manifest
+
     store = ObjectStore(directory)
     files = [f for f in store.list() if f.endswith(".npt")]
     corrupt: List[Tuple[str, str]] = []
@@ -187,42 +190,33 @@ def verify_directory(directory: str, deep: bool = True) -> VerificationReport:
             except CheckpointIntegrityError as exc:
                 corrupt.append((rel, str(exc)))
 
-    for rel in files:
-        parts = rel.split("/")
-        if len(parts) == 2 and parts[1] == naming.MANIFEST_FILE:
-            continue  # verified (and CRC-checked) above
-        entry = None
-        if len(parts) == 2 and parts[0] in manifests:
-            entry = manifest_mod.manifest_entry(manifests[parts[0]], parts[1])
-        try:
-            data = (store.base / rel).read_bytes()
-        except OSError as exc:
-            corrupt.append((rel, str(exc)))
-            continue
-        problem: Optional[str] = None
-        if entry is not None:
-            if len(data) != int(entry["nbytes"]):
-                problem = (
-                    f"size mismatch: commit manifest records "
-                    f"{entry['nbytes']} bytes, found {len(data)}"
-                )
-            elif deep and sha256_hex(data) != entry["sha256"]:
-                problem = "sha256 digest mismatch vs commit manifest"
-        if problem is None and deep:
+    flagged: set = set()
+    for tag in sorted(manifests):
+        for diag in crosscheck_manifest(store, tag, manifests[tag], deep=deep):
+            if diag.severity != "error":
+                continue  # extra-file warnings are not integrity failures
+            flagged.add(diag.location)
+            if diag.rule_id == "UCP008":
+                missing.append((diag.location, diag.message))
+            else:
+                corrupt.append((diag.location, diag.message))
+
+    if deep:
+        for rel in files:
+            parts = rel.split("/")
+            if len(parts) == 2 and parts[1] == naming.MANIFEST_FILE:
+                continue  # verified (and CRC-checked) above
+            if rel in flagged:
+                continue  # already reported by the manifest cross-check
+            try:
+                data = (store.base / rel).read_bytes()
+            except OSError as exc:
+                corrupt.append((rel, str(exc)))
+                continue
             try:
                 validate_npt(data)
             except SerializationError as exc:
-                problem = str(exc)
-        if problem is not None:
-            corrupt.append((rel, problem))
-
-    for tag in sorted(manifests):
-        for basename in sorted(manifests[tag]["files"]):
-            rel = f"{tag}/{basename}"
-            if not store.exists(rel):
-                missing.append(
-                    (rel, "recorded in commit manifest but absent on disk")
-                )
+                corrupt.append((rel, str(exc)))
 
     if store.exists(naming.LATEST_FILE):
         tag = store.read_text(naming.LATEST_FILE).strip()

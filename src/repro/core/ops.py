@@ -322,12 +322,17 @@ def gen_ucp_metadata(
 
     Calculates, for the *Target* strategy, each parameter's new shape
     and location — TP shard shapes, flat offsets, alignment padding,
-    and ZeRO partition boundaries.
+    and ZeRO partition boundaries.  The derived layout is validated
+    (partition slices must tile every flat buffer exactly) before any
+    load uses it, so an unsound target strategy fails here with typed
+    diagnostics instead of corrupting a resume.
     """
+    layout = ModelParallelLayout(model_cfg, target_cfg)
+    layout.validate()
     return LoadPlan(
         model_cfg=model_cfg,
         target_cfg=target_cfg,
-        layout=ModelParallelLayout(model_cfg, target_cfg),
+        layout=layout,
     )
 
 

@@ -22,16 +22,33 @@ class RankFailure(RuntimeError):
 class Cluster:
     """An in-process simulation of a GPU cluster running one job."""
 
-    def __init__(self, config: ParallelConfig, tracker: Optional[CommTracker] = None) -> None:
+    def __init__(
+        self,
+        config: ParallelConfig,
+        tracker: Optional[CommTracker] = None,
+        trace=None,
+    ) -> None:
         self.config = config
         self.topology = Topology(config)
         self.tracker = tracker if tracker is not None else CommTracker()
+        # shared per-rank collective log; the race detector
+        # (repro.analysis.collective_trace) checks it for cross-rank
+        # ordering divergence after training/save paths run.  Imported
+        # lazily: repro.analysis sits above repro.dist in the layering
+        # and importing it here at module scope would be circular.
+        if trace is None:
+            from repro.analysis.collective_trace import CollectiveTraceRecorder
+
+            trace = CollectiveTraceRecorder()
+        self.trace = trace
         self._failed: Set[int] = set()
         self._groups: Dict[str, ProcessGroup] = {}
         for axis in ("tp", "pp", "dp", "sp"):
             for members in self.topology.groups(axis):
                 name = f"{axis}:{','.join(map(str, members))}"
-                self._groups[name] = ProcessGroup(name, members, tracker=self.tracker)
+                self._groups[name] = ProcessGroup(
+                    name, members, tracker=self.tracker, trace=self.trace
+                )
 
     @property
     def world_size(self) -> int:
@@ -48,6 +65,23 @@ class Cluster:
     def groups(self, axis: AxisName) -> List[ProcessGroup]:
         """All process groups along one axis."""
         return [g for name, g in self._groups.items() if name.startswith(f"{axis}:")]
+
+    def barrier(self, label: str) -> None:
+        """Trace a world-wide synchronization point.
+
+        Barriers move no payload, so nothing is charged to the
+        :class:`CommTracker`; the event only enters the collective
+        trace, where the race detector proves every rank reached the
+        same labelled sync points in the same order (e.g. the save
+        path's entry and commit barriers).
+        """
+        self.trace.record(
+            f"barrier:{label}",
+            "world",
+            list(self.topology.ranks()),
+            0,
+            dtype="none",
+        )
 
     def fail_rank(self, rank: int) -> None:
         """Mark a rank as failed (simulated hardware failure)."""

@@ -23,6 +23,7 @@ class ProcessGroup:
         name: str,
         ranks: Sequence[int],
         tracker: Optional[CommTracker] = None,
+        trace=None,
     ) -> None:
         if not ranks:
             raise ValueError(f"process group {name!r} has no members")
@@ -31,6 +32,9 @@ class ProcessGroup:
         self.name = name
         self.ranks: List[int] = list(ranks)
         self.tracker = tracker
+        # CollectiveTraceRecorder feeding the static race detector;
+        # duck-typed to keep repro.dist free of analysis imports
+        self.trace = trace
 
     @property
     def size(self) -> int:
@@ -49,21 +53,32 @@ class ProcessGroup:
     def all_reduce(self, shards: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
         """All-reduce over the group (see :func:`collectives.all_reduce`)."""
         self._check_width(shards, "all_reduce")
+        self._trace("all_reduce", shards[0])
         return collectives.all_reduce(shards, op=op, tracker=self.tracker)
 
     def all_gather(self, shards: Sequence[np.ndarray], axis: int = 0) -> List[np.ndarray]:
         """All-gather over the group."""
         self._check_width(shards, "all_gather")
+        self._trace("all_gather", shards[0])
         return collectives.all_gather(shards, axis=axis, tracker=self.tracker)
 
     def reduce_scatter(self, shards: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
         """Reduce-scatter over the group."""
         self._check_width(shards, "reduce_scatter")
+        self._trace("reduce_scatter", shards[0])
         return collectives.reduce_scatter(shards, op=op, tracker=self.tracker)
 
     def broadcast(self, value: np.ndarray) -> List[np.ndarray]:
         """Broadcast one array to every member."""
+        self._trace("broadcast", value)
         return collectives.broadcast(value, self.size, tracker=self.tracker)
+
+    def _trace(self, op: str, sample: np.ndarray) -> None:
+        if self.trace is not None:
+            arr = np.asarray(sample)
+            self.trace.record(
+                op, self.name, self.ranks, int(arr.size), str(arr.dtype)
+            )
 
     def _check_width(self, shards: Sequence[np.ndarray], op: str) -> None:
         if len(shards) != self.size:

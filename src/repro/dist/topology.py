@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import re
 from typing import Dict, Iterator, List, Tuple
 
 AxisName = str
@@ -97,6 +98,38 @@ class ParallelConfig:
             zero_stage=int(payload.get("zero_stage", 1)),
             expert_parallel=bool(payload.get("expert_parallel", False)),
         )
+
+    @classmethod
+    def from_describe(cls, text: str) -> "ParallelConfig":
+        """Inverse of :meth:`describe`, e.g. ``"tp2.pp1.dp4.sp1.zero1"``.
+
+        Axes may appear in any order and be omitted (defaults apply);
+        a trailing ``.ep`` turns on expert parallelism.  This is the
+        compact strategy syntax CLI verbs accept for a *target* that
+        has no checkpoint directory to read a config from.
+        """
+        kwargs: Dict[str, object] = {}
+        fields = {"tp": "tp", "pp": "pp", "dp": "dp", "sp": "sp",
+                  "zero": "zero_stage"}
+        for part in text.strip().split("."):
+            if not part:
+                raise ValueError(f"malformed parallel description {text!r}")
+            if part == "ep":
+                kwargs["expert_parallel"] = True
+                continue
+            match = re.fullmatch(r"([a-z]+)(\d+)", part)
+            if match is None or match.group(1) not in fields:
+                raise ValueError(
+                    f"malformed axis {part!r} in parallel description "
+                    f"{text!r}; expected e.g. 'tp2.pp1.dp4.sp1.zero1[.ep]'"
+                )
+            field = fields[match.group(1)]
+            if field in kwargs:
+                raise ValueError(
+                    f"axis {match.group(1)!r} given twice in {text!r}"
+                )
+            kwargs[field] = int(match.group(2))
+        return cls(**kwargs)  # type: ignore[arg-type]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -19,7 +19,7 @@ import numpy as np
 from repro.data.corpus import SyntheticCorpus
 from repro.data.dataloader import DataLoader
 from repro.dist.cluster import Cluster
-from repro.dist.topology import ParallelConfig
+from repro.dist.topology import ParallelConfig, RankCoord
 from repro.models.builder import build_transformer
 from repro.models.configs import ModelConfig
 from repro.optim.adam import Adam
@@ -82,6 +82,10 @@ class TrainingEngine:
         self.model = build_transformer(model_cfg, seed=seed)
         self.layout = ModelParallelLayout(model_cfg, parallel_cfg)
         self._check_layout_covers_model()
+        # static proof that every rank's ZeRO partition slices tile its
+        # flat buffer exactly (raises LayoutLintError otherwise) — the
+        # same invariant gen_ucp_metadata asserts on the target side
+        self.layout.validate()
 
         self.adam = adam if adam is not None else Adam()
         self.zero = ZeroOptimizer(self.layout, self.adam)
@@ -117,6 +121,21 @@ class TrainingEngine:
                     f"spec shape {spec.logical_shape} != model shape "
                     f"{param.shape} for {name!r}"
                 )
+
+    def _trace_dp_collective(self, op: str, coord, numel: int) -> None:
+        """Log an accounted DP collective into the race-detector trace.
+
+        The engine accounts DP traffic analytically (one record per
+        model-parallel coordinate) rather than through ProcessGroup
+        calls, so those collectives must be mirrored into the trace by
+        hand for the ordering check to see them.
+        """
+        pp_stage, sp_rank, tp_rank = coord
+        rank = self.cluster.topology.rank(
+            RankCoord(tp=tp_rank, pp=pp_stage, dp=0, sp=sp_rank)
+        )
+        group = self.cluster.group_for("dp", rank)
+        self.cluster.trace.record(op, group.name, group.ranks, numel)
 
     def sync_model_from_masters(self) -> None:
         """Refresh model working weights from the fp32 masters (the
@@ -176,6 +195,7 @@ class TrainingEngine:
                 self.cluster.tracker.record(
                     "all_reduce", dp, 2 * (dp - 1) * numel * 4 // dp
                 )
+                self._trace_dp_collective("all_reduce", coord, numel)
 
         grad_norm = clip_grad_norm(list(grads.values()), self.grad_clip)
         self.zero.apply_grads(grads, lr)
@@ -185,6 +205,7 @@ class TrainingEngine:
             for coord in self.layout.mp_coords():
                 numel = self.layout.rank_layout(*coord).flat_numel
                 self.cluster.tracker.record("all_gather", dp, numel * 4)
+                self._trace_dp_collective("all_gather", coord, numel)
 
         self.sync_model_from_masters()
         if self.loss_scaler is not None:

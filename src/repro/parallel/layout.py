@@ -156,6 +156,108 @@ class RankShardLayout:
                     out.append(ps)
         return out
 
+    def tiling_diagnostics(self) -> List["Diagnostic"]:
+        """Statically prove the partition slices tile the flat buffer.
+
+        Checks, from metadata alone: shard entries pack the payload
+        region contiguously (no gaps, no overlaps), the alignment
+        padding is exactly the round-up to ``alignment * dp``, the DP
+        partitions split the padded buffer evenly, and the union of all
+        partition slices covers ``[0, payload)`` exactly once with
+        nothing extending into the padding tail.  Returns structured
+        diagnostics (empty when the layout is sound).
+        """
+        from repro.analysis.diagnostics import error
+
+        where = f"pp={self.pp_stage}.sp={self.sp_rank}.tp={self.tp_rank}"
+        out: List = []
+        cursor = 0
+        for e in sorted(self.entries, key=lambda e: e.offset):
+            if e.offset > cursor:
+                out.append(error(
+                    "UCP006",
+                    f"flat buffer gap: [{cursor}, {e.offset}) owned by no "
+                    f"parameter before {e.name!r}",
+                    location=where,
+                ))
+            elif e.offset < cursor:
+                out.append(error(
+                    "UCP005",
+                    f"shard entries overlap: {e.name!r} starts at "
+                    f"{e.offset} inside the previous entry (ends {cursor})",
+                    location=where,
+                ))
+            cursor = max(cursor, e.end)
+        payload = cursor
+
+        unit = self.alignment * self.dp_degree
+        expected_flat = ((payload + unit - 1) // unit) * unit if payload else 0
+        if self.flat_numel != expected_flat:
+            out.append(error(
+                "UCP003",
+                f"flat extent {self.flat_numel} is not payload {payload} "
+                f"rounded up to alignment*dp = {unit}",
+                location=where,
+            ))
+        if self.padding != self.flat_numel - payload:
+            out.append(error(
+                "UCP003",
+                f"recorded padding {self.padding} != flat {self.flat_numel} "
+                f"- payload {payload}",
+                location=where,
+            ))
+        if self.dp_degree and self.partition_numel * self.dp_degree != self.flat_numel:
+            out.append(error(
+                "UCP011",
+                f"partitions {self.partition_numel} x dp {self.dp_degree} "
+                f"!= flat extent {self.flat_numel}",
+                location=where,
+            ))
+            return out  # slice arithmetic below would be garbage
+
+        # union of all partition slices must cover [0, payload) exactly
+        intervals = []
+        size = self.partition_numel
+        for e in self.entries:
+            for ps in self.partition_slices(e.name):
+                start = ps.partition * size + ps.local_start
+                end = ps.partition * size + ps.local_end
+                intervals.append((start, end, ps.name))
+        intervals.sort()
+        cursor = 0
+        for start, end, name in intervals:
+            if start > cursor:
+                out.append(error(
+                    "UCP006",
+                    f"partition slices leave flat range [{cursor}, {start}) "
+                    f"uncovered (next slice: {name!r})",
+                    location=where,
+                ))
+            elif start < cursor:
+                out.append(error(
+                    "UCP005",
+                    f"partition slice of {name!r} [{start}, {end}) overlaps "
+                    f"previously assigned flat range (covered to {cursor})",
+                    location=where,
+                ))
+            cursor = max(cursor, end)
+        if cursor != payload:
+            if cursor < payload:
+                out.append(error(
+                    "UCP006",
+                    f"partition slices cover only [0, {cursor}) of payload "
+                    f"{payload}",
+                    location=where,
+                ))
+            else:
+                out.append(error(
+                    "UCP005",
+                    f"partition slices extend to {cursor}, past payload "
+                    f"{payload} into the alignment padding",
+                    location=where,
+                ))
+        return out
+
 
 class ModelParallelLayout:
     """Layouts for every model-parallel rank of a training configuration."""
@@ -195,6 +297,35 @@ class ModelParallelLayout:
                         dp_degree=parallel_cfg.dp,
                         alignment=alignment,
                     )
+
+    def tiling_diagnostics(self) -> List["Diagnostic"]:
+        """Tiling diagnostics across every model-parallel rank."""
+        out: List = []
+        for coord in self.mp_coords():
+            out.extend(self._ranks[coord].tiling_diagnostics())
+        return out
+
+    def validate(self) -> None:
+        """Assert every rank's partition slices tile its flat buffer.
+
+        Statically proves, for each model-parallel rank, that the shard
+        entries pack contiguously, alignment padding is exact, and the
+        ZeRO partition slices cover the payload region exactly once.
+        Called by both the training engine and ``gen_ucp_metadata`` so
+        source and target layouts are held to the same invariant.
+
+        Raises:
+            repro.analysis.diagnostics.LayoutLintError: with the full
+                diagnostic list when any rank's tiling is unsound.
+        """
+        diagnostics = self.tiling_diagnostics()
+        if diagnostics:
+            from repro.analysis.diagnostics import LayoutLintError, LintReport
+
+            raise LayoutLintError(LintReport(
+                subject=f"layout {self.parallel_cfg.describe()}",
+                diagnostics=diagnostics,
+            ))
 
     def rank_layout(self, pp_stage: int, sp_rank: int, tp_rank: int) -> RankShardLayout:
         """Layout for one model-parallel rank."""

@@ -16,10 +16,11 @@ per atom), but with an explicit, versioned format instead of pickle.
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import json
 import zlib
-from typing import Any, BinaryIO, Dict, List
+from typing import Any, BinaryIO, Dict, List, Tuple
 
 import numpy as np
 
@@ -174,6 +175,62 @@ def read_npt(fh: BinaryIO, verify_checksums: bool = True) -> Any:
 def deserialize(data: bytes) -> Any:
     """Decode ``.npt`` bytes back to the object tree."""
     return read_npt(io.BytesIO(data))
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorStub:
+    """Header-level description of a tensor payload that was not read.
+
+    Stands in for the ``np.ndarray`` leaves when an object is decoded
+    from its header alone (:func:`read_npt_header`) — shape/dtype
+    analysis without touching payload bytes.
+    """
+
+    dtype: str
+    shape: Tuple[int, ...]
+    nbytes: int
+
+    @property
+    def numel(self) -> int:
+        """Element count implied by the shape."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+
+def read_npt_header(fh: BinaryIO) -> Any:
+    """Decode an object tree from the ``.npt`` header only.
+
+    Tensor leaves come back as :class:`TensorStub` (dtype, shape,
+    nbytes) instead of arrays: no payload bytes are read, validated, or
+    materialized.  This is what lets the static layout linter inspect a
+    rank file's partition metadata and flat-array shapes at header cost
+    regardless of checkpoint size.
+
+    Args:
+        fh: binary stream positioned at the file start.  Only the magic,
+            header length, and header JSON are consumed.
+    """
+    magic = _read_exact(fh, len(MAGIC), "magic")
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}; not an .npt file")
+    header_len = int.from_bytes(_read_exact(fh, 8, "header length"), "little")
+    header = json.loads(_read_exact(fh, header_len, "header").decode("utf-8"))
+    stubs = [
+        TensorStub(
+            dtype=entry["dtype"],
+            shape=tuple(int(d) for d in entry["shape"]),
+            nbytes=int(entry["nbytes"]),
+        )
+        for entry in header["tensors"]
+    ]
+    return _decode(header["tree"], stubs)
+
+
+def deserialize_header(data: bytes) -> Any:
+    """Header-only counterpart of :func:`deserialize` (tensors as stubs)."""
+    return read_npt_header(io.BytesIO(data))
 
 
 def validate_npt(data: bytes) -> None:

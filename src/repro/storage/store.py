@@ -19,7 +19,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.storage.faults import FaultPolicy, RetryPolicy, TransientIOError
 from repro.storage.nvme import DEFAULT_NVME, NVMeModel
-from repro.storage.serializer import deserialize, serialize
+from repro.storage.serializer import deserialize, read_npt_header, serialize
 
 
 def sha256_hex(data: bytes) -> str:
@@ -152,6 +152,30 @@ class ObjectStore:
     def load(self, rel_path: str, parallel: int = 1) -> Any:
         """Read and deserialize one object."""
         return deserialize(self.read_bytes(rel_path, parallel=parallel))
+
+    def load_header(self, rel_path: str) -> Any:
+        """Decode one object from its ``.npt`` header only.
+
+        Tensor leaves come back as
+        :class:`~repro.storage.serializer.TensorStub` objects; payload
+        bytes are never read from disk, so only the header bytes are
+        charged to read accounting.  This is the static analyzer's
+        entry point — layout linting over a multi-terabyte checkpoint
+        costs a few KB of IO per rank file.
+        """
+        path = self._resolve(rel_path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no object at {rel_path!r} in {self.base}")
+        if self.faults is not None:
+            self._attempt_with_retry(
+                lambda: self.faults.on_read(rel_path, path), "read"
+            )
+        with open(path, "rb") as fh:
+            obj = read_npt_header(fh)
+            header_bytes = fh.tell()
+        self.bytes_read += header_bytes
+        self.simulated_read_s += self.nvme.read_time(header_bytes, 1)
+        return obj
 
     def digest(self, rel_path: str) -> str:
         """SHA-256 of an object's current on-disk bytes (no accounting)."""

@@ -1,0 +1,128 @@
+"""Interchange pre-flight: static rejection of malformed conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_engine
+from repro.analysis import LayoutLintError, lint_plan
+from repro.ckpt.saver import save_distributed_checkpoint
+from repro.core.convert import ucp_convert
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+from repro.parallel.tp import build_shard_specs
+from repro.storage.store import ObjectStore
+
+
+class TestLintPlan:
+    def test_valid_plan_is_clean(self):
+        report = lint_plan(
+            get_config("gpt3-mini"),
+            ParallelConfig(tp=2, pp=1, dp=2, sp=1, zero_stage=1),
+            ParallelConfig(tp=4, pp=1, dp=1, sp=1, zero_stage=1),
+        )
+        assert report.ok
+        assert report.diagnostics == []
+
+    def test_fragment_indivisible_target_is_ucp007(self):
+        # gpt3-mini has 4 heads / hidden 64: tp=3 divides neither
+        report = lint_plan(
+            get_config("gpt3-mini"),
+            ParallelConfig(tp=2, pp=1, dp=2, sp=1, zero_stage=1),
+            ParallelConfig(tp=3, pp=1, dp=1, sp=1, zero_stage=1),
+        )
+        assert not report.ok
+        assert set(d.rule_id for d in report.errors) == {"UCP007"}
+        assert all(d.location.startswith("target:") for d in report.errors)
+
+    def test_indivisible_source_is_also_rejected(self):
+        report = lint_plan(
+            get_config("gpt3-mini"),
+            ParallelConfig(tp=3, pp=1, dp=1, sp=1, zero_stage=1),
+            ParallelConfig(tp=2, pp=1, dp=1, sp=1, zero_stage=1),
+        )
+        assert any(d.location.startswith("source:") for d in report.errors)
+
+    def test_expert_count_mismatch_is_ucp012(self):
+        # moe-mini's expert count does not divide across tp=3 EP ranks
+        report = lint_plan(
+            get_config("moe-mini"),
+            ParallelConfig(tp=2, pp=1, dp=1, sp=1, expert_parallel=True),
+            ParallelConfig(tp=3, pp=1, dp=1, sp=1, expert_parallel=True),
+        )
+        assert "UCP012" in [d.rule_id for d in report.errors]
+
+    def test_missing_atom_coverage_is_ucp001(self):
+        model = get_config("gpt3-mini")
+        full = sorted(build_shard_specs(model))
+        partial = [n for n in full if "final_norm" not in n]
+        report = lint_plan(
+            model,
+            ParallelConfig(tp=1, pp=1, dp=1, sp=1),
+            ParallelConfig(tp=2, pp=1, dp=1, sp=1),
+            atom_names=partial,
+        )
+        ucp001 = report.by_rule("UCP001")
+        assert ucp001 and all(d.severity == "error" for d in ucp001)
+        assert any("final_norm" in d.message for d in ucp001)
+
+    def test_expert_layout_change_is_flagged_as_warning(self):
+        report = lint_plan(
+            get_config("moe-mini"),
+            ParallelConfig(tp=2, pp=1, dp=1, sp=1, expert_parallel=True),
+            ParallelConfig(tp=2, pp=1, dp=1, sp=1, expert_parallel=False),
+        )
+        assert report.ok  # warning only: conversion handles re-fragmenting
+        assert "UCP013" in report.rule_ids()
+
+
+class TestConvertPreflight:
+    def test_incomplete_manifest_refused_before_any_tensor_read(self, tmp_path):
+        eng = make_engine(
+            parallel=ParallelConfig(tp=2, pp=1, dp=2, sp=1, zero_stage=1)
+        )
+        directory = str(tmp_path / "ckpt")
+        info = save_distributed_checkpoint(eng, directory)
+        store = ObjectStore(directory)
+        rel = f"{info.tag}/manifest.npt"
+        manifest = store.load(rel)
+        # the manifest never recorded one rank's optimizer state: the
+        # save was structurally incomplete even though every listed
+        # file verifies, so only the layout-derived check can see it
+        removed = "zero_dp_rank_1_mp_rank_01_optim_states.npt"
+        del manifest["files"][removed]
+        store.save(rel, manifest)
+        store.delete(f"{info.tag}/{removed}")
+
+        with pytest.raises(LayoutLintError) as excinfo:
+            ucp_convert(directory, str(tmp_path / "ucp"))
+        assert "UCP008" in str(excinfo.value)
+        assert excinfo.value.report.by_rule("UCP008")
+
+    def test_preflight_passes_on_committed_tag(self, tmp_path):
+        eng = make_engine(
+            parallel=ParallelConfig(tp=2, pp=1, dp=1, sp=1, zero_stage=1)
+        )
+        directory = str(tmp_path / "ckpt")
+        save_distributed_checkpoint(eng, directory)
+        report = ucp_convert(directory, str(tmp_path / "ucp"))
+        assert report.num_params > 0
+
+
+class TestFromDescribe:
+    def test_roundtrip(self):
+        for cfg in (
+            ParallelConfig(),
+            ParallelConfig(tp=2, pp=2, dp=2, sp=2, zero_stage=2),
+            ParallelConfig(tp=4, dp=2, zero_stage=0, expert_parallel=True),
+        ):
+            assert ParallelConfig.from_describe(cfg.describe()) == cfg
+
+    def test_partial_and_reordered(self):
+        cfg = ParallelConfig.from_describe("dp4.tp2")
+        assert (cfg.tp, cfg.dp, cfg.pp, cfg.sp) == (2, 4, 1, 1)
+
+    def test_malformed_rejected(self):
+        for bad in ("tp2.xq3", "tp2.tp4", "tp", "", "tp2..dp1"):
+            with pytest.raises(ValueError):
+                ParallelConfig.from_describe(bad)

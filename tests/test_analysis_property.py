@@ -1,0 +1,82 @@
+"""Property sweep: the static linter agrees with the saver, config-wide.
+
+The layout linter re-derives every rank's expected checkpoint contents
+symbolically; the saver materializes them.  Sweeping a seeded sample of
+(model, tp, pp, dp, sp, zero, optimizer-layout) configurations and
+asserting the two agree file-for-file is the strongest evidence that
+the linter's model of the layout is the layout.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from tests.helpers import make_engine
+from repro.analysis import expected_tag_basenames, lint_checkpoint
+from repro.ckpt import naming
+from repro.ckpt.saver import save_distributed_checkpoint
+from repro.dist.topology import ParallelConfig
+from repro.storage.store import ObjectStore
+
+MIN_CONFIGS = 50
+MAX_WORLD = 16  # keeps the sweep fast while still exercising 3D layouts
+
+
+def _candidate_configs():
+    """Every valid sweep point, deterministically ordered."""
+    candidates = []
+    for model, tp, pp, dp, sp, zero in itertools.product(
+        ("gpt3-mini", "llama-mini", "bloom-mini", "moe-mini"),
+        (1, 2, 4),
+        (1, 2, 4),
+        (1, 2, 4),  # must divide the default global batch of 4
+        (1, 2),
+        (0, 1, 2, 3),
+    ):
+        if zero == 3 and (tp > 1 or pp > 1):
+            continue  # unsupported composition (matches ParallelConfig)
+        if tp * pp * dp * sp > MAX_WORLD:
+            continue
+        ep = model == "moe-mini" and tp > 1 and zero < 3
+        # per_param (Megatron-classic, unpartitioned) only exists at zero0
+        use_per_param = zero == 0 and (tp + pp + dp + sp) % 3 == 0
+        optimizer_layout = "per_param" if use_per_param else "flat"
+        parallel = ParallelConfig(
+            tp=tp, pp=pp, dp=dp, sp=sp, zero_stage=zero, expert_parallel=ep
+        )
+        candidates.append((model, parallel, optimizer_layout))
+    return candidates
+
+
+def test_linter_and_saver_agree_across_seeded_config_sweep(tmp_path):
+    candidates = _candidate_configs()
+    rng = random.Random(20240805)
+    rng.shuffle(candidates)
+    sample = candidates[:MIN_CONFIGS]
+    assert len(sample) >= MIN_CONFIGS
+
+    for i, (model, parallel, optimizer_layout) in enumerate(sample):
+        label = f"{model}/{parallel.describe()}/{optimizer_layout}"
+        eng = make_engine(model, parallel=parallel)
+        directory = str(tmp_path / f"cfg{i}")
+        info = save_distributed_checkpoint(
+            eng, directory, optimizer_layout=optimizer_layout
+        )
+
+        # atom-for-atom agreement: the file set the linter derives from
+        # (ModelConfig, ParallelConfig) alone must equal what the saver
+        # actually wrote (the commit manifest records exactly that)
+        expected = expected_tag_basenames(
+            parallel, eng.layout, optimizer_layout=optimizer_layout
+        )
+        store = ObjectStore(directory)
+        manifest = store.load(f"{info.tag}/{naming.MANIFEST_FILE}")
+        actual = set(manifest["files"])
+        assert expected == actual, (
+            f"{label}: linter expected {sorted(expected ^ actual)} "
+            f"to differ from the saved file set"
+        )
+
+        report = lint_checkpoint(directory, store=store)
+        assert report.ok, f"{label}:\n{report.render_text()}"

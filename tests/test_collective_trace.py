@@ -1,0 +1,155 @@
+"""Collective-ordering race detector: clean traces and injected races."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_engine
+from repro.analysis.collective_trace import (
+    CollectiveTraceRecorder,
+    TraceEvent,
+    check_collective_ordering,
+    numel_class,
+)
+from repro.ckpt.saver import save_distributed_checkpoint
+from repro.dist.topology import ParallelConfig
+
+
+class TestNumelClass:
+    def test_power_of_two_buckets(self):
+        assert numel_class(0) == 0
+        assert numel_class(1) == 1
+        assert numel_class(1023) == 10
+        assert numel_class(1024) == 11
+
+    def test_same_bucket_tolerates_wobble(self):
+        # uneven final microbatch: 1000 vs 900 elements still match
+        assert numel_class(1000) == numel_class(900)
+        # halved message size lands in a different bucket
+        assert numel_class(1024) != numel_class(512)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            numel_class(-1)
+
+
+class TestRecorder:
+    def test_group_wide_record_hits_every_member(self):
+        rec = CollectiveTraceRecorder()
+        rec.record("all_reduce", "dp:0", (0, 2), 64)
+        assert rec.events_of(0) == rec.events_of(2)
+        assert rec.num_events == 2
+        assert rec.group_members["dp:0"] == (0, 2)
+
+    def test_events_of_filters_by_group(self):
+        rec = CollectiveTraceRecorder()
+        rec.record("all_reduce", "dp:0", (0, 1), 64)
+        rec.record("broadcast", "tp:0", (0, 1), 32)
+        assert [e.op for e in rec.events_of(0, "tp:0")] == ["broadcast"]
+
+    def test_reset(self):
+        rec = CollectiveTraceRecorder()
+        rec.record("all_reduce", "dp:0", (0, 1), 64)
+        rec.reset()
+        assert rec.num_events == 0
+        assert rec.group_members == {}
+
+    def test_event_render(self):
+        event = TraceEvent("all_reduce", "dp:0", "float32", 14)
+        assert "all_reduce" in event.render()
+        assert "~2^14" in event.render()
+
+
+class TestCheckOrdering:
+    def test_empty_trace_is_clean(self):
+        assert check_collective_ordering(CollectiveTraceRecorder()).ok
+
+    def test_identical_sequences_are_clean(self):
+        rec = CollectiveTraceRecorder()
+        for _ in range(3):
+            rec.record("all_reduce", "dp:0", (0, 1, 2), 4096)
+        assert check_collective_ordering(rec).ok
+
+    def test_injected_divergent_op_is_ucp014(self):
+        rec = CollectiveTraceRecorder()
+        rec.record("all_reduce", "dp:0", (0, 1), 4096)
+        # rank 1 alone takes a data-dependent branch and gathers instead
+        rec.record("all_gather", "dp:0", (0, 1), 4096, rank=1)
+        rec.record("all_reduce", "dp:0", (0, 1), 4096, rank=0)
+        report = check_collective_ordering(rec)
+        assert not report.ok
+        assert [d.rule_id for d in report.errors] == ["UCP014"]
+        message = report.errors[0].message
+        assert "#1" in message  # first divergent index
+        assert "all_gather" in message and "all_reduce" in message
+        assert report.errors[0].location == "group dp:0"
+
+    def test_length_mismatch_is_ucp014(self):
+        rec = CollectiveTraceRecorder()
+        rec.record("all_reduce", "dp:0", (0, 1), 4096)
+        rec.record("all_reduce", "dp:0", (0, 1), 4096, rank=0)
+        report = check_collective_ordering(rec)
+        assert not report.ok
+        assert "2 calls" in report.errors[0].message
+        assert "1" in report.errors[0].message
+
+    def test_size_disagreement_is_ucp014(self):
+        rec = CollectiveTraceRecorder()
+        rec.record("all_reduce", "dp:0", (0, 1), 4096, rank=0)
+        rec.record("all_reduce", "dp:0", (0, 1), 1024, rank=1)
+        report = check_collective_ordering(rec)
+        assert "UCP014" in [d.rule_id for d in report.errors]
+
+
+class TestEngineTrace:
+    def test_training_and_save_trace_is_race_free(self, tmp_path):
+        eng = make_engine(
+            parallel=ParallelConfig(tp=2, pp=1, dp=2, sp=1, zero_stage=1)
+        )
+        eng.train(2)
+        save_distributed_checkpoint(eng, str(tmp_path / "ckpt"))
+        trace = eng.cluster.trace
+        assert trace.num_events > 0
+        assert check_collective_ordering(trace).ok
+
+    def test_save_path_emits_commit_barriers(self, tmp_path):
+        eng = make_engine(parallel=ParallelConfig(dp=2))
+        eng.train(1)
+        info = save_distributed_checkpoint(eng, str(tmp_path / "ckpt"))
+        ops = [e.op for e in eng.cluster.trace.events_of(0, "world")]
+        assert f"barrier:save:{info.tag}:enter" in ops
+        assert f"barrier:save:{info.tag}:commit" in ops
+        # the commit barrier comes last: no rank may see the latest
+        # pointer move before every peer finished writing
+        assert ops.index(f"barrier:save:{info.tag}:enter") < ops.index(
+            f"barrier:save:{info.tag}:commit"
+        )
+
+    def test_dp_gradient_reduction_is_traced(self):
+        eng = make_engine(
+            parallel=ParallelConfig(tp=1, pp=1, dp=2, sp=1, zero_stage=1)
+        )
+        eng.train(1)
+        trace = eng.cluster.trace
+        dp_groups = [g for g in trace.group_members if g.startswith("dp")]
+        assert dp_groups
+        ops = [
+            e.op
+            for g in dp_groups
+            for e in trace.events_of(trace.group_members[g][0], g)
+        ]
+        assert "all_reduce" in ops  # gradient reduction
+        assert "all_gather" in ops  # zero1 parameter re-gather
+
+    def test_injected_rank_divergence_is_caught(self):
+        eng = make_engine(
+            parallel=ParallelConfig(tp=1, pp=1, dp=2, sp=1, zero_stage=1)
+        )
+        eng.train(1)
+        trace = eng.cluster.trace
+        group = next(g for g in trace.group_members if g.startswith("dp"))
+        members = trace.group_members[group]
+        trace.record("all_reduce", group, members, 4096, rank=members[0])
+        report = check_collective_ordering(trace)
+        assert not report.ok
+        assert any(d.rule_id == "UCP014" for d in report.errors)
