@@ -1,6 +1,6 @@
 """Static analysis over checkpoint layouts and collective schedules.
 
-Three analyzers, none of which ever materializes a tensor:
+Four analyzers, none of which ever materializes a tensor:
 
 - :mod:`~repro.analysis.layout_lint` — derive every rank's expected
   checkpoint contents from the configs and diff against a tag's commit
@@ -8,8 +8,14 @@ Three analyzers, none of which ever materializes a tensor:
 - :mod:`~repro.analysis.interchange` — prove a source -> target
   reconfiguration well-formed before any IO (``repro lint-plan`` and
   ``ucp_convert``'s mandatory pre-flight).
-- :mod:`~repro.analysis.collective_trace` — verify all ranks of each
-  process group issued identical collective sequences.
+- :mod:`~repro.analysis.provenance` — a symbolic shadow interpreter
+  that executes a conversion plan over byte *intervals*: every target
+  data byte must come from exactly one real (non-padding) source byte
+  (``repro lint-plan --provenance`` and the conversion pre-flight).
+- :mod:`~repro.analysis.collective_trace` — per-group ordering,
+  cross-rank argument lint, and a vector-clock happens-before replay
+  detecting deadlock cycles and critical-section overlaps
+  (``repro lint-trace``).
 
 All findings carry stable rule IDs (``UCP001``...); see
 ``docs/ANALYSIS.md`` for the catalogue.
@@ -18,8 +24,12 @@ All findings carry stable rule IDs (``UCP001``...); see
 from repro.analysis.collective_trace import (
     CollectiveTraceRecorder,
     TraceEvent,
+    check_collective_args,
     check_collective_ordering,
+    check_happens_before,
+    check_trace,
     numel_class,
+    simulate_happens_before,
 )
 from repro.analysis.diagnostics import (
     RULES,
@@ -41,6 +51,15 @@ from repro.analysis.layout_lint import (
     expected_tag_basenames,
     lint_checkpoint,
 )
+from repro.analysis.provenance import (
+    ProvenanceAnalysis,
+    analyze_interchange,
+    analyze_source,
+    analyze_ucp_source,
+    check_plan_provenance,
+    check_source_provenance,
+    check_target_provenance,
+)
 
 __all__ = [
     "RULES",
@@ -50,8 +69,18 @@ __all__ = [
     "Diagnostic",
     "LayoutLintError",
     "LintReport",
+    "ProvenanceAnalysis",
     "TraceEvent",
+    "analyze_interchange",
+    "analyze_source",
+    "analyze_ucp_source",
+    "check_collective_args",
     "check_collective_ordering",
+    "check_happens_before",
+    "check_plan_provenance",
+    "check_source_provenance",
+    "check_target_provenance",
+    "check_trace",
     "config_diagnostics",
     "crosscheck_manifest",
     "error",
@@ -60,5 +89,6 @@ __all__ = [
     "lint_plan",
     "numel_class",
     "preflight_convert",
+    "simulate_happens_before",
     "warning",
 ]

@@ -1,28 +1,59 @@
-"""Collective-ordering race detector.
+"""Collective-trace analysis: ordering, arguments, and happens-before.
 
 Deadlocks and silent corruption in distributed training very often
-trace back to one bug shape: ranks of the same process group issuing
-*different* collective sequences — one rank skips an all-reduce behind
-a data-dependent branch, two ranks disagree on message size, a save
-path gathers in a different order than its peers.  A real NCCL job
-hangs (or worse, mismatched buffers silently reduce); the simulator,
-which executes collectives group-wide, cannot hang — so the bug class
-would be invisible here without an explicit check.
+trace back to a small set of bug shapes: ranks of the same process
+group issuing *different* collective sequences (one rank skips an
+all-reduce behind a data-dependent branch), ranks disagreeing on a
+collective's arguments (shape, dtype, reduce op), or two code paths —
+a save and a conversion, say — entering overlapping critical sections
+whose collectives interleave.  A real NCCL job hangs (or worse,
+mismatched buffers silently reduce); the simulator, which executes
+collectives group-wide, cannot hang — so these bug classes would be
+invisible here without explicit checks.
 
-The detector closes that gap: every collective records one
-:class:`TraceEvent` per member rank (op, group, dtype, numel-class),
-and :func:`check_collective_ordering` statically verifies that all
-ranks of each group logged identical sequences.  Numel is bucketed to
-its power-of-two class so benign size wobble (e.g. uneven final micro
-batch) is tolerated while genuine size disagreement is flagged.
+Three checkers close the gap, all reading the same per-rank
+:class:`TraceEvent` logs every :class:`~repro.dist.process_group.
+ProcessGroup` records:
+
+* :func:`check_collective_ordering` — per-group sequence equality
+  (UCP014), the classic skipped-collective detector.  Numel is
+  bucketed to its power-of-two class so benign size wobble (uneven
+  final microbatch) passes while genuine size disagreement is flagged.
+* :func:`check_collective_args` — positional argument lint (UCP024):
+  ranks that *did* line up on the same collective must agree on
+  dtype, reduce op, and (for shape-preserving ops) tensor shape.
+* :func:`check_happens_before` — a vector-clock happens-before
+  analysis (UCP023).  The per-rank logs are replayed as a
+  synchronization game: a collective fires only when every member's
+  log head has reached it.  A stuck replay is exactly a deadlock, and
+  the cross-group wait-for graph names the cycle.  Fired barriers
+  carry vector clocks, so ``save:<tag>``/``convert:<tag>``
+  enter/commit critical sections can be checked for overlap: two
+  sections neither of which happens-before the other would interleave
+  their file writes on a real cluster.
+
+:func:`check_trace` composes all three — the ``repro lint-trace``
+entry point.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import re
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.diagnostics import LintReport, error
+
+TRACE_VERSION = 1
+
+_SECTION_RE = re.compile(r"^barrier:(save|convert):(.+):(enter|commit)$")
+
+_SHAPE_STRICT_OPS = ("all_reduce", "broadcast", "reduce_scatter")
+"""Ops whose per-member input shapes must match exactly (all_gather is
+exempt: members may legitimately contribute uneven shards along the
+gather axis)."""
 
 
 def numel_class(numel: int) -> int:
@@ -39,17 +70,48 @@ def numel_class(numel: int) -> int:
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
-    """One collective call as one rank observed it."""
+    """One collective call as one rank observed it.
+
+    ``shape`` and ``reduce_op`` are argument-level detail for the
+    UCP024 lint; they are *not* part of :attr:`signature`, so the
+    ordering check keeps its original wobble tolerance.
+    """
 
     op: str
     group: str
     dtype: str
     numel_class: int
+    shape: Tuple[int, ...] = ()
+    reduce_op: str = ""
+
+    @property
+    def signature(self) -> Tuple[str, str, str, int]:
+        """The ordering-equality key: (op, group, dtype, numel class)."""
+        return (self.op, self.group, self.dtype, self.numel_class)
 
     def render(self) -> str:
         """Compact text form, e.g. ``all_reduce(dp:0,2 f32 ~2^14)``."""
         return (
             f"{self.op}({self.group} {self.dtype} ~2^{self.numel_class})"
+        )
+
+    def to_record(self) -> List:
+        """Serializable list form (inverse of :meth:`from_record`)."""
+        return [
+            self.op, self.group, self.dtype, self.numel_class,
+            list(self.shape), self.reduce_op,
+        ]
+
+    @classmethod
+    def from_record(cls, record: Sequence) -> "TraceEvent":
+        """Rebuild from :meth:`to_record` output (older 4-field records
+        load with empty shape/reduce_op)."""
+        op, group, dtype, nclass = record[:4]
+        shape = tuple(int(d) for d in record[4]) if len(record) > 4 else ()
+        reduce_op = str(record[5]) if len(record) > 5 else ""
+        return cls(
+            op=str(op), group=str(group), dtype=str(dtype),
+            numel_class=int(nclass), shape=shape, reduce_op=reduce_op,
         )
 
 
@@ -60,8 +122,8 @@ class CollectiveTraceRecorder:
     Cluster`'s process groups.  Well-behaved group-wide calls append
     the same event to every member rank; the ``rank=`` override exists
     so tests (and future per-rank execution paths) can record what one
-    rank alone observed — which is exactly the divergence the checker
-    then catches.
+    rank alone observed — which is exactly the divergence the checkers
+    then catch.
     """
 
     def __init__(self) -> None:
@@ -76,6 +138,8 @@ class CollectiveTraceRecorder:
         numel: int,
         dtype: str = "float32",
         rank: Optional[int] = None,
+        shape: Sequence[int] = (),
+        reduce_op: str = "",
     ) -> TraceEvent:
         """Log one collective call.
 
@@ -87,16 +151,54 @@ class CollectiveTraceRecorder:
             dtype: element dtype name.
             rank: record for this member only (divergence injection);
                 default records the event for every member.
+            shape: per-rank input tensor shape (argument lint).
+            reduce_op: reduction operator for reducing collectives.
         """
         members = tuple(ranks)
         self.group_members.setdefault(group, members)
         event = TraceEvent(
-            op=op, group=group, dtype=dtype, numel_class=numel_class(numel)
+            op=op, group=group, dtype=dtype,
+            numel_class=numel_class(numel),
+            shape=tuple(int(d) for d in shape), reduce_op=reduce_op,
         )
         targets = members if rank is None else (rank,)
         for r in targets:
             self.events.setdefault(r, []).append(event)
         return event
+
+    def record_call(
+        self,
+        op: str,
+        group: str,
+        ranks: Sequence[int],
+        arrays: Sequence[np.ndarray],
+        reduce_op: str = "",
+    ) -> None:
+        """Log one collective with each member's *own* argument facts.
+
+        Unlike :meth:`record` (one event fan-copied to all members),
+        this records per-member shape/dtype/numel — so a rank passing
+        a differently-shaped or differently-typed buffer is visible to
+        the UCP024 argument lint.  A single array is broadcast to all
+        members (the ``broadcast`` collective's calling convention).
+        """
+        members = tuple(ranks)
+        self.group_members.setdefault(group, members)
+        arrs = [np.asarray(a) for a in arrays]
+        if len(arrs) == 1 and len(members) > 1:
+            arrs = arrs * len(members)
+        if len(arrs) != len(members):
+            raise ValueError(
+                f"record_call on group {group!r} got {len(arrs)} arrays "
+                f"for {len(members)} members"
+            )
+        for r, arr in zip(members, arrs):
+            self.events.setdefault(r, []).append(TraceEvent(
+                op=op, group=group, dtype=str(arr.dtype),
+                numel_class=numel_class(int(arr.size)),
+                shape=tuple(int(d) for d in arr.shape),
+                reduce_op=reduce_op,
+            ))
 
     def events_of(self, rank: int, group: Optional[str] = None) -> List[TraceEvent]:
         """One rank's event log, optionally restricted to one group."""
@@ -115,17 +217,49 @@ class CollectiveTraceRecorder:
         self.events.clear()
         self.group_members.clear()
 
+    def to_payload(self) -> Dict:
+        """Serializable form (``.npt``/JSON-safe: str keys, list leaves)."""
+        return {
+            "version": TRACE_VERSION,
+            "group_members": {
+                group: list(members)
+                for group, members in sorted(self.group_members.items())
+            },
+            "events": {
+                str(rank): [e.to_record() for e in log]
+                for rank, log in sorted(self.events.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "CollectiveTraceRecorder":
+        """Inverse of :meth:`to_payload`."""
+        version = int(payload.get("version", -1))
+        if version != TRACE_VERSION:
+            raise ValueError(
+                f"unsupported trace version {version}; this build reads "
+                f"version {TRACE_VERSION}"
+            )
+        recorder = cls()
+        for group, members in payload.get("group_members", {}).items():
+            recorder.group_members[group] = tuple(int(r) for r in members)
+        for rank, records in payload.get("events", {}).items():
+            recorder.events[int(rank)] = [
+                TraceEvent.from_record(r) for r in records
+            ]
+        return recorder
+
 
 def check_collective_ordering(recorder: CollectiveTraceRecorder) -> LintReport:
     """Prove every group's ranks issued identical collective sequences.
 
     For each group the recorder saw, the per-rank event subsequences
-    (restricted to that group) must be element-wise identical across
-    all member ranks: same ops, in the same order, with matching dtype
-    and numel-class.  Any divergence is a UCP014 error naming the
-    group, the disagreeing ranks, and the first divergent position —
-    the information needed to find the data-dependent branch that
-    caused it.
+    (restricted to that group) must be signature-identical across all
+    member ranks: same ops, in the same order, with matching dtype and
+    numel-class.  Any divergence is a UCP014 error naming the group,
+    the disagreeing ranks, and the first divergent position — the
+    information needed to find the data-dependent branch that caused
+    it.
     """
     report = LintReport(subject="collective trace")
     for group in sorted(recorder.group_members):
@@ -135,11 +269,15 @@ def check_collective_ordering(recorder: CollectiveTraceRecorder) -> LintReport:
         reference = logs[reference_rank]
         for r in members[1:]:
             log = logs[r]
-            if log == reference:
+            if [e.signature for e in log] == [e.signature for e in reference]:
                 continue
             limit = min(len(log), len(reference))
             index = next(
-                (i for i in range(limit) if log[i] != reference[i]), limit
+                (
+                    i for i in range(limit)
+                    if log[i].signature != reference[i].signature
+                ),
+                limit,
             )
             if index < limit:
                 detail = (
@@ -159,4 +297,317 @@ def check_collective_ordering(recorder: CollectiveTraceRecorder) -> LintReport:
                 f"silently corrupt) a real communicator",
                 location=f"group {group}",
             ))
+    return report
+
+
+def check_collective_args(recorder: CollectiveTraceRecorder) -> LintReport:
+    """Lint collectives whose ranks disagree on arguments (UCP024).
+
+    Walks each group's per-rank logs positionally: at every position
+    where all members issued the *same op* (sequence divergence itself
+    is UCP014's domain), the dtype and reduce op must match across
+    ranks, and for shape-preserving ops (:data:`_SHAPE_STRICT_OPS`)
+    the input shapes must be identical — a rank reducing a transposed
+    or truncated buffer corrupts every peer's result silently.
+    """
+    report = LintReport(subject="collective trace")
+    for group in sorted(recorder.group_members):
+        members = recorder.group_members[group]
+        logs = {r: recorder.events_of(r, group) for r in members}
+        depth = min(len(log) for log in logs.values()) if logs else 0
+        for index in range(depth):
+            events = [(r, logs[r][index]) for r in members]
+            ops = {e.op for _, e in events}
+            if len(ops) != 1:
+                continue
+            op = ops.pop()
+            first_rank, first = events[0]
+            for r, event in events[1:]:
+                mismatches = []
+                if event.dtype != first.dtype:
+                    mismatches.append(
+                        f"dtype {first.dtype} vs {event.dtype}"
+                    )
+                if event.reduce_op != first.reduce_op:
+                    mismatches.append(
+                        f"reduce op {first.reduce_op or '<none>'} vs "
+                        f"{event.reduce_op or '<none>'}"
+                    )
+                if (
+                    op in _SHAPE_STRICT_OPS
+                    and first.shape and event.shape
+                    and event.shape != first.shape
+                ):
+                    mismatches.append(
+                        f"shape {first.shape} vs {event.shape}"
+                    )
+                if mismatches:
+                    report.add(error(
+                        "UCP024",
+                        f"collective #{index} ({op}): ranks "
+                        f"{first_rank} and {r} disagree on "
+                        f"{'; '.join(mismatches)}; mismatched arguments "
+                        f"silently corrupt the reduction on a real "
+                        f"communicator",
+                        location=f"group {group}",
+                    ))
+    return report
+
+
+@dataclasses.dataclass(frozen=True)
+class FiredCollective:
+    """One collective instance the happens-before replay retired.
+
+    ``clock`` is the members' joined vector clock *after* the fire —
+    the partial-order timestamp critical-section analysis compares.
+    """
+
+    op: str
+    group: str
+    members: Tuple[int, ...]
+    clock: Dict[int, int]
+
+
+@dataclasses.dataclass
+class HappensBeforeResult:
+    """Outcome of replaying the per-rank logs as a synchronization game."""
+
+    fired: List[FiredCollective]
+    completed: bool
+    stuck_heads: Dict[int, TraceEvent]
+    exhausted_ranks: List[int]
+
+    def wait_graph(
+        self, group_members: Dict[str, Tuple[int, ...]]
+    ) -> Dict[int, List[int]]:
+        """Cross-group wait-for edges at the stuck point.
+
+        Rank ``r`` (blocked on its head event's group) waits for every
+        member of that group whose own head is elsewhere (or whose log
+        is exhausted).
+        """
+        graph: Dict[int, List[int]] = {}
+        for rank in sorted(self.stuck_heads):
+            head = self.stuck_heads[rank]
+            members = group_members.get(head.group, ())
+            waits = [
+                m for m in members
+                if m != rank and (
+                    m not in self.stuck_heads
+                    or self.stuck_heads[m].group != head.group
+                )
+            ]
+            graph[rank] = waits
+        return graph
+
+
+def simulate_happens_before(
+    recorder: CollectiveTraceRecorder,
+) -> HappensBeforeResult:
+    """Replay per-rank logs as blocking collectives; build vector clocks.
+
+    A collective on group ``g`` fires only when *every* member's log
+    head has reached an event on ``g`` — exactly the blocking semantics
+    of a real communicator (op-name mismatches still fire; naming
+    divergence is UCP014's domain, while *reachability* is decided
+    purely by which group a rank is blocked on).  On fire, all members
+    synchronize: their vector clocks join and each member's own
+    component increments.  A replay that stops with unconsumed events
+    is a deadlock; the stuck heads drive the wait-for graph.
+    """
+    pointers: Dict[int, int] = {r: 0 for r in recorder.events}
+    clocks: Dict[int, Dict[int, int]] = {r: {} for r in recorder.events}
+    fired: List[FiredCollective] = []
+
+    def head(rank: int) -> Optional[TraceEvent]:
+        log = recorder.events.get(rank, [])
+        index = pointers.get(rank, 0)
+        return log[index] if index < len(log) else None
+
+    progress = True
+    while progress:
+        progress = False
+        for group in sorted(recorder.group_members):
+            members = recorder.group_members[group]
+            heads = [head(r) for r in members]
+            if any(h is None or h.group != group for h in heads):
+                continue
+            joined: Dict[int, int] = {}
+            for member in members:
+                for r, count in clocks.setdefault(member, {}).items():
+                    joined[r] = max(joined.get(r, 0), count)
+            for member in members:
+                joined[member] = clocks[member].get(member, 0) + 1
+            for member in members:
+                clocks[member] = dict(joined)
+                pointers[member] = pointers.get(member, 0) + 1
+            fired.append(FiredCollective(
+                op=heads[0].op, group=group, members=members,
+                clock=dict(joined),
+            ))
+            progress = True
+
+    stuck_heads = {
+        r: h for r in sorted(recorder.events)
+        if (h := head(r)) is not None
+    }
+    exhausted = sorted(
+        r for r in recorder.events
+        if head(r) is None and any(
+            r in recorder.group_members.get(h.group, ())
+            for h in stuck_heads.values()
+        )
+    )
+    return HappensBeforeResult(
+        fired=fired,
+        completed=not stuck_heads,
+        stuck_heads=stuck_heads,
+        exhausted_ranks=exhausted,
+    )
+
+
+def _clock_lte(a: Dict[int, int], b: Dict[int, int]) -> bool:
+    """Vector-clock partial order: ``a`` happened-before-or-equal ``b``."""
+    return all(count <= b.get(r, 0) for r, count in a.items())
+
+
+def _find_cycle(graph: Dict[int, List[int]]) -> Optional[List[int]]:
+    """One directed cycle in the wait-for graph, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {r: WHITE for r in graph}
+    for start in sorted(graph):
+        if color[start] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(start, 0)]
+        path: List[int] = []
+        while stack:
+            node, edge_index = stack.pop()
+            if edge_index == 0:
+                color[node] = GRAY
+                path.append(node)
+            edges = graph.get(node, [])
+            advanced = False
+            for i in range(edge_index, len(edges)):
+                nxt = edges[i]
+                if color.get(nxt, BLACK) == GRAY:
+                    return path[path.index(nxt):]
+                if color.get(nxt, BLACK) == WHITE:
+                    stack.append((node, i + 1))
+                    stack.append((nxt, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+    return None
+
+
+def check_happens_before(recorder: CollectiveTraceRecorder) -> LintReport:
+    """Deadlock cycles and critical-section overlaps (UCP023).
+
+    Two findings come out of the vector-clock replay:
+
+    * **deadlock** — the replay stuck with unconsumed events.  The
+      wait-for graph's cycle (rank-by-rank, naming the group each rank
+      is blocked on) is rendered when one exists; otherwise the stuck
+      ranks are blocked on peers that already exhausted their logs
+      (e.g. a dropped barrier).
+    * **critical-section overlap** — ``barrier:save:<tag>:enter`` /
+      ``:commit`` (and ``convert:``) pairs delimit sections whose file
+      writes must serialize.  Two sections neither of whose commits
+      happens-before the other's enter would interleave on a real
+      cluster; and a section entered but never committed is a torn
+      protocol (dropped commit barrier).
+    """
+    report = LintReport(subject="collective trace")
+    result = simulate_happens_before(recorder)
+
+    if not result.completed:
+        graph = result.wait_graph(recorder.group_members)
+        cycle = _find_cycle(graph)
+        if cycle is not None:
+            hops = []
+            for i, rank in enumerate(cycle):
+                head_event = result.stuck_heads[rank]
+                nxt = cycle[(i + 1) % len(cycle)]
+                hops.append(
+                    f"rank {rank} waits for rank {nxt} on group "
+                    f"{head_event.group} ({head_event.render()})"
+                )
+            report.add(error(
+                "UCP023",
+                f"collective deadlock cycle: {'; '.join(hops)}; a real "
+                f"communicator would hang here forever",
+                location="trace",
+            ))
+        else:
+            blocked = "; ".join(
+                f"rank {r} blocked on group "
+                f"{result.stuck_heads[r].group} "
+                f"({result.stuck_heads[r].render()})"
+                for r in sorted(result.stuck_heads)
+            )
+            exhausted = (
+                f"; ranks {result.exhausted_ranks} already exhausted "
+                f"their logs (dropped collective?)"
+                if result.exhausted_ranks else ""
+            )
+            report.add(error(
+                "UCP023",
+                f"collective replay deadlocks with no cycle: {blocked}"
+                f"{exhausted}",
+                location="trace",
+            ))
+
+    # critical sections from fired barriers, in fire order
+    open_sections: Dict[Tuple[str, str, str], Dict[int, int]] = {}
+    closed: List[Tuple[Tuple[str, str, str], Dict[int, int], Dict[int, int]]] = []
+    for fired in result.fired:
+        match = _SECTION_RE.match(fired.op)
+        if match is None:
+            continue
+        kind, tag, edge = match.groups()
+        key = (kind, tag, fired.group)
+        if edge == "enter":
+            open_sections[key] = fired.clock
+        elif key in open_sections:
+            closed.append((key, open_sections.pop(key), fired.clock))
+
+    for key in sorted(open_sections):
+        kind, tag, group = key
+        report.add(error(
+            "UCP023",
+            f"{kind} critical section {tag!r} entered but never "
+            f"committed (dropped commit barrier on group {group}); a "
+            f"crash here leaves a torn checkpoint that looks committed "
+            f"to stragglers",
+            location=f"group {group}",
+        ))
+
+    for i in range(len(closed)):
+        for j in range(i + 1, len(closed)):
+            (kind_a, tag_a, _), enter_a, commit_a = closed[i]
+            (kind_b, tag_b, _), enter_b, commit_b = closed[j]
+            if _clock_lte(commit_a, enter_b) or _clock_lte(commit_b, enter_a):
+                continue
+            report.add(error(
+                "UCP023",
+                f"critical sections {kind_a}:{tag_a} and "
+                f"{kind_b}:{tag_b} overlap: neither commit "
+                f"happens-before the other's enter, so their file "
+                f"writes interleave on a real cluster",
+                location="trace",
+            ))
+    return report
+
+
+def check_trace(recorder: CollectiveTraceRecorder) -> LintReport:
+    """All trace checks composed: ordering, arguments, happens-before.
+
+    The ``repro lint-trace`` entry point (UCP014 + UCP023 + UCP024).
+    """
+    report = LintReport(subject="collective trace")
+    report.extend(check_collective_ordering(recorder).diagnostics)
+    report.extend(check_collective_args(recorder).diagnostics)
+    report.extend(check_happens_before(recorder).diagnostics)
     return report

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import UCPFormatError
 
@@ -39,6 +39,14 @@ RULES: Dict[str, str] = {
     "UCP014": "collective-order-mismatch",
     "UCP015": "cross-rank-divergence",
     "UCP016": "uncommitted-tag",
+    "UCP017": "provenance-gap",
+    "UCP018": "provenance-overlap",
+    "UCP019": "padding-leak",
+    "UCP020": "provenance-dtype-mismatch",
+    "UCP021": "fragment-out-of-bounds",
+    "UCP022": "provenance-unverifiable",
+    "UCP023": "collective-deadlock",
+    "UCP024": "collective-arg-mismatch",
 }
 """Stable rule ID -> short kebab-case name.  Append-only."""
 
@@ -70,6 +78,17 @@ class Diagnostic:
     def rule_name(self) -> str:
         """The rule's kebab-case name (e.g. ``missing-atom``)."""
         return RULES[self.rule_id]
+
+    @property
+    def sort_key(self) -> Tuple[str, str, str, str]:
+        """Total order over findings: (rule, location, severity, message).
+
+        The location string embeds rank/file/tensor identity, so sorting
+        on this key makes report output independent of the traversal
+        order that produced the findings — the contract behind
+        byte-identical ``--format json`` output across runs.
+        """
+        return (self.rule_id, self.location, self.severity, self.message)
 
     def render(self) -> str:
         """One-line text form, e.g. ``error UCP001 [missing-atom] ...``."""
@@ -142,6 +161,16 @@ class LintReport:
         """All findings for one rule ID."""
         return [d for d in self.diagnostics if d.rule_id == rule_id]
 
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        """Findings in canonical order (:attr:`Diagnostic.sort_key`).
+
+        Every rendering (text and JSON) goes through this, so two runs
+        that produce the same finding *set* produce byte-identical
+        output regardless of hash seeds or traversal order.  The sort
+        is stable, so findings sharing a key keep insertion order.
+        """
+        return sorted(self.diagnostics, key=lambda d: d.sort_key)
+
     def summary(self) -> str:
         """One-line outcome, e.g. ``2 errors, 1 warning``."""
         n_err, n_warn = len(self.errors), len(self.warnings)
@@ -159,7 +188,7 @@ class LintReport:
         lines = []
         head = f"lint {self.subject}: " if self.subject else "lint: "
         lines.append(head + self.summary())
-        for diag in self.diagnostics:
+        for diag in self.sorted_diagnostics():
             lines.append(f"  {diag.render()}")
         return "\n".join(lines)
 
@@ -170,7 +199,7 @@ class LintReport:
             "ok": self.ok,
             "num_errors": len(self.errors),
             "num_warnings": len(self.warnings),
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "diagnostics": [d.to_dict() for d in self.sorted_diagnostics()],
         }
 
     def to_json(self) -> str:
@@ -195,7 +224,10 @@ class LayoutLintError(UCPFormatError):
 
     def __init__(self, report: LintReport, prefix: str = "") -> None:
         self.report = report
-        errors = report.errors
+        errors = [
+            d for d in report.sorted_diagnostics()
+            if d.severity == SEVERITY_ERROR
+        ]
         shown = "; ".join(d.render() for d in errors[:3])
         more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
         subject = f" {report.subject}" if report.subject else ""

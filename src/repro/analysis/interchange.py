@@ -158,6 +158,7 @@ def preflight_convert(
     model_cfg: ModelConfig,
     source_cfg: ParallelConfig,
     optimizer_layout: str = "flat",
+    provenance: bool = True,
 ) -> LintReport:
     """The converter's mandatory pre-pass over a committed source tag.
 
@@ -166,7 +167,11 @@ def preflight_convert(
     that the commit manifest records every rank file the layout
     derives — a manifest that never listed a rank's optimizer state
     means the save was structurally incomplete, which per-file digest
-    verification alone cannot see.
+    verification alone cannot see.  When the structural checks pass,
+    the byte-provenance theorems (:mod:`repro.analysis.provenance`)
+    run over the rank-file *headers*: every consolidated data byte
+    must be supplied exactly once with no padding read as data
+    (UCP017-UCP022) — still without touching any tensor payload.
 
     Args:
         src_store: source checkpoint store.
@@ -175,6 +180,8 @@ def preflight_convert(
         model_cfg: model config recorded in the tag's job config.
         source_cfg: parallel config recorded in the tag's job config.
         optimizer_layout: the job's recorded optimizer layout.
+        provenance: run the header-only byte-provenance pass (on by
+            default; costs kilobytes of header IO).
     """
     report = LintReport(subject=f"{src_store.base}/{src_tag}")
     report.extend(config_diagnostics(model_cfg, source_cfg, role="source"))
@@ -192,4 +199,10 @@ def preflight_convert(
             f"the save was structurally incomplete",
             location=f"{src_tag}/{basename}",
         ))
+    if provenance and report.ok:
+        from repro.analysis.provenance import check_source_provenance
+
+        report.extend(check_source_provenance(
+            src_store, src_tag, model_cfg, source_cfg, optimizer_layout
+        ).diagnostics)
     return report

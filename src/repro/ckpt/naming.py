@@ -22,6 +22,7 @@ import re
 LATEST_FILE = "latest"
 JOB_CONFIG_FILE = "job_config.npt"
 MANIFEST_FILE = "manifest.npt"
+TRACE_FILE = "collective_trace.npt"
 
 _TAG_RE = re.compile(r"^global_step(\d+)$")
 

@@ -93,6 +93,7 @@ def save_distributed_checkpoint(
     tag: Optional[str] = None,
     store: Optional[ObjectStore] = None,
     optimizer_layout: str = "flat",
+    dump_trace: bool = False,
 ) -> CheckpointInfo:
     """Persist the engine's full training state as per-rank files.
 
@@ -106,6 +107,10 @@ def save_distributed_checkpoint(
             optimizer states (one dict entry per parameter shard) —
             only valid for ZeRO stage 0, where optimizer state is
             replicated across DP.
+        dump_trace: also commit the cluster's collective trace into the
+            tag (``collective_trace.npt``) so ``repro lint-trace`` can
+            replay it offline; off by default — the trace is a debug
+            artifact, not training state.
     """
     if optimizer_layout not in ("flat", "per_param"):
         raise ValueError(f"unknown optimizer_layout {optimizer_layout!r}")
@@ -242,6 +247,12 @@ def save_distributed_checkpoint(
     store.write_text(naming.LATEST_FILE, tag)
     if cluster is not None:
         cluster.barrier(f"save:{tag}:commit")
+    if dump_trace and cluster is not None and cluster.trace is not None:
+        # debug sidecar, written after the commit barrier so an offline
+        # `repro lint-trace` sees the save's full enter..commit section;
+        # deliberately outside the manifest — it describes the job, not
+        # the checkpointed state
+        store.save(f"{tag}/{naming.TRACE_FILE}", cluster.trace.to_payload())
     return CheckpointInfo(
         directory=directory,
         tag=tag,

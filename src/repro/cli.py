@@ -9,7 +9,9 @@ Mirrors the operational surface DeepSpeed ships for UCP (the
     python -m repro plan      <ckpt_dir> --world N [--batch B]
     python -m repro verify    <dir>
     python -m repro lint-ckpt <dir> [--tag T] [--format text|json] [--deep]
-    python -m repro lint-plan --source <dir> --target tp2.pp1.dp4.sp1.zero1
+    python -m repro lint-plan --source <dir> --target tp2.pp1.dp4.sp1.zero1 \
+        [--provenance]
+    python -m repro lint-trace <trace.npt | ckpt_dir> [--tag T]
 
 Every command prints human-readable text and returns a process exit
 code (0 success, 1 failure), so it scripts cleanly; the lint verbs
@@ -167,6 +169,52 @@ def cmd_lint_plan(args: argparse.Namespace) -> int:
     target = ParallelConfig.from_describe(args.target)
 
     report = lint_plan(model, source, target, atom_names=atom_names)
+    if getattr(args, "provenance", False):
+        if report.ok:
+            from repro.analysis import check_plan_provenance
+
+            report.extend(check_plan_provenance(
+                args.source, target, tag=args.tag, store=store
+            ).diagnostics)
+        else:
+            print(
+                "note: provenance pass skipped (structural lint failed)",
+                file=sys.stderr,
+            )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+def cmd_lint_trace(args: argparse.Namespace) -> int:
+    """Analyze a recorded collective trace for races and deadlocks."""
+    from repro.analysis import CollectiveTraceRecorder, check_trace
+    from repro.ckpt import naming
+    from repro.ckpt.loader import resolve_tag
+    from repro.storage.store import ObjectStore
+    import pathlib
+
+    path = pathlib.Path(args.trace)
+    if path.is_dir():
+        store = ObjectStore(str(path))
+        tag = resolve_tag(store, args.tag)
+        rel = f"{tag}/{naming.TRACE_FILE}"
+        if not store.exists(rel):
+            print(
+                f"error: no {naming.TRACE_FILE} under {path}/{tag} (save "
+                f"with dump_trace=True to record one)",
+                file=sys.stderr,
+            )
+            return 1
+        payload = store.load(rel)
+    else:
+        store = ObjectStore(str(path.parent))
+        payload = store.load(path.name)
+    recorder = CollectiveTraceRecorder.from_payload(payload)
+
+    report = check_trace(recorder)
     if args.format == "json":
         print(report.to_json())
     else:
@@ -253,7 +301,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="output rendering (json is stable for CI gates)",
     )
+    p.add_argument(
+        "--provenance",
+        action="store_true",
+        help="additionally prove byte provenance (coverage/exclusivity/"
+             "padding hygiene) from rank-file headers (UCP017-UCP022)",
+    )
     p.set_defaults(func=cmd_lint_plan)
+
+    p = sub.add_parser(
+        "lint-trace",
+        help="analyze a recorded collective trace (ordering, argument "
+             "mismatches, deadlocks, critical-section overlaps)",
+    )
+    p.add_argument(
+        "trace",
+        help="a collective_trace.npt file, or a checkpoint directory "
+             "saved with dump_trace=True",
+    )
+    p.add_argument("--tag", default=None, help="tag to read (default: latest)")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output rendering (json is stable for CI gates)",
+    )
+    p.set_defaults(func=cmd_lint_trace)
     return parser
 
 

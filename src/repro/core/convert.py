@@ -219,6 +219,8 @@ def ucp_convert(
     src_store: Optional[ObjectStore] = None,
     dst_store: Optional[ObjectStore] = None,
     resume: bool = True,
+    provenance: bool = True,
+    cluster=None,
 ) -> ConversionReport:
     """Convert a distributed checkpoint into UCP atom format.
 
@@ -237,6 +239,15 @@ def ucp_convert(
         dst_store: optional pre-built destination store.
         resume: reuse intact atoms left by a previous interrupted
             conversion of the same committed source.
+        provenance: run the byte-provenance theorems (coverage /
+            exclusivity / padding hygiene, UCP017-UCP022) over the
+            rank-file headers as part of the pre-flight (default on;
+            costs kilobytes of header IO).
+        cluster: optional :class:`~repro.dist.cluster.Cluster` whose
+            collective trace should bracket the conversion with
+            ``convert:<tag>:enter``/``:commit`` barriers — the
+            happens-before analyzer then proves the conversion's
+            critical section does not overlap a concurrent save's.
 
     Raises:
         CheckpointNotFoundError: missing directory or tag.
@@ -283,11 +294,26 @@ def ucp_convert(
         model_cfg,
         source_cfg,
         job_config.get("optimizer_layout", "flat"),
+        provenance=provenance,
     )
     if not preflight.ok:
+        # root-cause before reporting: a semantic lint finding on a
+        # file that was modified after commit is tampering, not a bad
+        # layout — digest-verify the rank files (failure path only, so
+        # the full reads cost nothing on healthy conversions) and let
+        # the integrity error win
+        for rel in files:
+            manifest_mod.load_verified(
+                src_store,
+                rel,
+                manifest_mod.manifest_entry(src_manifest, rel.split("/")[-1]),
+            )
         raise LayoutLintError(
             preflight, prefix=f"conversion pre-flight failed for {src_tag}"
         )
+
+    if cluster is not None:
+        cluster.barrier(f"convert:{src_tag}:enter")
 
     if program is None:
         program = program_for_config(
@@ -431,6 +457,8 @@ def ucp_convert(
         loss_scaler=loss_scaler,
     )
     atom_bytes += metadata.save(dst_store)
+    if cluster is not None:
+        cluster.barrier(f"convert:{src_tag}:commit")
     t3 = time.perf_counter()
 
     return ConversionReport(

@@ -159,7 +159,14 @@ def _extract_per_param(payload: Dict, kinds: Sequence[str]) -> List[ParamFragmen
 
 
 def _assemble_shard(pieces: List[ParamFragment]) -> np.ndarray:
-    """Reassemble one rank's full TP shard from its dp-split pieces."""
+    """Reassemble one rank's full TP shard from its dp-split pieces.
+
+    The runtime twin of the static shard-assembly proof in
+    :mod:`repro.analysis.provenance`: a gap here is what the checker
+    reports as UCP017 and an over/under-run as UCP021 — both caught at
+    header cost before this function ever materializes a tensor, so
+    these raises only fire when the pre-flight was explicitly skipped.
+    """
     pieces = sorted(pieces, key=lambda f: f.shard_start)
     expected = 1
     for d in pieces[0].shard_shape:
@@ -170,14 +177,15 @@ def _assemble_shard(pieces: List[ParamFragment]) -> np.ndarray:
         if piece.shard_start != cursor:
             raise UCPFormatError(
                 f"shard of {piece.name!r} has a gap: next piece starts at "
-                f"{piece.shard_start}, expected {cursor}"
+                f"{piece.shard_start}, expected {cursor} (static rule "
+                f"UCP017/UCP018)"
             )
         chunks.append(piece.data)
         cursor = piece.shard_end
     if cursor != expected:
         raise UCPFormatError(
             f"shard of {pieces[0].name!r} incomplete: {cursor} of "
-            f"{expected} elements"
+            f"{expected} elements (static rule UCP017/UCP021)"
         )
     return np.concatenate(chunks).reshape(pieces[0].shard_shape)
 

@@ -53,29 +53,40 @@ class ProcessGroup:
     def all_reduce(self, shards: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
         """All-reduce over the group (see :func:`collectives.all_reduce`)."""
         self._check_width(shards, "all_reduce")
-        self._trace("all_reduce", shards[0])
+        self._trace("all_reduce", shards, reduce_op=op)
         return collectives.all_reduce(shards, op=op, tracker=self.tracker)
 
     def all_gather(self, shards: Sequence[np.ndarray], axis: int = 0) -> List[np.ndarray]:
         """All-gather over the group."""
         self._check_width(shards, "all_gather")
-        self._trace("all_gather", shards[0])
+        self._trace("all_gather", shards)
         return collectives.all_gather(shards, axis=axis, tracker=self.tracker)
 
     def reduce_scatter(self, shards: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
         """Reduce-scatter over the group."""
         self._check_width(shards, "reduce_scatter")
-        self._trace("reduce_scatter", shards[0])
+        self._trace("reduce_scatter", shards, reduce_op=op)
         return collectives.reduce_scatter(shards, op=op, tracker=self.tracker)
 
     def broadcast(self, value: np.ndarray) -> List[np.ndarray]:
         """Broadcast one array to every member."""
-        self._trace("broadcast", value)
+        self._trace("broadcast", [value])
         return collectives.broadcast(value, self.size, tracker=self.tracker)
 
-    def _trace(self, op: str, sample: np.ndarray) -> None:
-        if self.trace is not None:
-            arr = np.asarray(sample)
+    def _trace(
+        self, op: str, arrays: Sequence[np.ndarray], reduce_op: str = ""
+    ) -> None:
+        if self.trace is None:
+            return
+        # record each member's own shape/dtype (argument-mismatch lint
+        # needs the per-rank view); older recorders without record_call
+        # keep the fan-copied single-sample behavior
+        if hasattr(self.trace, "record_call"):
+            self.trace.record_call(
+                op, self.name, self.ranks, arrays, reduce_op=reduce_op
+            )
+        else:
+            arr = np.asarray(arrays[0])
             self.trace.record(
                 op, self.name, self.ranks, int(arr.size), str(arr.dtype)
             )

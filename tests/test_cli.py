@@ -94,6 +94,91 @@ class TestPlan:
         assert "dp1" in capsys.readouterr().out
 
 
+class TestLintPlan:
+    def test_provenance_pass_on_clean_plan(self, checkpoint, capsys):
+        ckpt, _ = checkpoint
+        code = main([
+            "lint-plan", "--source", ckpt,
+            "--target", "tp1.pp2.dp2.sp1.zero2", "--provenance",
+        ])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_provenance_flags_corrupt_plan(self, checkpoint, capsys):
+        from repro.ckpt import manifest as manifest_mod
+        from repro.ckpt import naming
+
+        ckpt, _ = checkpoint
+        store = ObjectStore(ckpt)
+        basename = naming.optim_states_name(0, 0)
+        rel = f"global_step2/{basename}"
+        payload = store.load(rel)
+        meta = payload["sharding"]["embedding.weight"]
+        meta["unpadded_shape"] = list(meta["logical_shape"])
+        store.save(rel, payload)
+        manifest_mod.refresh_entry(store, "global_step2", basename)
+
+        code = main([
+            "lint-plan", "--source", ckpt,
+            "--target", "tp1.pp2.dp2.sp1.zero2", "--provenance",
+        ])
+        assert code == 1
+        assert "UCP019" in capsys.readouterr().out
+
+    def test_provenance_json_is_deterministic(self, checkpoint, capsys):
+        ckpt, _ = checkpoint
+        argv = [
+            "lint-plan", "--source", ckpt,
+            "--target", "tp1.pp2.dp2.sp1.zero2",
+            "--provenance", "--format", "json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestLintTrace:
+    @pytest.fixture
+    def traced_checkpoint(self, tmp_path):
+        from repro.ckpt.saver import save_distributed_checkpoint
+
+        engine = make_engine(parallel=ParallelConfig(tp=2, dp=2), seed=7)
+        engine.train(1)
+        ckpt = str(tmp_path / "ckpt")
+        save_distributed_checkpoint(engine, ckpt, dump_trace=True)
+        return ckpt
+
+    def test_clean_trace_from_directory(self, traced_checkpoint, capsys):
+        assert main(["lint-trace", traced_checkpoint]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_clean_trace_from_file_json(self, traced_checkpoint, capsys):
+        import json
+
+        trace = f"{traced_checkpoint}/global_step1/collective_trace.npt"
+        assert main(["lint-trace", trace, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_corrupt_trace_flags_ucp023(self, traced_checkpoint, capsys):
+        from repro.analysis import CollectiveTraceRecorder
+
+        store = ObjectStore(traced_checkpoint)
+        rel = "global_step1/collective_trace.npt"
+        rec = CollectiveTraceRecorder.from_payload(store.load(rel))
+        ranks = rec.group_members["world"]
+        rec.record("barrier:save:torn:enter", "world", ranks, 0, dtype="none")
+        store.save(rel, rec.to_payload())
+
+        assert main(["lint-trace", traced_checkpoint]) == 1
+        assert "UCP023" in capsys.readouterr().out
+
+    def test_missing_trace_fails_with_hint(self, checkpoint, capsys):
+        ckpt, _ = checkpoint  # saved without dump_trace
+        assert main(["lint-trace", ckpt]) == 1
+        assert "dump_trace=True" in capsys.readouterr().err
+
+
 class TestVerify:
     def test_clean_checkpoint_passes(self, checkpoint, capsys):
         ckpt, _ = checkpoint
