@@ -159,6 +159,7 @@ def preflight_convert(
     source_cfg: ParallelConfig,
     optimizer_layout: str = "flat",
     provenance: bool = True,
+    analysis=None,
 ) -> LintReport:
     """The converter's mandatory pre-pass over a committed source tag.
 
@@ -182,6 +183,12 @@ def preflight_convert(
         optimizer_layout: the job's recorded optimizer layout.
         provenance: run the header-only byte-provenance pass (on by
             default; costs kilobytes of header IO).
+        analysis: a pre-built
+            :class:`~repro.analysis.provenance.ProvenanceAnalysis` of
+            the same source; its report is folded in instead of
+            re-running the provenance pass, so a converter that also
+            *lowers* the interval maps into read plans analyzes the
+            source exactly once.
     """
     report = LintReport(subject=f"{src_store.base}/{src_tag}")
     report.extend(config_diagnostics(model_cfg, source_cfg, role="source"))
@@ -200,9 +207,12 @@ def preflight_convert(
             location=f"{src_tag}/{basename}",
         ))
     if provenance and report.ok:
-        from repro.analysis.provenance import check_source_provenance
+        if analysis is not None:
+            report.extend(analysis.report.diagnostics)
+        else:
+            from repro.analysis.provenance import check_source_provenance
 
-        report.extend(check_source_provenance(
-            src_store, src_tag, model_cfg, source_cfg, optimizer_layout
-        ).diagnostics)
+            report.extend(check_source_provenance(
+                src_store, src_tag, model_cfg, source_cfg, optimizer_layout
+            ).diagnostics)
     return report

@@ -50,6 +50,13 @@ import numpy as np
 from repro.analysis.diagnostics import LintReport, error
 from repro.ckpt import naming
 from repro.ckpt.loader import resolve_tag
+from repro.core.intervals import (
+    MapRun,
+    data_intervals,
+    merge_intervals as _merge_intervals,
+    shard_to_full_runs,
+    subtract_intervals as _subtract_intervals,
+)
 from repro.core.metadata import UCP_META_FILE, UCPMetadata
 from repro.dist.topology import ParallelConfig
 from repro.models.configs import ModelConfig
@@ -89,118 +96,6 @@ def _byte_range(start: int, end: int) -> str:
 
 
 @dataclasses.dataclass(frozen=True)
-class MapRun:
-    """One maximal contiguous run of a shard -> consolidated index map.
-
-    Shard flat elements ``[shard_start, shard_start + length)`` map to
-    consolidated flat elements ``[full_start, full_start + length)``.
-    """
-
-    full_start: int
-    shard_start: int
-    length: int
-
-    @property
-    def shard_end(self) -> int:
-        return self.shard_start + self.length
-
-
-def shard_to_full_runs(
-    spec: ShardSpec, degree: int, rank: int
-) -> List[MapRun]:
-    """The symbolic shard -> consolidated element map, as interval runs.
-
-    Executes the parameter's *actual* fragmenter over an ``arange``
-    index tensor (memory-only; no disk IO) and collapses the result to
-    maximal contiguous runs, so downstream composition works purely on
-    intervals while staying exactly faithful to the executable
-    sharding semantics — including fused-section and expert layouts
-    whose maps are not expressible as a single affine stride.
-    """
-    full_numel = _numel(spec.logical_shape)
-    if spec.pattern != PATTERN_FRAGMENT or degree == 1:
-        return [MapRun(full_start=0, shard_start=0, length=full_numel)]
-    idx = np.arange(full_numel, dtype=np.int64).reshape(spec.logical_shape)
-    flat = np.ascontiguousarray(
-        spec.fragmenter.shard(idx, degree, rank)
-    ).reshape(-1)
-    if flat.size == 0:
-        return []
-    breaks = np.flatnonzero(np.diff(flat) != 1)
-    starts = np.concatenate(([0], breaks + 1))
-    ends = np.concatenate((breaks + 1, [flat.size]))
-    return [
-        MapRun(
-            full_start=int(flat[s]),
-            shard_start=int(s),
-            length=int(e - s),
-        )
-        for s, e in zip(starts, ends)
-    ]
-
-
-def data_intervals(spec: ShardSpec) -> List[Tuple[int, int]]:
-    """Consolidated flat intervals holding real (non-padding) data.
-
-    Structural padding (e.g. vocab rows added for TP divisibility) is
-    the complement: it exists in source shards but must be stripped by
-    the conversion, never copied into target data bytes.
-    """
-    total = _numel(spec.logical_shape)
-    if not spec.has_padding:
-        return [(0, total)]
-    shape = tuple(int(d) for d in spec.logical_shape)
-    up = tuple(int(d) for d in spec.unpadded_shape)
-    out: List[Tuple[int, int]] = []
-
-    def rect(dim: int, base: int) -> None:
-        if dim == len(shape) or shape[dim:] == up[dim:]:
-            out.append((base, base + _numel(shape[dim:])))
-            return
-        stride = _numel(shape[dim + 1:])
-        for i in range(up[dim]):
-            rect(dim + 1, base + i * stride)
-
-    rect(0, 0)
-    return _merge_intervals(out)
-
-
-def _merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
-    """Union of intervals as a sorted disjoint list."""
-    merged: List[Tuple[int, int]] = []
-    for start, end in sorted(intervals):
-        if start >= end:
-            continue
-        if merged and start <= merged[-1][1]:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
-        else:
-            merged.append((start, end))
-    return merged
-
-
-def _subtract_intervals(
-    keep: List[Tuple[int, int]], remove: List[Tuple[int, int]]
-) -> List[Tuple[int, int]]:
-    """``keep \\ remove`` for sorted disjoint interval lists."""
-    out: List[Tuple[int, int]] = []
-    for start, end in keep:
-        cursor = start
-        for r_start, r_end in remove:
-            if r_end <= cursor:
-                continue
-            if r_start >= end:
-                break
-            if r_start > cursor:
-                out.append((cursor, r_start))
-            cursor = max(cursor, r_end)
-            if cursor >= end:
-                break
-        if cursor < end:
-            out.append((cursor, end))
-    return out
-
-
-@dataclasses.dataclass(frozen=True)
 class SourceExtent:
     """One contiguous run of consolidated elements traced to source bytes.
 
@@ -232,12 +127,24 @@ class SourceExtent:
 
 @dataclasses.dataclass
 class ParamProvenance:
-    """Interval map over one parameter's consolidated flat element space."""
+    """Interval map over one parameter's consolidated flat element space.
+
+    ``extents`` trace the *selected* copies — the ones ``union``
+    actually consumes.  ``replicas`` trace the non-selected copies
+    (other ``(pp, sp)`` holders of a replicated / averaged parameter),
+    keyed by their mp coordinate: the streaming converter reads them
+    only when the pattern demands it (``params_to_average`` averages
+    every copy; ``replicated_params`` under ``verify_replicas`` must
+    compare them), so a plan knows the *full* byte cost of each policy.
+    """
 
     name: str
     spec: ShardSpec
     extents: List[SourceExtent]
     data: List[Tuple[int, int]]
+    replicas: Dict[Tuple[int, int, int], List[SourceExtent]] = dataclasses.field(
+        default_factory=dict
+    )
 
     def covered(self) -> List[Tuple[int, int]]:
         """Merged consolidated intervals any source byte supplies."""
@@ -714,16 +621,18 @@ def _compose_param(
                 ))
             selected.append((0, coords[0]))
 
-    extents: List[SourceExtent] = []
-    for tp_rank, coord in selected:
+    def _map_through_runs(
+        coord: Tuple[int, int, int], tp_rank: int
+    ) -> List[SourceExtent]:
         runs = shard_to_full_runs(spec, tp_degree, tp_rank)
+        mapped: List[SourceExtent] = []
         for piece in assembled[coord]:
             for run in runs:
                 lo = max(piece.shard_start, run.shard_start)
                 hi = min(piece.shard_end, run.shard_end)
                 if lo >= hi:
                     continue
-                extents.append(SourceExtent(
+                mapped.append(SourceExtent(
                     full_start=run.full_start + (lo - run.shard_start),
                     full_end=run.full_start + (hi - run.shard_start),
                     file=piece.file,
@@ -732,7 +641,23 @@ def _compose_param(
                     coord=coord,
                     dp_rank=piece.dp_rank,
                 ))
+        mapped.sort(key=lambda e: (e.full_start, e.full_end, e.file))
+        return mapped
+
+    extents: List[SourceExtent] = []
+    for tp_rank, coord in selected:
+        extents.extend(_map_through_runs(coord, tp_rank))
     extents.sort(key=lambda e: (e.full_start, e.full_end, e.file))
+
+    # non-selected copies, mapped through the same runs as their tp
+    # rank: union discards them (or averages / verifies them, pattern
+    # permitting), but a read plan must know where their bytes live
+    selected_coords = {coord for _, coord in selected}
+    replicas: Dict[Tuple[int, int, int], List[SourceExtent]] = {}
+    for coord in sorted(by_coord):
+        if coord in selected_coords:
+            continue
+        replicas[coord] = _map_through_runs(coord, coord[2])
 
     # consolidated-space exclusivity across selected shards: a sound
     # fragmenter partitions the space, so any overlap here means the
@@ -754,6 +679,7 @@ def _compose_param(
         spec=spec,
         extents=extents,
         data=data_intervals(spec),
+        replicas=replicas,
     )
     return prov
 

@@ -130,6 +130,39 @@ def load_verified(
         raise CheckpointIntegrityError(f"{rel_path}: {exc}") from exc
 
 
+def verify_streaming(reader, rel_path: str, entry: Optional[Dict]) -> None:
+    """Digest-verify one object in bounded chunks via a range reader.
+
+    The streaming counterpart of :func:`load_verified`'s integrity
+    check: the file is hashed in window-sized chunks through a
+    :class:`~repro.storage.rangeio.RangeReader`, so the whole object is
+    never materialized and the verified blocks stay in the reader's
+    shared cache for the consumer (extract, sliced load) to reuse —
+    fixing the verify-then-reread double IO of the full-read path.
+
+    Raises:
+        FileNotFoundError: no object at the path.
+        CheckpointIntegrityError: size or digest mismatch vs the
+            manifest entry.
+    """
+    if entry is None:
+        return
+    nbytes = reader.size(rel_path)
+    if nbytes != int(entry["nbytes"]):
+        raise CheckpointIntegrityError(
+            f"{rel_path}: size mismatch: the manifest recorded "
+            f"{int(entry['nbytes'])} bytes, found {nbytes} — the object "
+            f"was modified after commit"
+        )
+    digest = reader.digest(rel_path)
+    if digest != entry["sha256"]:
+        raise CheckpointIntegrityError(
+            f"{rel_path}: content digest mismatch: the manifest recorded "
+            f"sha256 {entry['sha256'][:12]}…, computed {digest[:12]}… — "
+            f"the object was modified after commit"
+        )
+
+
 def refresh_entry(store: ObjectStore, tag: str, basename: str) -> None:
     """Re-record one file's size/digest from its current bytes.
 

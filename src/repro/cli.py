@@ -31,6 +31,7 @@ from repro.core.resume import ElasticResumeManager
 from repro.dist.topology import ParallelConfig
 from repro.models import available_models, get_config
 from repro.models.configs import ModelConfig
+from repro.storage.rangeio import DEFAULT_WINDOW_BYTES
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -86,6 +87,8 @@ def cmd_convert(args: argparse.Namespace) -> int:
         tag=args.tag,
         program=program,
         workers=args.workers,
+        streaming=False if args.no_stream else "auto",
+        window_bytes=args.window_bytes,
     )
     reused = f", {report.num_reused} reused" if report.num_reused else ""
     print(f"converted {report.source_tag}: {report.num_files} rank files -> "
@@ -95,6 +98,11 @@ def cmd_convert(args: argparse.Namespace) -> int:
           f"(extract {report.extract_seconds:.2f}s, "
           f"union {report.union_seconds:.2f}s, "
           f"write {report.write_seconds:.2f}s)")
+    mode = "streamed" if report.streamed else "full-read"
+    print(f"io:      {mode}, read {report.bytes_read / 1e6:.1f} MB / "
+          f"wrote {report.bytes_written / 1e6:.1f} MB "
+          f"(cache hits {report.cache_hits}, "
+          f"peak window {report.peak_window_bytes / 1e6:.2f} MB)")
     return 0
 
 
@@ -242,7 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("ckpt_dir")
     p.add_argument("ucp_dir")
     p.add_argument("--tag", default=None, help="source tag (default: latest)")
-    p.add_argument("--workers", type=int, default=0, help="thread count")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread count (default: min(8, cpu count); 0/1 = serial)",
+    )
+    p.add_argument(
+        "--window-bytes",
+        type=int,
+        default=DEFAULT_WINDOW_BYTES,
+        help="streaming: max bytes per disk read (bounds buffer memory)",
+    )
+    p.add_argument(
+        "--no-stream",
+        action="store_true",
+        help="force the legacy full-read conversion path",
+    )
     p.add_argument(
         "--average-replicas",
         action="store_true",

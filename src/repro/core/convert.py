@@ -12,6 +12,22 @@ UCP (the paper's zero-save-overhead claim).  Phases:
 3. **StripPadding** and write one atom per parameter, plus global
    metadata.
 
+Two execution strategies implement the same semantics:
+
+* the **full-read** path materializes every rank file and runs the
+  in-memory ``extract``/``union`` operators;
+* the **streaming** path (default whenever the byte-provenance
+  pre-flight proves the source sound) never materializes a rank file.
+  The provenance interval maps are lowered into per-parameter *read
+  plans* — exact ``(file, byte-range) -> consolidated range`` preads —
+  executed over a shared :class:`~repro.storage.rangeio.RangeReader`
+  with adjacent-range coalescing and a bounded block cache.  Manifest
+  digests are verified by *streaming* each consumed file once in
+  window-sized chunks that pre-warm the very blocks extract reads
+  next, so each source byte is read from disk at most once; per-atom
+  results are written as soon as they consolidate, keeping in-flight
+  memory bounded by the worker count instead of the checkpoint size.
+
 Conversion is crash-consistent and resumable: the source tag must be
 committed (its manifest is required, and every rank file is verified
 against it before use), ``ucp_meta.npt`` is written last as the
@@ -25,25 +41,52 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import os
 import re
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.diagnostics import LayoutLintError, LintReport, error
 from repro.analysis.interchange import preflight_convert
+from repro.analysis.provenance import (
+    ParamProvenance,
+    ProvenanceAnalysis,
+    SourceExtent,
+    analyze_source,
+)
 from repro.ckpt import manifest as manifest_mod
 from repro.ckpt import naming
 from repro.ckpt.errors import CheckpointIntegrityError, CheckpointNotFoundError
 from repro.ckpt.loader import resolve_tag
 from repro.core.atom import STATE_KINDS, AtomCheckpoint, AtomStore
 from repro.core.errors import PatternMatchError, UCPError, UCPFormatError
+from repro.core.intervals import numel as _numel
 from repro.core.metadata import UCPMetadata
-from repro.core.ops import ParamFragment, extract, strip_padding, union
+from repro.core.ops import (
+    _KIND_TO_FIELD,
+    ParamFragment,
+    extract,
+    strip_padding,
+    union,
+)
 from repro.core.patterns import PatternProgram, program_for_config
 from repro.dist.topology import ParallelConfig
 from repro.models.configs import ModelConfig
-from repro.parallel.tp import ShardSpec
-from repro.storage.serializer import SerializationError
+from repro.parallel.sp import average_param_copies
+from repro.parallel.tp import (
+    PATTERN_REPLICATED,
+    PATTERN_TO_AVERAGE,
+    ShardSpec,
+)
+from repro.storage.rangeio import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_WINDOW_BYTES,
+    BlockCache,
+    RangeReader,
+)
+from repro.storage.serializer import SerializationError, TensorIndexEntry
 from repro.storage.store import ObjectStore
 
 _OPTIM_FILE_RE = re.compile(r"^zero_dp_rank_(\d+)_mp_rank_(\d+)_optim_states\.npt$")
@@ -59,7 +102,15 @@ class ConversionReport:
 
     ``num_reused`` counts atoms carried over from a previous
     (interrupted) conversion of the same committed source — they were
-    verified, not rewritten.
+    verified, not rewritten.  ``bytes_read`` / ``bytes_written`` are
+    the source/destination store's real byte deltas for this run
+    (headers, digest verification, and payload all included), so a
+    streamed conversion can *prove* it read less than the full source
+    checkpoint.  ``cache_hits`` and ``peak_window_bytes`` come from the
+    streaming path's shared :class:`~repro.storage.rangeio.RangeReader`
+    (zero on the full-read path): cache hits count range requests that
+    reused digest-warmed or coalesced blocks, and the peak window bounds
+    the largest single disk read the run ever issued.
     """
 
     source_tag: str
@@ -72,6 +123,11 @@ class ConversionReport:
     simulated_read_s: float
     simulated_write_s: float
     num_reused: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cache_hits: int = 0
+    peak_window_bytes: int = 0
+    streamed: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -90,11 +146,174 @@ def _optim_files(store: ObjectStore, tag: str) -> List[str]:
     return files
 
 
+def _resolve_workers(workers: Optional[int]) -> int:
+    """CPU-aware worker count: ``None`` means ``min(8, cpu_count)``.
+
+    Explicit ``0``/``1`` stay serial; explicit counts are respected.
+    Results are order-deterministic either way — the parallel map
+    preserves input order regardless of completion order.
+    """
+    if workers is None:
+        return min(8, os.cpu_count() or 1)
+    return workers
+
+
 def _map_maybe_parallel(fn, items, workers: int):
     if workers and workers > 1:
         with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
     return [fn(item) for item in items]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadSlice:
+    """One pread of a parameter read plan.
+
+    ``length`` *elements* starting at element ``file_start`` of the
+    flat array ``field`` inside source file ``file`` land at
+    consolidated elements ``[full_start, full_start + length)``.  The
+    field names the fp32 array; the converter substitutes the sibling
+    ``exp_avg``/``exp_avg_sq`` arrays per state kind — provenance is
+    kind-uniform because all three flat buffers share one segment map.
+    """
+
+    full_start: int
+    length: int
+    file: str
+    field: str
+    file_start: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamReadPlan:
+    """Everything the streaming converter reads for one parameter.
+
+    ``primary`` covers the selected copies (what ``union`` consumes);
+    ``copies`` the non-selected mp-coordinate replicas the pattern
+    additionally demands (all of them for ``params_to_average``, all
+    of them under ``verify_replicas`` for ``replicated_params``, none
+    otherwise).  All slices are pre-clipped to the parameter's
+    non-padding data intervals, so a plan never reads a padding byte —
+    the runtime enforcement of UCP019.
+    """
+
+    name: str
+    pattern: str
+    primary: Tuple[ReadSlice, ...]
+    copies: Tuple[Tuple[Tuple[int, int, int], Tuple[ReadSlice, ...]], ...]
+
+    @property
+    def files(self) -> Tuple[str, ...]:
+        """Every source file any slice of this plan touches, sorted."""
+        rels = {s.file for s in self.primary}
+        for _, slices in self.copies:
+            rels.update(s.file for s in slices)
+        return tuple(sorted(rels))
+
+    @property
+    def planned_elements(self) -> int:
+        """Total fp32 elements the plan reads (per state kind)."""
+        total = sum(s.length for s in self.primary)
+        for _, slices in self.copies:
+            total += sum(s.length for s in slices)
+        return total
+
+
+def _clip_extents(
+    extents: Sequence[SourceExtent], data: Sequence[Tuple[int, int]]
+) -> Tuple[ReadSlice, ...]:
+    """Intersect provenance extents with the non-padding data intervals."""
+    out: List[ReadSlice] = []
+    for e in extents:
+        for d_lo, d_hi in data:
+            if d_hi <= e.full_start:
+                continue
+            if d_lo >= e.full_end:
+                break
+            lo = max(e.full_start, d_lo)
+            hi = min(e.full_end, d_hi)
+            out.append(ReadSlice(
+                full_start=lo,
+                length=hi - lo,
+                file=e.file,
+                field=e.field,
+                file_start=e.file_start + (lo - e.full_start),
+            ))
+    return tuple(out)
+
+
+def lower_read_plans(
+    analysis: ProvenanceAnalysis,
+    names: Optional[Sequence[str]] = None,
+    verify_replicas: bool = True,
+    patterns: Optional[Dict[str, str]] = None,
+) -> Dict[str, ParamReadPlan]:
+    """Lower provenance interval maps into per-parameter read plans.
+
+    The maps were proven sound by the UCP017–UCP022 theorems (coverage,
+    exclusivity, padding hygiene), so the lowered plans inherit the
+    guarantee: executing exactly these preads touches every consolidated
+    data byte of every selected copy once, and no padding byte ever.
+
+    Args:
+        analysis: a *clean* (``report.ok``) source provenance analysis.
+        names: parameters to plan (default: all analyzed).
+        verify_replicas: include replica reads for ``replicated_params``
+            so the converter can bit-compare them; ``False`` plans the
+            primary copy only — the streaming path's concrete byte
+            saving over a full-read conversion.
+        patterns: per-parameter pattern overrides from the resolved
+            UCP-language program — a custom program may e.g. reclassify
+            a replicated norm as ``params_to_average``, which changes
+            *which* copies the plan must read (default: the analyzed
+            layout's patterns).
+    """
+    plans: Dict[str, ParamReadPlan] = {}
+    for name in (sorted(analysis.params) if names is None else names):
+        prov = analysis.params[name]
+        pattern = prov.spec.pattern
+        if patterns is not None and name in patterns:
+            pattern = patterns[name]
+        copies: List[Tuple[Tuple[int, int, int], Tuple[ReadSlice, ...]]] = []
+        if pattern == PATTERN_TO_AVERAGE or (
+            pattern == PATTERN_REPLICATED and verify_replicas
+        ):
+            for coord in sorted(prov.replicas):
+                copies.append(
+                    (coord, _clip_extents(prov.replicas[coord], prov.data))
+                )
+        plans[name] = ParamReadPlan(
+            name=name,
+            pattern=pattern,
+            primary=_clip_extents(prov.extents, prov.data),
+            copies=tuple(copies),
+        )
+    return plans
+
+
+def _index_entry(
+    tree: Dict, field: str, kind: str, rel: str
+) -> TensorIndexEntry:
+    """Resolve a provenance field + state kind to a tensor index entry."""
+    node = None
+    if field in _KIND_TO_FIELD.values():
+        node = tree.get(_KIND_TO_FIELD[kind])
+    elif field.startswith("param_states.fp32."):
+        pname = field[len("param_states.fp32."):]
+        states = tree.get("param_states")
+        if isinstance(states, dict):
+            node = states.get(kind, {}).get(pname)
+    if not isinstance(node, TensorIndexEntry):
+        raise UCPFormatError(
+            f"{rel}: no {kind!r} tensor behind provenance field {field!r}"
+        )
+    if np.dtype(node.dtype) != np.float32:
+        raise UCPFormatError(
+            f"{rel}: {kind!r} state behind {field!r} stored as "
+            f"{node.dtype}; streaming conversion requires float32 "
+            f"(byte-exact) state arrays"
+        )
+    return node
 
 
 def _verify_source_commit(
@@ -213,7 +432,7 @@ def ucp_convert(
     ucp_dir: str,
     tag: Optional[str] = None,
     program: Optional[PatternProgram] = None,
-    workers: int = 0,
+    workers: Optional[int] = None,
     verify_replicas: bool = True,
     strict_spec_check: bool = True,
     src_store: Optional[ObjectStore] = None,
@@ -221,6 +440,9 @@ def ucp_convert(
     resume: bool = True,
     provenance: bool = True,
     cluster=None,
+    streaming="auto",
+    window_bytes: int = DEFAULT_WINDOW_BYTES,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
 ) -> ConversionReport:
     """Convert a distributed checkpoint into UCP atom format.
 
@@ -230,7 +452,11 @@ def ucp_convert(
         tag: source tag; defaults to the checkpoint's ``latest``.
         program: UCP-language pattern program; defaults to the built-in
             program for the checkpoint's model family.
-        workers: >1 enables threaded Extract/Union/write phases.
+        workers: thread count for the Extract/Union/write fan-out.
+            ``None`` (default) resolves CPU-aware to
+            ``min(8, os.cpu_count())``; ``0``/``1`` run serial.  Results
+            are deterministic regardless of the count or completion
+            order.
         verify_replicas: fail if replicated copies are not bit-equal.
         strict_spec_check: cross-check the program's classification
             against the sharding metadata recorded at save time.
@@ -248,6 +474,18 @@ def ucp_convert(
             ``convert:<tag>:enter``/``:commit`` barriers — the
             happens-before analyzer then proves the conversion's
             critical section does not overlap a concurrent save's.
+        streaming: ``"auto"`` (default) uses the planned byte-range
+            pipeline whenever the provenance pre-flight ran and proved
+            the source clean, and the legacy full-read path otherwise;
+            ``True`` forces streaming (building the provenance analysis
+            if need be, and failing loudly when its theorems do not
+            hold); ``False`` forces the full-read path.
+        window_bytes: streaming only — maximum bytes per disk read;
+            bounds in-flight buffer memory.
+        cache_bytes: streaming only — shared block-cache budget; sized
+            to hold a rank file, the digest-verification pass pre-warms
+            every block Extract reads, so each source byte is read from
+            disk once.
 
     Raises:
         CheckpointNotFoundError: missing directory or tag.
@@ -261,11 +499,15 @@ def ucp_convert(
             manifest structurally incomplete (a UCPFormatError
             subclass; carries the individual rule-ID diagnostics).
     """
+    if streaming not in ("auto", True, False):
+        raise ValueError(f"streaming must be 'auto', True or False, got {streaming!r}")
+    workers = _resolve_workers(workers)
     if src_store is None:
         src_store = ObjectStore(ckpt_dir)
     src_tag = resolve_tag(src_store, tag)
     if not (src_store.base / src_tag).is_dir():
         raise CheckpointNotFoundError(f"no tag {src_tag!r} under {ckpt_dir}")
+    src_read0 = src_store.bytes_read
 
     # --- Extract (parallel across rank files), verified vs manifest ---
     t0 = time.perf_counter()
@@ -283,6 +525,17 @@ def ucp_convert(
     )
     model_cfg = ModelConfig.from_dict(job_config["model_config"])
     source_cfg = ParallelConfig.from_dict(job_config["parallel_config"])
+    optimizer_layout = job_config.get("optimizer_layout", "flat")
+
+    # the streaming pipeline is *gated on the provenance theorems*: only
+    # a source whose interval maps were proven sound (UCP017-UCP022) is
+    # converted from byte-range plans; otherwise the full-read path runs
+    use_streaming = streaming is True or (streaming == "auto" and provenance)
+    analysis: Optional[ProvenanceAnalysis] = None
+    if use_streaming:
+        analysis = analyze_source(
+            src_store, src_tag, model_cfg, source_cfg, optimizer_layout
+        )
 
     # mandatory pre-flight: prove the source layout self-consistent and
     # the commit manifest structurally complete before reading a single
@@ -293,9 +546,17 @@ def ucp_convert(
         src_manifest,
         model_cfg,
         source_cfg,
-        job_config.get("optimizer_layout", "flat"),
+        optimizer_layout,
         provenance=provenance,
+        analysis=analysis if provenance else None,
     )
+    if use_streaming and not provenance and not analysis.report.ok:
+        # explicit streaming=True with provenance gating disabled: the
+        # read plans would be lowered from maps the theorems reject
+        raise LayoutLintError(
+            analysis.report,
+            prefix=f"streaming conversion needs provenance-clean source {src_tag}",
+        )
     if not preflight.ok:
         # root-cause before reporting: a semantic lint finding on a
         # file that was modified after commit is tampering, not a bad
@@ -320,26 +581,44 @@ def ucp_convert(
             model_cfg, expert_parallel=source_cfg.expert_parallel
         )
 
-    def _load_rank_file(rel: str) -> Dict:
-        entry = manifest_mod.manifest_entry(src_manifest, rel.split("/")[-1])
-        return manifest_mod.load_verified(src_store, rel, entry)
-
-    payloads = _map_maybe_parallel(_load_rank_file, files, workers)
-    adam_hyper, loss_scaler = _check_cross_rank_consistency(files, payloads)
-
     fragments: Dict[Tuple[str, str], List[ParamFragment]] = {}
     shapes: Dict[str, Dict] = {}
     optimizer_step = 0
-    for payload in payloads:
-        optimizer_step = max(optimizer_step, int(payload["optimizer_step"]))
-        for name, saved_spec in payload["sharding"].items():
-            shapes[name] = saved_spec
-        for fragment in extract(payload):
-            fragments.setdefault((fragment.name, fragment.kind), []).append(fragment)
+    if use_streaming:
+        # header/index pass only: the per-file tensor *index* carries
+        # every non-tensor field (adam, loss scaler, sharding, step)
+        # plus absolute payload offsets — no flat buffer is read here
+        trees = dict(zip(
+            files,
+            _map_maybe_parallel(src_store.load_index, files, workers),
+        ))
+        adam_hyper, loss_scaler = _check_cross_rank_consistency(
+            files, [trees[rel] for rel in files]
+        )
+        for tree in trees.values():
+            optimizer_step = max(optimizer_step, int(tree["optimizer_step"]))
+            for name, saved_spec in tree["sharding"].items():
+                shapes[name] = saved_spec
+        names = sorted(analysis.params)
+    else:
+        def _load_rank_file(rel: str) -> Dict:
+            entry = manifest_mod.manifest_entry(src_manifest, rel.split("/")[-1])
+            return manifest_mod.load_verified(src_store, rel, entry)
+
+        payloads = _map_maybe_parallel(_load_rank_file, files, workers)
+        adam_hyper, loss_scaler = _check_cross_rank_consistency(files, payloads)
+        for payload in payloads:
+            optimizer_step = max(optimizer_step, int(payload["optimizer_step"]))
+            for name, saved_spec in payload["sharding"].items():
+                shapes[name] = saved_spec
+            for fragment in extract(payload):
+                fragments.setdefault(
+                    (fragment.name, fragment.kind), []
+                ).append(fragment)
+        names = sorted({name for name, _ in fragments})
     t1 = time.perf_counter()
 
     # --- resolve specs through the UCP-language program ---
-    names = sorted({name for name, _ in fragments})
     specs: Dict[str, ShardSpec] = {}
     for name in names:
         saved = shapes.get(name)
@@ -369,6 +648,7 @@ def ucp_convert(
     # exact committed source (tag + manifest digest) ---
     if dst_store is None:
         dst_store = ObjectStore(ucp_dir)
+    dst_written0 = dst_store.bytes_written
     atom_store = AtomStore(ucp_dir, dst_store)
     src_digest = src_store.digest(manifest_mod.manifest_path(src_tag))
     marker_matches = False
@@ -400,29 +680,139 @@ def ucp_convert(
                 reused[name] = meta
     fresh_names = [n for n in names if n not in reused]
 
-    # --- Union + StripPadding (parallel across parameters) ---
-    def consolidate(name: str) -> AtomCheckpoint:
-        states = {}
-        for kind in STATE_KINDS:
-            parts = fragments.get((name, kind))
-            if not parts:
-                raise UCPFormatError(f"no {kind} fragments for {name!r}")
-            merged = union(
-                parts, specs[name], source_cfg.tp, verify_replicas=verify_replicas
+    cache_hits = 0
+    peak_window = 0
+    if use_streaming:
+        # --- streamed Extract + Union + StripPadding + write, fused per
+        # parameter: lower the proven interval maps into read plans,
+        # digest-verify exactly the files those plans touch (the
+        # streamed hash warms the block cache the preads then hit), and
+        # fan the per-parameter pipeline out over the worker pool.  Each
+        # atom is written the moment it consolidates, so in-flight
+        # memory is bounded by workers x parameter size, not checkpoint
+        # size, and a crash mid-fan-out leaves only durable atoms for
+        # the resume gate to reuse.
+        plans = lower_read_plans(
+            analysis,
+            fresh_names,
+            verify_replicas=verify_replicas,
+            patterns={n: specs[n].pattern for n in fresh_names},
+        )
+        reader = RangeReader(
+            src_store,
+            cache=BlockCache(cache_bytes),
+            window_bytes=window_bytes,
+            parallel=max(1, workers),
+        )
+        touched = sorted({
+            rel for plan in plans.values() for rel in plan.files
+        })
+
+        def _verify_file(rel: str) -> None:
+            manifest_mod.verify_streaming(
+                reader,
+                rel,
+                manifest_mod.manifest_entry(src_manifest, rel.split("/")[-1]),
             )
-            states[kind] = strip_padding(merged, specs[name])
-        return AtomCheckpoint(name=name, states=states, spec=specs[name].to_dict())
 
-    atoms = _map_maybe_parallel(consolidate, fresh_names, workers)
-    t2 = time.perf_counter()
+        _map_maybe_parallel(_verify_file, touched, workers)
 
-    # --- write atoms, then metadata: ucp_meta.npt is the destination's
-    # commit point, written only after every atom is durable ---
-    atom_bytes = sum(_map_maybe_parallel(atom_store.write, atoms, workers))
+        def consolidate_stream(name: str) -> Tuple[str, int, Dict]:
+            plan = plans[name]
+            spec = specs[name]
+            full_numel = _numel(spec.logical_shape)
+
+            def materialize(slices: Tuple[ReadSlice, ...], kind: str) -> np.ndarray:
+                arr = np.zeros(full_numel, dtype=np.float32)
+                by_file: Dict[str, List[ReadSlice]] = {}
+                for s in slices:
+                    by_file.setdefault(s.file, []).append(s)
+                for rel in sorted(by_file):
+                    batch = by_file[rel]
+                    ranges = [
+                        _index_entry(trees[rel], s.field, kind, rel)
+                        .element_range(s.file_start, s.length)
+                        for s in batch
+                    ]
+                    for s, buf in zip(batch, reader.read_multi(rel, ranges)):
+                        arr[s.full_start:s.full_start + s.length] = (
+                            np.frombuffer(buf, dtype=np.float32, count=s.length)
+                        )
+                return arr
+
+            states = {}
+            for kind in STATE_KINDS:
+                primary = materialize(plan.primary, kind)
+                if plan.pattern == PATTERN_TO_AVERAGE and plan.copies:
+                    merged = average_param_copies(
+                        [primary]
+                        + [materialize(rs, kind) for _, rs in plan.copies]
+                    )
+                elif plan.pattern == PATTERN_REPLICATED and plan.copies:
+                    for coord, rs in plan.copies:
+                        if not np.array_equal(primary, materialize(rs, kind)):
+                            raise PatternMatchError(
+                                f"{name!r} is replicated_params but rank "
+                                f"copies differ; use params_to_average for "
+                                f"independently updated parameters"
+                            )
+                    merged = primary
+                else:
+                    merged = primary
+                states[kind] = strip_padding(
+                    merged.reshape(spec.logical_shape), spec
+                )
+            atom = AtomCheckpoint(
+                name=name, states=states, spec=spec.to_dict()
+            )
+            nbytes = atom_store.write(atom)
+            return name, nbytes, {
+                "shape": list(atom.shape),
+                "spec": atom.spec,
+                "kinds": sorted(atom.states),
+            }
+
+        results = _map_maybe_parallel(consolidate_stream, fresh_names, workers)
+        t2 = time.perf_counter()
+        atom_bytes = sum(nbytes for _, nbytes, _ in results)
+        fresh_entries = {name: entry for name, _, entry in results}
+        cache_hits = reader.cache_hits
+        peak_window = reader.peak_window_bytes
+    else:
+        # --- Union + StripPadding (parallel across parameters) ---
+        def consolidate(name: str) -> AtomCheckpoint:
+            states = {}
+            for kind in STATE_KINDS:
+                parts = fragments.get((name, kind))
+                if not parts:
+                    raise UCPFormatError(f"no {kind} fragments for {name!r}")
+                merged = union(
+                    parts, specs[name], source_cfg.tp,
+                    verify_replicas=verify_replicas,
+                )
+                states[kind] = strip_padding(merged, specs[name])
+            return AtomCheckpoint(
+                name=name, states=states, spec=specs[name].to_dict()
+            )
+
+        atoms = _map_maybe_parallel(consolidate, fresh_names, workers)
+        t2 = time.perf_counter()
+
+        # --- write atoms, then metadata: ucp_meta.npt is the
+        # destination's commit point, written only after every atom is
+        # durable ---
+        atom_bytes = sum(_map_maybe_parallel(atom_store.write, atoms, workers))
+        fresh_entries = {
+            atom.name: {
+                "shape": list(atom.shape),
+                "spec": atom.spec,
+                "kinds": sorted(atom.states),
+            }
+            for atom in atoms
+        }
 
     # params in canonical name order so resumed and clean conversions
     # produce byte-identical metadata
-    atom_by_name = {atom.name: atom for atom in atoms}
     params = {}
     for name in names:
         if name in reused:
@@ -433,12 +823,7 @@ def ucp_convert(
                 "kinds": sorted(meta["kinds"]),
             }
         else:
-            atom = atom_by_name[name]
-            params[name] = {
-                "shape": list(atom.shape),
-                "spec": atom.spec,
-                "kinds": sorted(atom.states),
-            }
+            params[name] = fresh_entries[name]
     metadata = UCPMetadata(
         iteration=int(job_config["iteration"]),
         optimizer_step=optimizer_step,
@@ -472,4 +857,9 @@ def ucp_convert(
         simulated_read_s=src_store.simulated_read_s,
         simulated_write_s=dst_store.simulated_write_s,
         num_reused=len(reused),
+        bytes_read=src_store.bytes_read - src_read0,
+        bytes_written=dst_store.bytes_written - dst_written0,
+        cache_hits=cache_hits,
+        peak_window_bytes=peak_window,
+        streamed=use_streaming,
     )

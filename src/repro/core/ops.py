@@ -15,7 +15,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.atom import STATE_KINDS, AtomStore
-from repro.core.errors import PatternMatchError, UCPFormatError
+from repro.core.errors import AtomMissingError, PatternMatchError, UCPFormatError
+from repro.core.intervals import (
+    MapRun,
+    data_intervals,
+    numel as _interval_numel,
+    shard_to_full_runs,
+)
 from repro.dist.topology import ParallelConfig
 from repro.models.configs import ModelConfig
 from repro.parallel.layout import ModelParallelLayout, PartitionSlice
@@ -26,6 +32,11 @@ from repro.parallel.tp import (
     PATTERN_TO_AVERAGE,
     PATTERN_UNIQUE,
     ShardSpec,
+)
+from repro.storage.rangeio import (
+    DEFAULT_WINDOW_BYTES,
+    BlockCache,
+    RangeReader,
 )
 
 _KIND_TO_FIELD = {
@@ -344,12 +355,25 @@ def gen_ucp_metadata(
     )
 
 
+DEFAULT_LOAD_CACHE_BYTES = 32 << 20
+"""Default block-cache budget for sliced-atom loading."""
+
+
 class AtomShardCache:
     """Caches consolidated atoms and their computed target TP shards.
 
     ``Load`` touches each atom once per (state kind, tp rank) instead of
     once per partition slice; ``max_atoms`` bounds working memory, the
     knob the paper describes as the parallelism/memory trade-off.
+
+    With ``sliced=True`` the cache never reads a whole atom file:
+    :meth:`shard_slice` lowers the request through the same interval
+    maps the provenance theorems are proven over (shard -> consolidated
+    runs, then the non-padding data intervals, which are exactly how
+    atom file elements map onto consolidated space) and issues
+    byte-range reads for just the requested partition slice — so a
+    target rank reads only its own bytes of each atom, the paper's
+    load-cost win for partial restores.
     """
 
     def __init__(
@@ -358,6 +382,9 @@ class AtomShardCache:
         plan: LoadPlan,
         max_atoms: int = 64,
         parallel_reads: int = 8,
+        sliced: bool = False,
+        window_bytes: int = DEFAULT_WINDOW_BYTES,
+        cache_bytes: int = DEFAULT_LOAD_CACHE_BYTES,
     ) -> None:
         if max_atoms < 1:
             raise ValueError(f"max_atoms must be >= 1, got {max_atoms}")
@@ -369,8 +396,84 @@ class AtomShardCache:
         # queue depth for the storage cost model: DeepNVMe-style batched
         # reads amortize per-file latency across concurrent requests
         self.parallel_reads = parallel_reads
+        self.sliced = sliced
         self._padded: Dict[Tuple[str, str], np.ndarray] = {}
         self._shards: Dict[Tuple[str, str, int], np.ndarray] = {}
+        self.reader: Optional[RangeReader] = None
+        if sliced:
+            self.reader = RangeReader(
+                atom_store.store,
+                cache=BlockCache(cache_bytes),
+                window_bytes=window_bytes,
+                parallel=parallel_reads,
+            )
+        self._runs: Dict[Tuple[str, int], List[MapRun]] = {}
+        # per parameter: [(data_lo, data_hi, atom element offset)] — the
+        # order-preserving map from consolidated data intervals onto the
+        # flat (unpadded) atom file
+        self._data_map: Dict[str, List[Tuple[int, int, int]]] = {}
+        self._entries: Dict[Tuple[str, str], object] = {}
+        # atoms the plan assigns to more than one model-parallel coord
+        # (tied embeddings under pp) are read whole and kept in the atom
+        # LRU: re-slicing them per stage could re-read bytes the block
+        # cache already evicted, so sliced mode would exceed whole-atom
+        # bytes — this keeps sliced <= whole for any cache budget
+        self._shared: set = set()
+        if sliced:
+            owners: Dict[str, set] = {}
+            for coord in plan.layout.mp_coords():
+                pp_stage, sp_rank, tp_rank = coord
+                for d in range(plan.target_cfg.dp):
+                    for piece in plan.partition_assignment(
+                        pp_stage, sp_rank, tp_rank, d
+                    ):
+                        owners.setdefault(piece.name, set()).add(
+                            (pp_stage, sp_rank)
+                        )
+            self._shared = {
+                name for name, coords in owners.items() if len(coords) > 1
+            }
+
+    def _shard_runs(self, name: str, tp_rank: int) -> List[MapRun]:
+        key = (name, tp_rank)
+        runs = self._runs.get(key)
+        if runs is None:
+            spec = self.plan.layout.spec(name)
+            runs = shard_to_full_runs(spec, self.plan.target_cfg.tp, tp_rank)
+            self._runs[key] = runs
+        return runs
+
+    def _atom_data_map(self, name: str) -> List[Tuple[int, int, int]]:
+        mapped = self._data_map.get(name)
+        if mapped is None:
+            spec = self.plan.layout.spec(name)
+            mapped = []
+            offset = 0
+            for d_lo, d_hi in data_intervals(spec):
+                mapped.append((d_lo, d_hi, offset))
+                offset += d_hi - d_lo
+            self._data_map[name] = mapped
+        return mapped
+
+    def _state_entry(self, name: str, kind: str):
+        """Tensor index entry of one atom state file (header-only read)."""
+        key = (name, kind)
+        entry = self._entries.get(key)
+        if entry is None:
+            rel = self.atom_store._atom_path(name, f"{kind}.npt")
+            if not self.atom_store.store.exists(rel):
+                raise AtomMissingError(f"missing atom state {rel}")
+            entry = self.atom_store.store.load_index(rel)["values"]
+            spec = self.plan.layout.spec(name)
+            expected = _interval_numel(spec.unpadded_shape)
+            if np.dtype(entry.dtype) != np.float32 or entry.numel != expected:
+                raise UCPFormatError(
+                    f"atom {name!r} ({kind}) holds {entry.numel} "
+                    f"{entry.dtype} elements; target expects unpadded "
+                    f"shape {spec.unpadded_shape} ({expected} float32)"
+                )
+            self._entries[key] = entry
+        return entry
 
     def _evict(self, cache: Dict) -> None:
         while len(cache) >= self.max_atoms:
@@ -414,6 +517,57 @@ class AtomShardCache:
         self._shards[key] = flat
         return flat
 
+    def shard_slice(
+        self, name: str, kind: str, tp_rank: int, lo: int, hi: int
+    ) -> np.ndarray:
+        """Elements ``[lo, hi)`` of one flattened target TP shard.
+
+        Whole-atom mode slices :meth:`shard_flat`; sliced mode reads
+        only the bytes backing the request: the shard range maps through
+        the parameter's shard -> consolidated runs, intersects the
+        non-padding data intervals (whose concatenation *is* the atom
+        file), and the resulting atom byte ranges stream through the
+        shared :class:`RangeReader`.  Padding positions stay zero —
+        byte-identical to ``add_padding`` + fragment + slice, without
+        materializing either the padded tensor or the shard.
+        """
+        if lo < 0 or hi < lo:
+            raise ValueError(f"invalid shard slice [{lo}, {hi})")
+        if not self.sliced or name in self._shared:
+            return self.shard_flat(name, kind, tp_rank)[lo:hi]
+        entry = self._state_entry(name, kind)
+        out = np.zeros(hi - lo, dtype=np.float32)
+        ranges: List[Tuple[int, int]] = []
+        places: List[Tuple[int, int]] = []  # (out offset, length)
+        for run in self._shard_runs(name, tp_rank):
+            s_lo = max(run.shard_start, lo)
+            s_hi = min(run.shard_end, hi)
+            if s_lo >= s_hi:
+                continue
+            f_lo = run.full_start + (s_lo - run.shard_start)
+            f_hi = f_lo + (s_hi - s_lo)
+            for d_lo, d_hi, atom_off in self._atom_data_map(name):
+                if d_hi <= f_lo:
+                    continue
+                if d_lo >= f_hi:
+                    break
+                seg_lo = max(f_lo, d_lo)
+                seg_hi = min(f_hi, d_hi)
+                ranges.append(entry.element_range(
+                    atom_off + (seg_lo - d_lo), seg_hi - seg_lo
+                ))
+                places.append((
+                    (s_lo - lo) + (seg_lo - f_lo), seg_hi - seg_lo
+                ))
+        rel = self.atom_store._atom_path(name, f"{kind}.npt")
+        for (out_off, count), buf in zip(
+            places, self.reader.read_multi(rel, ranges)
+        ):
+            out[out_off:out_off + count] = np.frombuffer(
+                buf, dtype=np.float32, count=count
+            )
+        return out
+
 
 def load(
     atom_store: AtomStore,
@@ -428,15 +582,16 @@ def load(
     """Materialize one target rank's flat partition of one state kind.
 
     The paper's *Load*: streams atom checkpoints into the rank's flat
-    buffer in layer order, alignment padding re-added (zeros).
+    buffer in layer order, alignment padding re-added (zeros).  With a
+    ``sliced`` cache, each partition slice reads only its own byte
+    range of each atom file instead of the whole atom.
     """
     rank_layout = plan.layout.rank_layout(pp_stage, sp_rank, tp_rank)
     partition = np.zeros(rank_layout.partition_numel, dtype=np.float32)
     if cache is None:
         cache = AtomShardCache(atom_store, plan)
     for piece in rank_layout.slices_in_partition(dp_rank):
-        flat = cache.shard_flat(piece.name, kind, tp_rank)
-        partition[piece.local_start : piece.local_end] = flat[
-            piece.shard_start : piece.shard_end
-        ]
+        partition[piece.local_start : piece.local_end] = cache.shard_slice(
+            piece.name, kind, tp_rank, piece.shard_start, piece.shard_end
+        )
     return partition

@@ -1,0 +1,362 @@
+"""Byte-range IO: windowed ``pread`` reads with a shared block cache.
+
+The conversion and load pipelines never need whole rank files — the
+provenance interval maps (:mod:`repro.analysis.provenance`) prove
+exactly which byte ranges of which files feed each target atom or
+partition slice.  This module supplies the IO layer those plans lower
+onto:
+
+* :class:`BlockCache` — a bounded, shared, LRU cache of byte blocks
+  keyed ``(file, offset, len)``.  Blocks for one file are kept
+  disjoint, so any byte is cached at most once.
+* :class:`RangeReader` — ``pread``-style windowed reads over an
+  :class:`~repro.storage.store.ObjectStore`.  Requested ranges are
+  served from cached blocks where possible; the uncached gaps are
+  coalesced (adjacent ranges merge; ``coalesce_gap`` optionally merges
+  near-adjacent ones) and fetched with at most ``window_bytes`` per
+  disk read, so in-flight buffers stay bounded no matter how large a
+  plan's extents are.
+* :meth:`RangeReader.digest` — streaming SHA-256 in window-sized
+  chunks; the chunks land in the shared cache, so a digest
+  verification pass *pre-warms* the very blocks the extract phase
+  reads next instead of doubling the IO.
+
+Thread-safe: one reader may serve a whole worker pool (the
+``ObjectStore`` byte accounting is not itself thread-safe, so the
+reader serializes its disk reads under a lock).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.store import ObjectStore
+
+DEFAULT_WINDOW_BYTES = 1 << 20
+"""Default maximum bytes per disk read (and per cached block)."""
+
+DEFAULT_CACHE_BYTES = 64 << 20
+"""Default shared block-cache bound."""
+
+_NO_SPANS: List[Tuple[int, int]] = []
+"""Shared empty span list for files with nothing cached."""
+
+_INF = float("inf")
+
+
+class BlockCache:
+    """Bounded LRU cache of disjoint byte blocks, keyed ``(file, offset, len)``.
+
+    ``max_bytes`` bounds the total cached payload; insertion evicts
+    least-recently-used blocks until the new block fits.  Blocks of one
+    file never overlap — the reader only inserts gaps it measured
+    against the current cache — so lookups can binary-search a sorted
+    per-file span list.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self._blocks: "OrderedDict[Tuple[str, int, int], bytes]" = OrderedDict()
+        # per-file sorted, disjoint [(start, end)] spans mirroring _blocks
+        self._spans: Dict[str, List[Tuple[int, int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def spans(self, rel: str) -> List[Tuple[int, int]]:
+        """Sorted disjoint cached ``(start, end)`` spans of one file."""
+        return list(self._spans.get(rel, ()))
+
+    def spans_view(self, rel: str) -> List[Tuple[int, int]]:
+        """Like :meth:`spans` but without copying — read-only; invalidated
+        by any :meth:`put` or eviction."""
+        return self._spans.get(rel, _NO_SPANS)
+
+    def get(self, rel: str, start: int, end: int) -> Optional[bytes]:
+        """The cached block exactly spanning ``[start, end)``, LRU-touched."""
+        key = (rel, start, end - start)
+        data = self._blocks.get(key)
+        if data is not None:
+            self._blocks.move_to_end(key)
+        return data
+
+    def put(self, rel: str, start: int, data: bytes) -> None:
+        """Insert one block; caller guarantees it overlaps no cached span."""
+        if not data:
+            return
+        if len(data) > self.max_bytes:
+            return  # a block larger than the whole budget is never cached
+        end = start + len(data)
+        while self.current_bytes + len(data) > self.max_bytes:
+            self._evict_one()
+        self._blocks[(rel, start, len(data))] = data
+        self.current_bytes += len(data)
+        spans = self._spans.setdefault(rel, [])
+        bisect.insort(spans, (start, end))
+
+    def _evict_one(self) -> None:
+        (rel, start, length), data = self._blocks.popitem(last=False)
+        self.current_bytes -= len(data)
+        spans = self._spans.get(rel)
+        if spans is not None:
+            spans.remove((start, start + length))
+            if not spans:
+                del self._spans[rel]
+
+    def clear(self) -> None:
+        """Drop every cached block (counters are kept)."""
+        self._blocks.clear()
+        self._spans.clear()
+        self.current_bytes = 0
+
+
+class RangeReader:
+    """Windowed, cached, coalescing byte-range reads over an object store.
+
+    Args:
+        store: the backing :class:`ObjectStore`; its byte/simulated-time
+            accounting sees exactly the bytes this reader pulls from
+            disk (cache hits are free).
+        cache: optional shared :class:`BlockCache` (one is created
+            otherwise).
+        window_bytes: maximum bytes per disk read; large coalesced
+            spans are split at this granularity, bounding in-flight
+            buffer memory.
+        coalesce_gap: two requested ranges separated by at most this
+            many unneeded bytes are fetched as one read (the gap bytes
+            are cached too).  ``0`` coalesces only exactly-adjacent
+            ranges.
+        parallel: queue depth passed to the store's simulated-NVMe cost
+            model.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        cache: Optional[BlockCache] = None,
+        window_bytes: int = DEFAULT_WINDOW_BYTES,
+        coalesce_gap: int = 0,
+        parallel: int = 1,
+    ) -> None:
+        if window_bytes < 1:
+            raise ValueError(f"window_bytes must be >= 1, got {window_bytes}")
+        if coalesce_gap < 0:
+            raise ValueError(f"coalesce_gap must be >= 0, got {coalesce_gap}")
+        self.store = store
+        self.cache = cache if cache is not None else BlockCache()
+        self.window_bytes = window_bytes
+        self.coalesce_gap = coalesce_gap
+        self.parallel = parallel
+        self.bytes_read = 0
+        self.read_ops = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.peak_window_bytes = 0
+        self._sizes: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # --- helpers -----------------------------------------------------
+
+    def size(self, rel: str) -> int:
+        """Cached on-disk size of one object."""
+        with self._lock:
+            return self._size_locked(rel)
+
+    def _size_locked(self, rel: str) -> int:
+        size = self._sizes.get(rel)
+        if size is None:
+            size = self.store.size(rel)
+            self._sizes[rel] = size
+        return size
+
+    def _fetch_locked(self, rel: str, gaps: List[Tuple[int, int]]) -> None:
+        """Read uncached gaps from disk in window-sized blocks, caching.
+
+        All blocks go through one batched :meth:`ObjectStore.read_ranges`
+        call — one file open no matter how fragmented the plan is.
+        """
+        blocks: List[Tuple[int, int]] = []
+        for start, end in gaps:
+            cursor = start
+            while cursor < end:
+                step = min(self.window_bytes, end - cursor)
+                blocks.append((cursor, step))
+                cursor += step
+        if not blocks:
+            return
+        for (start, step), data in zip(
+            blocks, self.store.read_ranges(rel, blocks, parallel=self.parallel)
+        ):
+            self.bytes_read += step
+            self.read_ops += 1
+            self.peak_window_bytes = max(self.peak_window_bytes, step)
+            self.cache.put(rel, start, data)
+            # stash the freshly read block for the assembly pass even if
+            # the cache immediately evicted it under memory pressure
+            self._fresh[(rel, start, step)] = data
+
+    def _gaps_locked(
+        self, rel: str, start: int, end: int
+    ) -> List[Tuple[int, int]]:
+        """Sub-ranges of ``[start, end)`` not covered by cached spans."""
+        gaps: List[Tuple[int, int]] = []
+        cursor = start
+        spans = self.cache.spans_view(rel)
+        i = max(0, bisect.bisect_right(spans, (cursor, _INF)) - 1)
+        n = len(spans)
+        while i < n:
+            s, e = spans[i]
+            if e <= cursor:
+                i += 1
+                continue
+            if s >= end:
+                break
+            if s > cursor:
+                gaps.append((cursor, s))
+            cursor = max(cursor, e)
+            if cursor >= end:
+                break
+            i += 1
+        if cursor < end:
+            gaps.append((cursor, end))
+        return gaps
+
+    def _assemble_locked(
+        self,
+        rel: str,
+        offset: int,
+        length: int,
+        fresh: List[Tuple[int, int, bytes]],
+    ) -> memoryview:
+        """Build the requested bytes from cached + freshly read blocks.
+
+        Cached spans are preferred; wherever a block was evicted between
+        fetch and assembly (a request larger than the whole cache), the
+        sorted ``fresh`` block stash fills in.  Both lists are sorted
+        and the cursor only moves forward, so after a bisect to the
+        first candidate a two-pointer merge suffices.
+        """
+        end = offset + length
+        cursor = offset
+        pieces: List[Tuple[int, bytes, int, int]] = []
+        spans = self.cache.spans_view(rel)
+        si = max(0, bisect.bisect_right(spans, (cursor, _INF)) - 1)
+        fi = 0
+        while cursor < end:
+            block: Optional[Tuple[int, int, bytes]] = None
+            while si < len(spans) and spans[si][1] <= cursor:
+                si += 1
+            if si < len(spans) and spans[si][0] <= cursor:
+                s, e = spans[si]
+                data = self.cache.get(rel, s, e)
+                if data is not None:
+                    block = (s, e, data)
+            if block is None:
+                while fi < len(fresh) and fresh[fi][1] <= cursor:
+                    fi += 1
+                if fi < len(fresh) and fresh[fi][0] <= cursor:
+                    block = fresh[fi]
+            if block is None:
+                raise RuntimeError(
+                    f"{rel}: bytes at offset {cursor} unavailable after fetch"
+                )
+            s, e, data = block
+            hi = min(e, end)
+            pieces.append((cursor, data, cursor - s, hi - s))
+            cursor = hi
+        if len(pieces) == 1:
+            lo, block, b_lo, b_hi = pieces[0]
+            return memoryview(block)[b_lo:b_hi]  # zero-copy fast path
+        out = bytearray(length)
+        for lo, block, b_lo, b_hi in pieces:
+            out[lo - offset : lo - offset + (b_hi - b_lo)] = block[b_lo:b_hi]
+        return memoryview(bytes(out))
+
+    # --- public API --------------------------------------------------
+
+    def read(self, rel: str, offset: int, length: int) -> memoryview:
+        """Bytes ``[offset, offset + length)`` of one object.
+
+        Cached spans are served without disk IO; uncached gaps are
+        fetched in at most ``window_bytes``-sized reads.  When one
+        cached block covers the whole range the returned memoryview is
+        zero-copy into the cache.
+        """
+        return self.read_multi(rel, [(offset, length)])[0]
+
+    def read_multi(
+        self, rel: str, ranges: List[Tuple[int, int]]
+    ) -> List[memoryview]:
+        """Read several ``(offset, length)`` ranges of one object at once.
+
+        Near-adjacent ranges (gap <= ``coalesce_gap``) are fetched with
+        one disk read; each requested range still comes back as its own
+        buffer, in input order.
+        """
+        if not ranges:
+            return []
+        for offset, length in ranges:
+            if offset < 0 or length < 0:
+                raise ValueError(f"invalid range ({offset}, {length})")
+        with self._lock:
+            self._fresh: Dict[Tuple[str, int, int], bytes] = {}
+            # coalesce the requested ranges into fetch spans
+            wanted = sorted(
+                (o, o + n) for o, n in ranges if n > 0
+            )
+            spans: List[Tuple[int, int]] = []
+            for s, e in wanted:
+                if spans and s <= spans[-1][1] + self.coalesce_gap:
+                    spans[-1] = (spans[-1][0], max(spans[-1][1], e))
+                else:
+                    spans.append((s, e))
+            all_gaps: List[Tuple[int, int]] = []
+            for s, e in spans:
+                gaps = self._gaps_locked(rel, s, e)
+                covered = (e - s) - sum(g_e - g_s for g_s, g_e in gaps)
+                if covered > 0:
+                    self.cache_hits += 1
+                    self.cache.hits += 1
+                if gaps:
+                    self.cache_misses += 1
+                    self.cache.misses += 1
+                all_gaps.extend(gaps)
+            self._fetch_locked(rel, all_gaps)
+            fresh = sorted(
+                (f_start, f_start + f_len, data)
+                for (f_rel, f_start, f_len), data in self._fresh.items()
+                if f_rel == rel
+            )
+            out = [
+                self._assemble_locked(rel, offset, length, fresh)
+                if length > 0 else memoryview(b"")
+                for offset, length in ranges
+            ]
+            self._fresh = {}
+            return out
+
+    def digest(self, rel: str, chunk_bytes: int = DEFAULT_WINDOW_BYTES) -> str:
+        """Streaming SHA-256 of a whole object, in bounded chunks.
+
+        Each chunk goes through :meth:`read`, so the verified blocks
+        stay in the shared cache for the extract phase to reuse — the
+        digest pass and the data pass together read each byte from disk
+        once.
+        """
+        size = self.size(rel)
+        hasher = hashlib.sha256()
+        cursor = 0
+        while cursor < size:
+            step = min(chunk_bytes, size - cursor)
+            hasher.update(self.read(rel, cursor, step))
+            cursor += step
+        return hasher.hexdigest()

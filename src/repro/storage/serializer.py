@@ -20,7 +20,7 @@ import dataclasses
 import io
 import json
 import zlib
-from typing import Any, BinaryIO, Dict, List, Tuple
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -197,6 +197,74 @@ class TensorStub:
         for d in self.shape:
             n *= d
         return n
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorIndexEntry:
+    """Header-level description of a tensor payload *with its location*.
+
+    Like :class:`TensorStub`, but carrying the payload's absolute byte
+    offset inside the ``.npt`` file — the handle a byte-range reader
+    needs to ``pread`` any element sub-range of the tensor without
+    materializing the file.
+    """
+
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    nbytes: int
+    crc32: Optional[int] = None
+
+    @property
+    def numel(self) -> int:
+        """Element count implied by the shape."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return np.dtype(self.dtype).itemsize
+
+    def element_range(self, start: int, count: int) -> Tuple[int, int]:
+        """Absolute ``(file offset, byte length)`` of an element run."""
+        if start < 0 or count < 0 or (start + count) > self.numel:
+            raise SerializationError(
+                f"element range [{start}, {start + count}) exceeds tensor "
+                f"extent {self.numel}"
+            )
+        item = self.itemsize
+        return self.offset + start * item, count * item
+
+
+def read_npt_index(fh: BinaryIO) -> Any:
+    """Decode an object tree whose tensor leaves carry file offsets.
+
+    The byte-range counterpart of :func:`read_npt_header`: tensor
+    leaves come back as :class:`TensorIndexEntry` with the *absolute*
+    file offset of each payload, so a planner can turn (tensor, element
+    range) into exact ``pread`` calls.  Only the header bytes are
+    consumed from the stream.
+    """
+    magic = _read_exact(fh, len(MAGIC), "magic")
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}; not an .npt file")
+    header_len = int.from_bytes(_read_exact(fh, 8, "header length"), "little")
+    header = json.loads(_read_exact(fh, header_len, "header").decode("utf-8"))
+    payload_start = _align(len(MAGIC) + 8 + header_len)
+    entries = [
+        TensorIndexEntry(
+            dtype=entry["dtype"],
+            shape=tuple(int(d) for d in entry["shape"]),
+            offset=payload_start + int(entry["offset"]),
+            nbytes=int(entry["nbytes"]),
+            crc32=entry.get("crc32"),
+        )
+        for entry in header["tensors"]
+    ]
+    return _decode(header["tree"], entries)
 
 
 def read_npt_header(fh: BinaryIO) -> Any:

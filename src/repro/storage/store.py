@@ -19,7 +19,12 @@ from typing import Any, List, Optional, Tuple
 
 from repro.storage.faults import FaultPolicy, RetryPolicy, TransientIOError
 from repro.storage.nvme import DEFAULT_NVME, NVMeModel
-from repro.storage.serializer import deserialize, read_npt_header, serialize
+from repro.storage.serializer import (
+    deserialize,
+    read_npt_header,
+    read_npt_index,
+    serialize,
+)
 
 
 def sha256_hex(data: bytes) -> str:
@@ -129,6 +134,96 @@ class ObjectStore:
             )
         return data
 
+    def read_range(
+        self, rel_path: str, offset: int, length: int, parallel: int = 1
+    ) -> bytes:
+        """``pread``-style windowed read: ``length`` bytes at ``offset``.
+
+        Only the requested bytes are charged to read accounting and the
+        simulated NVMe clock — this is the primitive the streaming
+        conversion and sliced-atom load pipelines are built on.  A
+        range extending past end-of-file is an error (the caller's
+        plan referenced bytes the object does not have).
+        """
+        if offset < 0 or length < 0:
+            raise ValueError(
+                f"invalid byte range ({offset}, {length}) for {rel_path!r}"
+            )
+        path = self._resolve(rel_path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no object at {rel_path!r} in {self.base}")
+        if self.faults is not None:
+            self._attempt_with_retry(
+                lambda: self.faults.on_read(rel_path, path), "read"
+            )
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read(length)
+        if len(data) != length:
+            raise EOFError(
+                f"{rel_path}: range [{offset}, {offset + length}) reads past "
+                f"end of file ({offset + len(data)} bytes available)"
+            )
+        self.bytes_read += length
+        self.simulated_read_s += self.nvme.read_time(length, parallel)
+        if self.faults is not None:
+            self.simulated_read_s += self.faults.read_latency_s(
+                rel_path, length
+            )
+        return data
+
+    def read_ranges(
+        self,
+        rel_path: str,
+        ranges: List[Tuple[int, int]],
+        parallel: int = 1,
+    ) -> List[bytes]:
+        """Batched ``pread``: many ``(offset, length)`` ranges, one open.
+
+        Byte accounting and the simulated NVMe clock are charged
+        exactly as if :meth:`read_range` were issued per range; the
+        single file open amortizes per-call latency for plans with
+        thousands of small ranges (interleaved TP shard slices).
+        """
+        for offset, length in ranges:
+            if offset < 0 or length < 0:
+                raise ValueError(
+                    f"invalid byte range ({offset}, {length}) for {rel_path!r}"
+                )
+        path = self._resolve(rel_path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no object at {rel_path!r} in {self.base}")
+        if self.faults is not None:
+            self._attempt_with_retry(
+                lambda: self.faults.on_read(rel_path, path), "read"
+            )
+        out: List[bytes] = []
+        with open(path, "rb") as fh:
+            for offset, length in ranges:
+                fh.seek(offset)
+                data = fh.read(length)
+                if len(data) != length:
+                    raise EOFError(
+                        f"{rel_path}: range [{offset}, {offset + length}) "
+                        f"reads past end of file "
+                        f"({offset + len(data)} bytes available)"
+                    )
+                out.append(data)
+                self.bytes_read += length
+                self.simulated_read_s += self.nvme.read_time(length, parallel)
+                if self.faults is not None:
+                    self.simulated_read_s += self.faults.read_latency_s(
+                        rel_path, length
+                    )
+        return out
+
+    def size(self, rel_path: str) -> int:
+        """An object's on-disk byte size (no accounting)."""
+        path = self._resolve(rel_path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no object at {rel_path!r} in {self.base}")
+        return path.stat().st_size
+
     # --- object API ---
 
     def save(self, rel_path: str, obj: Any, parallel: int = 1) -> int:
@@ -172,6 +267,29 @@ class ObjectStore:
             )
         with open(path, "rb") as fh:
             obj = read_npt_header(fh)
+            header_bytes = fh.tell()
+        self.bytes_read += header_bytes
+        self.simulated_read_s += self.nvme.read_time(header_bytes, 1)
+        return obj
+
+    def load_index(self, rel_path: str) -> Any:
+        """Decode one object from its header, with tensor file offsets.
+
+        Like :meth:`load_header`, but tensor leaves come back as
+        :class:`~repro.storage.serializer.TensorIndexEntry` carrying
+        each payload's absolute byte offset — the input a read planner
+        lowers into exact :meth:`read_range` calls.  Only header bytes
+        are charged.
+        """
+        path = self._resolve(rel_path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no object at {rel_path!r} in {self.base}")
+        if self.faults is not None:
+            self._attempt_with_retry(
+                lambda: self.faults.on_read(rel_path, path), "read"
+            )
+        with open(path, "rb") as fh:
+            obj = read_npt_index(fh)
             header_bytes = fh.tell()
         self.bytes_read += header_bytes
         self.simulated_read_s += self.nvme.read_time(header_bytes, 1)

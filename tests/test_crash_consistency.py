@@ -130,8 +130,12 @@ def convert_setup(tmp_path_factory):
 
     probe = root / "probe_ucp"
     counter = FaultPolicy()
+    # workers=1 throughout this matrix: the boundary arithmetic below
+    # assumes the serial write order (marker, then 4 writes per atom in
+    # name order, then ucp_meta); the parallel pipeline's crash-resume
+    # behavior is covered by tests/test_convert_stream.py
     ucp_convert(
-        str(ckpt), str(probe),
+        str(ckpt), str(probe), workers=1,
         dst_store=ObjectStore(str(probe), faults=counter),
     )
     return engine, ckpt, ref_digests, counter.write_ops
@@ -153,7 +157,7 @@ class TestConversionCrashMatrix:
             work = tmp_path / f"k{k}"
             store = ObjectStore(str(work), faults=CrashAtWrite(k))
             with pytest.raises(InjectedCrash):
-                ucp_convert(str(ckpt), str(work), dst_store=store)
+                ucp_convert(str(ckpt), str(work), workers=1, dst_store=store)
 
             report = ucp_convert(str(ckpt), str(work))
             # atoms commit in 4 writes each, after the boundary-0
@@ -173,7 +177,7 @@ class TestConversionCrashMatrix:
             work = tmp_path / f"torn{k}"
             store = ObjectStore(str(work), faults=CrashAtWrite(k, torn=True))
             with pytest.raises(InjectedCrash):
-                ucp_convert(str(ckpt), str(work), dst_store=store)
+                ucp_convert(str(ckpt), str(work), workers=1, dst_store=store)
             ucp_convert(str(ckpt), str(work))
             assert dir_digests(work) == ref_digests, k
 

@@ -1,0 +1,174 @@
+"""Byte-range IO layer: windowed reads, coalescing, and the block cache."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.storage.rangeio import BlockCache, RangeReader
+from repro.storage.serializer import SerializationError
+from repro.storage.store import ObjectStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ObjectStore(str(tmp_path))
+    payload = bytes(range(256)) * 400  # 102400 bytes, position-dependent
+    (tmp_path / "blob.bin").write_bytes(payload)
+    return store, payload
+
+
+class TestReadRange:
+    def test_exact_bytes(self, store):
+        store, payload = store
+        assert store.read_range("blob.bin", 1000, 37) == payload[1000:1037]
+
+    def test_short_read_raises(self, store):
+        store, payload = store
+        with pytest.raises(EOFError):
+            store.read_range("blob.bin", len(payload) - 10, 20)
+
+    def test_invalid_range_rejected(self, store):
+        store, _ = store
+        with pytest.raises(ValueError):
+            store.read_range("blob.bin", -1, 4)
+        with pytest.raises(ValueError):
+            store.read_range("blob.bin", 0, -4)
+
+    def test_bytes_accounted(self, store):
+        store, _ = store
+        before = store.bytes_read
+        store.read_range("blob.bin", 0, 512)
+        assert store.bytes_read - before == 512
+
+
+class TestBlockCache:
+    def test_lru_bound_respected(self):
+        cache = BlockCache(max_bytes=100)
+        for i in range(10):
+            cache.put("f", i * 20, bytes(20))
+        assert cache.current_bytes <= 100
+        assert len(cache) == 5
+        # oldest spans were evicted, newest retained
+        assert cache.get("f", 180, 200) is not None
+        assert cache.get("f", 0, 20) is None
+
+    def test_oversized_block_never_cached(self):
+        cache = BlockCache(max_bytes=10)
+        cache.put("f", 0, bytes(11))
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+    def test_spans_stay_sorted_and_disjoint(self):
+        cache = BlockCache()
+        cache.put("f", 40, bytes(10))
+        cache.put("f", 0, bytes(10))
+        cache.put("f", 20, bytes(10))
+        assert cache.spans("f") == [(0, 10), (20, 30), (40, 50)]
+
+
+class TestRangeReader:
+    def test_read_returns_exact_bytes(self, store):
+        store, payload = store
+        reader = RangeReader(store)
+        assert bytes(reader.read("blob.bin", 500, 300)) == payload[500:800]
+
+    def test_windowed_fetch_bounds_single_reads(self, store):
+        store, payload = store
+        reader = RangeReader(store, window_bytes=1000)
+        data = reader.read("blob.bin", 0, 10240)
+        assert bytes(data) == payload[:10240]
+        assert reader.peak_window_bytes == 1000
+        assert reader.read_ops == 11  # 10 full windows + 240-byte tail
+
+    def test_cache_serves_repeat_reads_without_io(self, store):
+        store, payload = store
+        reader = RangeReader(store)
+        reader.read("blob.bin", 0, 4096)
+        ops = reader.read_ops
+        again = reader.read("blob.bin", 1024, 1024)
+        assert bytes(again) == payload[1024:2048]
+        assert reader.read_ops == ops  # fully cache-served
+        assert reader.cache_hits >= 1
+
+    def test_adjacent_ranges_coalesce_into_one_read(self, store):
+        store, payload = store
+        reader = RangeReader(store)
+        parts = reader.read_multi("blob.bin", [(0, 100), (100, 100), (200, 100)])
+        assert [bytes(p) for p in parts] == [
+            payload[0:100], payload[100:200], payload[200:300]
+        ]
+        assert reader.read_ops == 1
+
+    def test_distant_ranges_fetch_separately(self, store):
+        store, _ = store
+        reader = RangeReader(store)
+        reader.read_multi("blob.bin", [(0, 100), (50_000, 100)])
+        assert reader.read_ops == 2
+        assert reader.bytes_read == 200
+
+    def test_coalesce_gap_merges_near_ranges(self, store):
+        store, payload = store
+        reader = RangeReader(store, coalesce_gap=64)
+        parts = reader.read_multi("blob.bin", [(0, 100), (150, 100)])
+        assert bytes(parts[1]) == payload[150:250]
+        assert reader.read_ops == 1  # one read spanning the 50-byte gap
+        assert reader.bytes_read == 250
+
+    def test_results_in_input_order(self, store):
+        store, payload = store
+        reader = RangeReader(store)
+        parts = reader.read_multi("blob.bin", [(900, 10), (100, 10), (500, 10)])
+        assert [bytes(p) for p in parts] == [
+            payload[900:910], payload[100:110], payload[500:510]
+        ]
+
+    def test_request_larger_than_cache_still_correct(self, store):
+        store, payload = store
+        reader = RangeReader(
+            store, cache=BlockCache(max_bytes=512), window_bytes=256
+        )
+        data = reader.read("blob.bin", 0, 8192)
+        assert bytes(data) == payload[:8192]
+
+    def test_digest_matches_and_warms_cache(self, store):
+        store, payload = store
+        reader = RangeReader(store, window_bytes=4096)
+        digest = reader.digest("blob.bin")
+        assert digest == hashlib.sha256(payload).hexdigest()
+        ops = reader.read_ops
+        assert bytes(reader.read("blob.bin", 0, len(payload))) == payload
+        assert reader.read_ops == ops  # extract rides the digest's blocks
+
+    def test_zero_length_range(self, store):
+        store, _ = store
+        reader = RangeReader(store)
+        assert bytes(reader.read("blob.bin", 10, 0)) == b""
+        assert reader.read_ops == 0
+
+    def test_missing_file_raises(self, store):
+        store, _ = store
+        reader = RangeReader(store)
+        with pytest.raises(FileNotFoundError):
+            reader.read("nope.bin", 0, 10)
+
+
+class TestIndexReads:
+    def test_load_index_locates_payload_bytes(self, tmp_path):
+        store = ObjectStore(str(tmp_path))
+        arr = np.arange(1000, dtype=np.float32)
+        store.save("obj.npt", {"values": arr, "meta": {"k": 1}})
+        tree = store.load_index("obj.npt")
+        assert tree["meta"] == {"k": 1}
+        entry = tree["values"]
+        offset, nbytes = entry.element_range(10, 5)
+        raw = store.read_range("obj.npt", offset, nbytes)
+        assert np.array_equal(
+            np.frombuffer(raw, dtype=np.float32), arr[10:15]
+        )
+
+    def test_element_range_rejects_overrun(self, tmp_path):
+        store = ObjectStore(str(tmp_path))
+        store.save("obj.npt", {"values": np.zeros(8, dtype=np.float32)})
+        entry = store.load_index("obj.npt")["values"]
+        with pytest.raises(SerializationError):
+            entry.element_range(6, 4)
