@@ -17,7 +17,18 @@ Four analyzers, none of which ever materializes a tensor:
   detecting deadlock cycles and critical-section overlaps
   (``repro lint-trace``).
 
-All findings carry stable rule IDs (``UCP001``...); see
+Two enforcement layers guard the *memory* side of the same contracts:
+
+- :mod:`~repro.analysis.sanitizer` — runtime buffer-ownership and
+  write-protection checks at every isolation boundary of the simulated
+  cluster (collectives, snapshots, atom/block caches, zero-copy loads);
+  activate with :func:`~repro.analysis.sanitizer.sanitize` or
+  ``REPRO_SANITIZE=1``.
+- :mod:`~repro.analysis.srclint` — an AST lint over ``src/repro``
+  itself that flags the code patterns *causing* those violations
+  (``repro lint-src``).
+
+All findings carry stable rule IDs (``UCP001``... / ``SRC001``...); see
 ``docs/ANALYSIS.md`` for the catalogue.
 """
 
@@ -60,6 +71,13 @@ from repro.analysis.provenance import (
     check_source_provenance,
     check_target_provenance,
 )
+from repro.analysis.sanitizer import (
+    MemorySanitizer,
+    SanitizerError,
+    check_engine_isolation,
+    sanitize,
+)
+from repro.analysis.srclint import lint_source_tree
 
 __all__ = [
     "RULES",
@@ -69,13 +87,16 @@ __all__ = [
     "Diagnostic",
     "LayoutLintError",
     "LintReport",
+    "MemorySanitizer",
     "ProvenanceAnalysis",
+    "SanitizerError",
     "TraceEvent",
     "analyze_interchange",
     "analyze_source",
     "analyze_ucp_source",
     "check_collective_args",
     "check_collective_ordering",
+    "check_engine_isolation",
     "check_happens_before",
     "check_plan_provenance",
     "check_source_provenance",
@@ -87,8 +108,10 @@ __all__ = [
     "expected_tag_basenames",
     "lint_checkpoint",
     "lint_plan",
+    "lint_source_tree",
     "numel_class",
     "preflight_convert",
+    "sanitize",
     "simulate_happens_before",
     "warning",
 ]

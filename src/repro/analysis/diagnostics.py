@@ -47,8 +47,21 @@ RULES: Dict[str, str] = {
     "UCP022": "provenance-unverifiable",
     "UCP023": "collective-deadlock",
     "UCP024": "collective-arg-mismatch",
+    "UCP025": "cross-rank-writable-aliasing",
+    "UCP026": "snapshot-aliases-live-state",
+    "UCP027": "cache-return-mutation",
+    "UCP028": "loaded-param-aliases-cache",
+    "SRC001": "collective-result-no-copy",
+    "SRC002": "frombuffer-escape",
+    "SRC003": "unordered-set-iteration",
+    "SRC004": "mutable-default-argument",
 }
-"""Stable rule ID -> short kebab-case name.  Append-only."""
+"""Stable rule ID -> short kebab-case name.  Append-only.
+
+``UCP0xx`` rules are produced by the checkpoint/runtime analyzers;
+``SRC0xx`` rules are produced by the AST source lint
+(:mod:`repro.analysis.srclint`, ``repro lint-src``).
+"""
 
 
 @dataclasses.dataclass(frozen=True)

@@ -106,12 +106,43 @@ class InMemoryCheckpoint:
                     )
                     copied += int(part.fp32.nbytes) * 3
                 self._replicas[(coord, dp_rank)] = replicas
+        self._sanitize_commit()
         self.commit_bytes = copied
         if self.engine.parallel_cfg.world_size > 1:
             self.engine.cluster.tracker.record(
                 "broadcast", self.replication_factor, copied
             )
         return copied
+
+    def _sanitize_commit(self) -> None:
+        """Register the committed replicas with the active sanitizer.
+
+        A replica aliasing the owner's live partition defeats the whole
+        scheme — the "checkpoint" would track training instead of
+        pinning an iteration (UCP026).  Clean replicas are frozen so a
+        recovering rank cannot scribble on peer memory.  Lazy import:
+        ``repro.ckpt`` stays free of analysis imports at module scope.
+        """
+        from repro.analysis import sanitizer as _sanitizer
+
+        san = _sanitizer.current()
+        if san is None:
+            return
+
+        def replica_arrays():
+            for (coord, dp_rank), replicas in self._replicas.items():
+                pp, sp, tp = coord
+                base = f"pp{pp}.sp{sp}.tp{tp}/dp{dp_rank}"
+                for r in replicas:
+                    yield f"{base}@host{r.host_rank}:fp32", r.fp32
+                    yield f"{base}@host{r.host_rank}:exp_avg", r.exp_avg
+                    yield f"{base}@host{r.host_rank}:exp_avg_sq", r.exp_avg_sq
+
+        san.guard_snapshot(
+            f"inmemory@it{self.engine.iteration}",
+            replica_arrays(),
+            _sanitizer.zero_state_arrays(self.engine.zero),
+        )
 
     def surviving_replicas(self, failed_ranks: Set[int]) -> Dict[PartitionKey, int]:
         """How many replicas of each partition survive a failure set."""

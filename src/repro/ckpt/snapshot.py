@@ -31,6 +31,7 @@ class EngineSnapshot:
     zero: ZeroOptimizer
     loss_scaler_state: Optional[Dict]
     source_engine: object  # config/topology provider (never mutated state)
+    label: str = ""  # sanitizer registry key (unique per capture)
 
 
 class _SnapshotView:
@@ -69,6 +70,7 @@ class SnapshotManager:
     def __init__(self, engine) -> None:
         self.engine = engine
         self._pending: List[EngineSnapshot] = []
+        self._captures = 0
 
     def snapshot(self) -> EngineSnapshot:
         """Capture a consistent copy of the current training state.
@@ -79,6 +81,7 @@ class SnapshotManager:
         frozen = ZeroOptimizer(self.engine.layout, self.engine.adam)
         for coord, parts in self.engine.zero.partitions.items():
             frozen.partitions[coord] = [p.clone() for p in parts]
+        self._captures += 1
         snap = EngineSnapshot(
             iteration=self.engine.iteration,
             zero=frozen,
@@ -88,7 +91,9 @@ class SnapshotManager:
                 else None
             ),
             source_engine=self.engine,
+            label=f"snapshot#{self._captures}@it{self.engine.iteration}",
         )
+        self._sanitize_capture(snap)
         self._pending.append(snap)
         return snap
 
@@ -98,10 +103,40 @@ class SnapshotManager:
         Training may have advanced arbitrarily since ``snapshot()``;
         the files reflect the snapshot instant regardless.
         """
+        self._sanitize_persist(snapshot)
         info = save_distributed_checkpoint(_SnapshotView(snapshot), directory)
         if snapshot in self._pending:
             self._pending.remove(snapshot)
         return info
+
+    def _sanitize_capture(self, snap: EngineSnapshot) -> None:
+        """Register the capture with the active memory sanitizer (if any).
+
+        The sanitizer checks every captured array is backed by memory
+        disjoint from the live engine (a missing ``clone()`` is UCP026)
+        and write-protects the clean captures so nothing can mutate them
+        between capture and persist.  Lazy import: ``repro.ckpt`` never
+        pulls in ``repro.analysis`` at module scope.
+        """
+        from repro.analysis import sanitizer as _sanitizer
+
+        san = _sanitizer.current()
+        if san is not None:
+            san.guard_snapshot(
+                snap.label,
+                _sanitizer.zero_state_arrays(snap.zero),
+                _sanitizer.zero_state_arrays(self.engine.zero),
+            )
+
+    def _sanitize_persist(self, snap: EngineSnapshot) -> None:
+        """Re-verify a capture at persist time (UCP026 on regression)."""
+        from repro.analysis import sanitizer as _sanitizer
+
+        san = _sanitizer.current()
+        if san is not None:
+            san.verify_snapshot(
+                snap.label, _sanitizer.zero_state_arrays(self.engine.zero)
+            )
 
     def save_async(self, directory: str) -> EngineSnapshot:
         """Snapshot immediately; caller persists when convenient."""

@@ -12,6 +12,7 @@ Mirrors the operational surface DeepSpeed ships for UCP (the
     python -m repro lint-plan --source <dir> --target tp2.pp1.dp4.sp1.zero1 \
         [--provenance]
     python -m repro lint-trace <trace.npt | ckpt_dir> [--tag T]
+    python -m repro lint-src  [root] [--baseline F] [--write-baseline]
 
 Every command prints human-readable text and returns a process exit
 code (0 success, 1 failure), so it scripts cleanly; the lint verbs
@@ -230,6 +231,42 @@ def cmd_lint_trace(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_lint_src(args: argparse.Namespace) -> int:
+    """AST-lint the repro source tree itself (SRC001-SRC004)."""
+    import json as _json
+    import pathlib
+
+    import repro
+    from repro.analysis.srclint import (
+        apply_baseline,
+        baseline_counts,
+        lint_source_tree,
+    )
+
+    root = pathlib.Path(
+        args.root if args.root else pathlib.Path(repro.__file__).parent
+    )
+    report = lint_source_tree(root)
+    if args.write_baseline:
+        pathlib.Path(args.write_baseline).write_text(
+            _json.dumps(baseline_counts(report), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(
+            f"wrote baseline ({len(report.diagnostics)} findings) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if args.baseline:
+        baseline = _json.loads(pathlib.Path(args.baseline).read_text())
+        report = apply_baseline(report, baseline)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -349,6 +386,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="output rendering (json is stable for CI gates)",
     )
     p.set_defaults(func=cmd_lint_trace)
+
+    p = sub.add_parser(
+        "lint-src",
+        help="AST-lint the repro sources for aliasing and determinism "
+             "hazards (SRC001-SRC004)",
+    )
+    p.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="directory (or file) to lint; default: the installed "
+             "repro package",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output rendering (json is stable for CI gates)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON ({'RULE:file': count}); known findings are "
+             "subtracted so only new ones fail",
+    )
+    p.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the current findings as a baseline JSON and exit 0",
+    )
+    p.set_defaults(func=cmd_lint_src)
     return parser
 
 

@@ -96,4 +96,13 @@ def load_ucp_into_engine(
     if metadata.loss_scaler is not None and engine.loss_scaler is not None:
         engine.loss_scaler.load_state_dict(metadata.loss_scaler)
     engine.sync_model_from_masters()
+
+    # with a memory sanitizer active, prove the loaded state is isolated:
+    # no partition may remain a writable alias of a cached atom (UCP028)
+    # or share a base buffer with another simulated rank (UCP025)
+    from repro.analysis import sanitizer as _sanitizer
+
+    san = _sanitizer.current()
+    if san is not None:
+        san.check_engine(engine, context=f"load_ucp_into_engine({ucp_dir})")
     return metadata

@@ -495,6 +495,7 @@ class AtomShardCache:
                 f"expects unpadded {spec.unpadded_shape}"
             )
         padded = add_padding(values, spec)
+        self._freeze(f"atom:{name}:{kind}", padded)
         self._evict(self._padded)
         self._padded[key] = padded
         return padded
@@ -513,9 +514,30 @@ class AtomShardCache:
         else:
             shard = padded
         flat = np.ascontiguousarray(shard, dtype=np.float32).reshape(-1)
+        self._freeze(f"atom:{name}:{kind}:tp{tp_rank}", flat)
         self._evict(self._shards)
         self._shards[key] = flat
         return flat
+
+    @staticmethod
+    def _freeze(key: str, arr: np.ndarray) -> None:
+        """Write-protect one cached array before it is shared.
+
+        Callers get views of cached atoms (``shard_slice`` whole-atom
+        mode returns ``shard_flat(...)[lo:hi]`` zero-copy); freezing
+        turns an accidental in-place mutation — which would poison every
+        later load from the cache — into an immediate ``ValueError``.
+        With a memory sanitizer active the buffer is also registered, so
+        integrity sweeps report poisoning (UCP027) and loaded-state
+        aliasing (UCP028) under the atom's name.
+        """
+        from repro.analysis import sanitizer as _sanitizer
+
+        san = _sanitizer.current()
+        if san is not None:
+            san.register_cache(key, arr)
+        else:
+            arr.setflags(write=False)
 
     def shard_slice(
         self, name: str, kind: str, tp_rank: int, lo: int, hi: int

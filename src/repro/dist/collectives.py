@@ -9,9 +9,37 @@ byte volumes so benchmarks can report communication costs.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def sanitize_boundary(
+    op: str,
+    inputs: Sequence[np.ndarray],
+    outputs: Sequence[np.ndarray],
+    group: Optional[Tuple[str, Sequence[int]]] = None,
+) -> Sequence[np.ndarray]:
+    """Hand a collective's per-rank results to the active memory sanitizer.
+
+    Every collective calls this just before returning: with a sanitizer
+    active (``repro.analysis.sanitizer.sanitize`` /``REPRO_SANITIZE=1``)
+    the results are checked for writable cross-rank aliasing (UCP025);
+    with none, the cost is one function call.  ``group`` carries
+    ``(name, ranks)`` when the caller is a :class:`ProcessGroup`, so
+    violations name real global ranks; direct module-level calls (e.g.
+    sequence parallelism's ``all_to_all``) fall back to local indices.
+
+    Imported lazily so ``repro.dist`` stays free of analysis imports at
+    module scope (same layering rule as the trace recorder).
+    """
+    from repro.analysis import sanitizer as _sanitizer
+
+    san = _sanitizer.current()
+    if san is not None:
+        name, ranks = group if group is not None else (op, range(len(outputs)))
+        san.on_collective(op, name, list(ranks), inputs, outputs)
+    return outputs
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,6 +88,8 @@ def all_reduce(
     shards: Sequence[np.ndarray],
     op: str = "sum",
     tracker: Optional[CommTracker] = None,
+    *,
+    group: Optional[Tuple[str, Sequence[int]]] = None,
 ) -> List[np.ndarray]:
     """All-reduce across a group: every rank receives the reduction.
 
@@ -88,13 +118,17 @@ def all_reduce(
             len(shards),
             _ring_allreduce_bytes(total.size, total.itemsize, len(shards)),
         )
-    return [total.copy() for _ in shards]
+    results = [total.copy() for _ in shards]
+    sanitize_boundary("all_reduce", shards, results, group=group)
+    return results
 
 
 def all_gather(
     shards: Sequence[np.ndarray],
     axis: int = 0,
     tracker: Optional[CommTracker] = None,
+    *,
+    group: Optional[Tuple[str, Sequence[int]]] = None,
 ) -> List[np.ndarray]:
     """All-gather: every rank receives the rank-order concatenation."""
     if not shards:
@@ -103,13 +137,17 @@ def all_gather(
     if tracker is not None:
         per_rank = sum(int(np.asarray(s).nbytes) for s in shards)
         tracker.record("all_gather", len(shards), per_rank)
-    return [gathered.copy() for _ in shards]
+    results = [gathered.copy() for _ in shards]
+    sanitize_boundary("all_gather", shards, results, group=group)
+    return results
 
 
 def reduce_scatter(
     shards: Sequence[np.ndarray],
     op: str = "sum",
     tracker: Optional[CommTracker] = None,
+    *,
+    group: Optional[Tuple[str, Sequence[int]]] = None,
 ) -> List[np.ndarray]:
     """Reduce-scatter: sum (or average) then split equally by rank.
 
@@ -117,23 +155,27 @@ def reduce_scatter(
     """
     if not shards:
         raise ValueError("reduce_scatter over an empty group")
-    group = len(shards)
+    width = len(shards)
     reduced = all_reduce(shards, op=op)[0]
-    if reduced.ndim != 1 or reduced.size % group != 0:
+    if reduced.ndim != 1 or reduced.size % width != 0:
         raise ValueError(
             f"reduce_scatter needs 1-D arrays with length divisible by "
-            f"{group}, got shape {reduced.shape}"
+            f"{width}, got shape {reduced.shape}"
         )
     if tracker is not None:
-        per_rank = (group - 1) * reduced.size * reduced.itemsize // group
-        tracker.record("reduce_scatter", group, per_rank)
-    size = reduced.size // group
-    return [reduced[i * size : (i + 1) * size].copy() for i in range(group)]
+        per_rank = (width - 1) * reduced.size * reduced.itemsize // width
+        tracker.record("reduce_scatter", width, per_rank)
+    size = reduced.size // width
+    results = [reduced[i * size : (i + 1) * size].copy() for i in range(width)]
+    sanitize_boundary("reduce_scatter", shards, results, group=group)
+    return results
 
 
 def all_to_all(
     shards: Sequence[np.ndarray],
     tracker: Optional[CommTracker] = None,
+    *,
+    group: Optional[Tuple[str, Sequence[int]]] = None,
 ) -> List[np.ndarray]:
     """All-to-all: rank r sends chunk j of its input to rank j.
 
@@ -145,28 +187,29 @@ def all_to_all(
     """
     if not shards:
         raise ValueError("all_to_all over an empty group")
-    group = len(shards)
+    width = len(shards)
     arrays = [np.asarray(s) for s in shards]
     shapes = {a.shape for a in arrays}
     if len(shapes) != 1:
         raise ValueError(f"all_to_all shape mismatch across ranks: {shapes}")
     first = arrays[0]
-    if first.ndim != 1 or first.size % group != 0:
+    if first.ndim != 1 or first.size % width != 0:
         raise ValueError(
             f"all_to_all needs 1-D arrays with length divisible by "
-            f"{group}, got shape {first.shape}"
+            f"{width}, got shape {first.shape}"
         )
-    chunk = first.size // group
+    chunk = first.size // width
     outputs = []
-    for receiver in range(group):
+    for receiver in range(width):
         outputs.append(
             np.concatenate(
                 [a[receiver * chunk : (receiver + 1) * chunk] for a in arrays]
             )
         )
     if tracker is not None:
-        per_rank = (group - 1) * chunk * first.itemsize
-        tracker.record("all_to_all", group, per_rank)
+        per_rank = (width - 1) * chunk * first.itemsize
+        tracker.record("all_to_all", width, per_rank)
+    sanitize_boundary("all_to_all", shards, outputs, group=group)
     return outputs
 
 
@@ -174,6 +217,8 @@ def broadcast(
     value: np.ndarray,
     group_size: int,
     tracker: Optional[CommTracker] = None,
+    *,
+    group: Optional[Tuple[str, Sequence[int]]] = None,
 ) -> List[np.ndarray]:
     """Broadcast one rank's array to the whole group."""
     if group_size < 1:
@@ -181,4 +226,6 @@ def broadcast(
     arr = np.asarray(value)
     if tracker is not None:
         tracker.record("broadcast", group_size, int(arr.nbytes))
-    return [arr.copy() for _ in range(group_size)]
+    results = [arr.copy() for _ in range(group_size)]
+    sanitize_boundary("broadcast", [arr], results, group=group)
+    return results

@@ -54,24 +54,32 @@ class ProcessGroup:
         """All-reduce over the group (see :func:`collectives.all_reduce`)."""
         self._check_width(shards, "all_reduce")
         self._trace("all_reduce", shards, reduce_op=op)
-        return collectives.all_reduce(shards, op=op, tracker=self.tracker)
+        return collectives.all_reduce(
+            shards, op=op, tracker=self.tracker, group=(self.name, self.ranks)
+        )
 
     def all_gather(self, shards: Sequence[np.ndarray], axis: int = 0) -> List[np.ndarray]:
         """All-gather over the group."""
         self._check_width(shards, "all_gather")
         self._trace("all_gather", shards)
-        return collectives.all_gather(shards, axis=axis, tracker=self.tracker)
+        return collectives.all_gather(
+            shards, axis=axis, tracker=self.tracker, group=(self.name, self.ranks)
+        )
 
     def reduce_scatter(self, shards: Sequence[np.ndarray], op: str = "sum") -> List[np.ndarray]:
         """Reduce-scatter over the group."""
         self._check_width(shards, "reduce_scatter")
         self._trace("reduce_scatter", shards, reduce_op=op)
-        return collectives.reduce_scatter(shards, op=op, tracker=self.tracker)
+        return collectives.reduce_scatter(
+            shards, op=op, tracker=self.tracker, group=(self.name, self.ranks)
+        )
 
     def broadcast(self, value: np.ndarray) -> List[np.ndarray]:
         """Broadcast one array to every member."""
         self._trace("broadcast", [value])
-        return collectives.broadcast(value, self.size, tracker=self.tracker)
+        return collectives.broadcast(
+            value, self.size, tracker=self.tracker, group=(self.name, self.ranks)
+        )
 
     def _trace(
         self, op: str, arrays: Sequence[np.ndarray], reduce_op: str = ""

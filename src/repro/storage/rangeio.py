@@ -90,9 +90,17 @@ class BlockCache:
         return data
 
     def put(self, rel: str, start: int, data: bytes) -> None:
-        """Insert one block; caller guarantees it overlaps no cached span."""
+        """Insert one block; caller guarantees it overlaps no cached span.
+
+        The block is stored as immutable ``bytes`` whatever buffer type
+        the caller hands in, so every view served out of the cache is
+        read-only — a reader cannot poison bytes other readers will
+        treat as digest-verified.
+        """
         if not data:
             return
+        if not isinstance(data, bytes):
+            data = bytes(data)
         if len(data) > self.max_bytes:
             return  # a block larger than the whole budget is never cached
         end = start + len(data)
@@ -199,6 +207,8 @@ class RangeReader:
             self.bytes_read += step
             self.read_ops += 1
             self.peak_window_bytes = max(self.peak_window_bytes, step)
+            if not isinstance(data, bytes):
+                data = bytes(data)
             self.cache.put(rel, start, data)
             # stash the freshly read block for the assembly pass even if
             # the cache immediately evicted it under memory pressure
@@ -275,11 +285,13 @@ class RangeReader:
             cursor = hi
         if len(pieces) == 1:
             lo, block, b_lo, b_hi = pieces[0]
-            return memoryview(block)[b_lo:b_hi]  # zero-copy fast path
+            # zero-copy fast path; toreadonly() guarantees the cache's
+            # bytes cannot be poisoned even if a block type regresses
+            return memoryview(block)[b_lo:b_hi].toreadonly()
         out = bytearray(length)
         for lo, block, b_lo, b_hi in pieces:
             out[lo - offset : lo - offset + (b_hi - b_lo)] = block[b_lo:b_hi]
-        return memoryview(bytes(out))
+        return memoryview(bytes(out)).toreadonly()
 
     # --- public API --------------------------------------------------
 

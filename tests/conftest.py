@@ -10,3 +10,23 @@ import pytest
 def rng():
     """A fixed-seed Generator for test inputs."""
     return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_sanitizer():
+    """Run the whole suite under a strict memory sanitizer when asked.
+
+    ``REPRO_SANITIZE=1 pytest`` (the CI sanitizer job) wraps every test
+    in one strict :func:`repro.analysis.sanitizer.sanitize` activation:
+    any boundary-crossing buffer violation (UCP025-UCP028) raises at the
+    point of the offense.  Injection tests that *want* violations push
+    their own non-strict sanitizer on the stack — the innermost wins —
+    so they keep working under the sanitized run.
+    """
+    from repro.analysis.sanitizer import enabled_from_env, sanitize
+
+    if not enabled_from_env():
+        yield
+        return
+    with sanitize(strict=True, subject="tier-1 session"):
+        yield

@@ -87,3 +87,15 @@ class TestRandomizedInterchange:
                     f"{source.describe()} -> {target.describe()}: "
                     f"{kind}/{name} diverged"
                 )
+
+        # isolation property: after the full train -> save -> convert ->
+        # load cycle, no two simulated ranks of either engine may share
+        # a writable ndarray base buffer (UCP025/UCP028 stay silent)
+        from repro.analysis import check_engine_isolation
+
+        for engine, label in ((src, "source"), (dst, "target")):
+            report = check_engine_isolation(engine)
+            assert report.ok, (
+                f"{label} {source.describe()} -> {target.describe()}:\n"
+                f"{report.render_text()}"
+            )

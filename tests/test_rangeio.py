@@ -152,6 +152,55 @@ class TestRangeReader:
             reader.read("nope.bin", 0, 10)
 
 
+class TestReadOnlyReturns:
+    """Cache-poisoning defense: served bytes are immutable.
+
+    Every buffer handed out by the cache/reader layers is read-only —
+    a caller mutating its view must get an immediate error, never a
+    silent corruption of blocks other readers will treat as
+    digest-verified.
+    """
+
+    def test_single_block_view_is_readonly(self, store):
+        store, _ = store
+        reader = RangeReader(store)
+        view = reader.read("blob.bin", 100, 50)  # zero-copy cache view
+        assert view.readonly
+        with pytest.raises(TypeError):
+            view[0] = 0xFF
+
+    def test_multi_piece_view_is_readonly(self, store):
+        store, _ = store
+        reader = RangeReader(store)
+        reader.read("blob.bin", 0, 100)
+        reader.read("blob.bin", 100, 100)
+        view = reader.read("blob.bin", 50, 100)  # spans two cached blocks
+        assert view.readonly
+
+    def test_frombuffer_over_view_is_readonly(self, store):
+        store, _ = store
+        reader = RangeReader(store)
+        arr = np.frombuffer(reader.read("blob.bin", 0, 400), dtype=np.float32)
+        assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            arr[0] = 1.0
+
+    def test_put_normalizes_mutable_buffers(self):
+        cache = BlockCache()
+        scratch = bytearray(b"abcdefgh")
+        cache.put("f", 0, scratch)
+        scratch[:] = b"XXXXXXXX"  # caller reuses its scratch buffer
+        assert cache.get("f", 0, 8) == b"abcdefgh"
+
+    def test_cache_mutation_attempt_does_not_reach_later_reads(self, store):
+        store, payload = store
+        reader = RangeReader(store)
+        view = reader.read("blob.bin", 0, 64)
+        with pytest.raises(TypeError):
+            view[:] = b"\x00" * 64
+        assert bytes(reader.read("blob.bin", 0, 64)) == payload[:64]
+
+
 class TestIndexReads:
     def test_load_index_locates_payload_bytes(self, tmp_path):
         store = ObjectStore(str(tmp_path))

@@ -1,0 +1,376 @@
+"""Memory sanitizer: injected isolation violations are caught and named.
+
+Each test class injects one of the bug classes the sanitizer exists
+for — a rank mutating a shared collective result (UCP025), a snapshot
+aliasing live engine state (UCP026), a poisoned cache return (UCP027),
+a loaded parameter still backed by cache memory (UCP028) — and asserts
+the diagnostic fires with the offending rank/key named.  Buggy variants
+simulate a *missing copy at the boundary itself*: they produce aliased
+results and hand them to the same public ``sanitize_boundary`` /
+``guard_snapshot`` hooks the real code paths call.
+
+The injection tests run their own non-strict sanitizer; under
+``REPRO_SANITIZE=1`` it nests inside the session-wide strict one (the
+innermost activation wins), so the suite stays green either way.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitizer as sanitizer_module
+from repro.analysis.diagnostics import LayoutLintError
+from repro.analysis.sanitizer import (
+    MemorySanitizer,
+    SanitizerError,
+    check_engine_isolation,
+    current,
+    enabled_from_env,
+    sanitize,
+    zero_state_arrays,
+)
+from repro.dist import collectives
+from repro.dist.process_group import ProcessGroup
+
+from tests.helpers import make_engine
+
+
+def bad_broadcast(value, group_size, group=None):
+    """A broadcast that forgot the per-rank copy (the injected bug)."""
+    arr = np.asarray(value)
+    results = [arr for _ in range(group_size)]
+    collectives.sanitize_boundary("broadcast", [arr], results, group=group)
+    return results
+
+
+class TestCollectiveBoundary:
+    def test_clean_collectives_report_nothing(self):
+        with sanitize(strict=True) as san:
+            pg = ProcessGroup("tp", [0, 1])
+            pg.all_reduce([np.ones(8), np.ones(8)])
+            pg.all_gather([np.ones(4), np.ones(4)])
+            pg.reduce_scatter([np.arange(8.0), np.arange(8.0)])
+            pg.broadcast(np.ones(8))
+            collectives.all_to_all([np.arange(4.0), np.arange(4.0)])
+        assert san.report.ok
+        assert san.checks >= 5
+
+    def test_shared_result_buffer_is_ucp025(self):
+        with sanitize(strict=False) as san:
+            bad_broadcast(np.ones(4), 3, group=("dp", [4, 5, 6]))
+        found = san.report.by_rule("UCP025")
+        assert found
+        # the diagnostic names the group and real global ranks
+        assert any("'dp'" in d.message for d in found)
+        assert any("4" in d.message and "5" in d.message for d in found)
+
+    def test_output_aliasing_other_ranks_input_is_ucp025(self):
+        with sanitize(strict=False) as san:
+            a, b = np.ones(4), np.ones(4)
+            # rank 1's "result" is rank 0's input, unconverted
+            collectives.sanitize_boundary(
+                "all_reduce", [a, b], [a + b, a], group=("tp", [0, 1])
+            )
+        assert any(
+            "input buffer" in d.message
+            for d in san.report.by_rule("UCP025")
+        )
+
+    def test_read_only_fan_out_is_allowed(self):
+        with sanitize(strict=True):
+            arr = np.ones(4)
+            arr.setflags(write=False)
+            # frozen single-buffer fan-out is safe by construction
+            collectives.sanitize_boundary(
+                "broadcast", [arr], [arr, arr, arr], group=("pp", [0, 1, 2])
+            )
+
+    def test_in_place_same_rank_result_is_allowed(self):
+        with sanitize(strict=True):
+            a, b = np.ones(4), np.ones(4)
+            # each rank's output aliasing its own input is NCCL in-place
+            collectives.sanitize_boundary(
+                "all_reduce", [a, b], [a, b], group=("tp", [0, 1])
+            )
+
+    def test_strict_mode_raises_typed_error(self):
+        with pytest.raises(SanitizerError) as err:
+            with sanitize(strict=True):
+                bad_broadcast(np.ones(4), 2)
+        assert isinstance(err.value, LayoutLintError)
+        assert err.value.report.by_rule("UCP025")
+
+    def test_no_active_sanitizer_is_a_no_op(self, monkeypatch):
+        # the REPRO_SANITIZE=1 session fixture may have one installed
+        monkeypatch.setattr(sanitizer_module, "_STACK", [])
+        assert current() is None
+        outs = bad_broadcast(np.ones(4), 2)  # silent without a sanitizer
+        assert len(outs) == 2
+
+
+class TestSnapshotBoundary:
+    def _engine(self):
+        return make_engine(seed=11)
+
+    def test_clean_snapshot_and_persist(self, tmp_path):
+        from repro.ckpt.snapshot import SnapshotManager
+
+        eng = self._engine()
+        eng.train(1)
+        with sanitize(strict=True) as san:
+            mgr = SnapshotManager(eng)
+            snap = mgr.snapshot()
+            eng.train(1)
+            mgr.persist(snap, str(tmp_path / "ckpt"))
+        assert san.report.ok
+
+    def test_snapshot_arrays_are_write_protected(self):
+        from repro.ckpt.snapshot import SnapshotManager
+
+        eng = self._engine()
+        with sanitize(strict=True):
+            snap = SnapshotManager(eng).snapshot()
+        for _, arr in zero_state_arrays(snap.zero):
+            assert not arr.flags.writeable
+
+    def test_aliasing_clone_is_ucp026_at_capture(self, monkeypatch):
+        from repro.ckpt.snapshot import SnapshotManager
+        from repro.parallel.zero import ZeroPartition
+
+        orig_clone = ZeroPartition.clone
+
+        def bad_clone(self):
+            out = orig_clone(self)
+            out.fp32 = self.fp32  # the missing .copy()
+            return out
+
+        monkeypatch.setattr(ZeroPartition, "clone", bad_clone)
+        eng = self._engine()
+        with sanitize(strict=False) as san:
+            SnapshotManager(eng).snapshot()
+        found = san.report.by_rule("UCP026")
+        assert found
+        # names the offending per-rank state key on both sides
+        assert any(
+            "fp32" in d.message and "aliases live engine state" in d.message
+            for d in found
+        )
+        assert any("pp0" in d.location for d in found)
+
+    def test_engine_adopting_snapshot_buffer_is_ucp026_at_persist(
+        self, tmp_path
+    ):
+        from repro.ckpt.snapshot import SnapshotManager
+
+        eng = self._engine()
+        with sanitize(strict=False) as san:
+            mgr = SnapshotManager(eng)
+            snap = mgr.snapshot()
+            # a "restore" that forgot to copy: the live engine now shares
+            # the snapshot's buffer, so training would leak into the files
+            coord = next(iter(eng.zero.partitions))
+            eng.zero.partitions[coord][0].fp32 = (
+                snap.zero.partitions[coord][0].fp32
+            )
+            mgr.persist(snap, str(tmp_path / "ckpt"))
+        assert any(
+            "at persist time" in d.message
+            for d in san.report.by_rule("UCP026")
+        )
+
+    def test_unprotecting_snapshot_is_ucp026_at_persist(self, tmp_path):
+        from repro.ckpt.snapshot import SnapshotManager
+
+        eng = self._engine()
+        with sanitize(strict=False) as san:
+            mgr = SnapshotManager(eng)
+            snap = mgr.snapshot()
+            coord = next(iter(snap.zero.partitions))
+            snap.zero.partitions[coord][0].fp32.setflags(write=True)
+            mgr.persist(snap, str(tmp_path / "ckpt"))
+        assert any(
+            "write protection" in d.message
+            for d in san.report.by_rule("UCP026")
+        )
+
+    def test_inmemory_commit_clean_and_replicas_frozen(self):
+        from repro.ckpt.inmemory import InMemoryCheckpoint
+
+        eng = self._engine()
+        eng.train(1)
+        with sanitize(strict=True) as san:
+            imc = InMemoryCheckpoint(eng, replication_factor=1)
+            imc.commit()
+        assert san.report.ok
+        for replicas in imc._replicas.values():
+            for r in replicas:
+                assert not r.fp32.flags.writeable
+
+    def test_inmemory_replica_aliasing_owner_is_ucp026(self):
+        from repro.ckpt.inmemory import InMemoryCheckpoint
+
+        eng = self._engine()
+        with sanitize(strict=False) as san:
+            imc = InMemoryCheckpoint(eng, replication_factor=1)
+            imc.commit()
+            # inject the missing .copy(): one replica now IS the live state
+            key = next(iter(imc._replicas))
+            (coord, dp_rank) = key
+            imc._replicas[key][0].fp32 = (
+                eng.zero.partitions[coord][dp_rank].fp32
+            )
+            imc._sanitize_commit()
+        found = san.report.by_rule("UCP026")
+        assert found
+        assert any("host" in d.location for d in found)
+
+
+@pytest.fixture
+def atom_cache(tmp_path):
+    """A real AtomShardCache over a converted UCP checkpoint."""
+    from repro.core.atom import AtomStore
+    from repro.core.convert import ucp_convert
+    from repro.core.ops import AtomShardCache, gen_ucp_metadata
+
+    eng = make_engine(seed=5)
+    eng.train(1)
+    ckpt, ucp = str(tmp_path / "ckpt"), str(tmp_path / "ucp")
+    eng.save_checkpoint(ckpt)
+    ucp_convert(ckpt, ucp)
+    plan = gen_ucp_metadata(eng.model_cfg, eng.parallel_cfg)
+    cache = AtomShardCache(AtomStore(ucp), plan)
+    name = sorted(eng.layout.shard_specs)[0]
+    return cache, name, eng
+
+
+class TestCacheBoundary:
+    def test_cached_atoms_are_read_only(self, atom_cache):
+        cache, name, _ = atom_cache
+        with sanitize(strict=True):
+            flat = cache.shard_flat(name, "fp32", 0)
+        assert not flat.flags.writeable
+        with pytest.raises(ValueError):
+            flat[0] = 99.0
+
+    def test_cached_atoms_read_only_even_without_sanitizer(
+        self, atom_cache, monkeypatch
+    ):
+        cache, name, _ = atom_cache
+        monkeypatch.setattr(sanitizer_module, "_STACK", [])
+        assert current() is None
+        flat = cache.shard_flat(name, "fp32", 0)
+        with pytest.raises(ValueError):
+            flat[0] = 99.0
+
+    def test_poisoned_cache_is_ucp027(self, atom_cache):
+        cache, name, _ = atom_cache
+        with sanitize(strict=False) as san:
+            cache.shard_flat(name, "fp32", 0)
+            poisoned = cache._padded[(name, "fp32")]
+            poisoned.setflags(write=True)  # force past the protection
+            poisoned.reshape(-1)[0] = -1.0
+            san.check_cache_integrity(context="test")
+        found = san.report.by_rule("UCP027")
+        assert found
+        assert any(name in d.message for d in found)
+
+    def test_exit_scan_catches_late_poisoning(self, atom_cache):
+        cache, name, _ = atom_cache
+        with sanitize(strict=False) as san:
+            cache.shard_flat(name, "fp32", 0)
+            cache._padded[(name, "fp32")].setflags(write=True)
+        # the context-manager exit ran the final integrity scan
+        assert san.report.by_rule("UCP027")
+
+    def test_claim_returns_private_writable_copy(self, atom_cache):
+        cache, name, _ = atom_cache
+        with sanitize(strict=True) as san:
+            flat = cache.shard_flat(name, "fp32", 0)
+            before = flat[0]
+            mine = san.claim(flat)
+            mine[0] = before + 123.0  # private copy: no violation
+            assert flat[0] == before  # source untouched
+            san.check_cache_integrity(context="after claim")
+        assert san.report.ok
+
+    def test_thaw_exempts_buffer_from_integrity_scan(self, atom_cache):
+        cache, name, _ = atom_cache
+        with sanitize(strict=True) as san:
+            cache.shard_flat(name, "fp32", 0)
+            owned = cache._padded[(name, "fp32")]
+            san.thaw(owned)
+            owned.reshape(-1)[0] = 7.0  # deliberate, claimed mutation
+            san.check_cache_integrity(context="after thaw")
+        assert san.report.ok
+
+
+class TestEngineSweep:
+    def test_loaded_param_aliasing_cache_is_ucp028(self):
+        eng = make_engine(seed=3)
+        with sanitize(strict=False) as san:
+            coord = next(iter(eng.zero.partitions))
+            part = eng.zero.partitions[coord][0]
+            fake_block = np.array(part.fp32)
+            san.register_cache("atom:word_embeddings:fp32", fake_block)
+            part.fp32 = fake_block  # load that kept the zero-copy view
+            san.check_engine(eng, context="after load")
+        found = san.report.by_rule("UCP028")
+        assert found
+        # names both the rank state key and the cached atom
+        assert any(
+            "word_embeddings" in d.message and "pp0" in d.location
+            for d in found
+        )
+
+    def test_cross_rank_shared_partition_is_ucp025(self):
+        eng = make_engine(seed=3)
+        parts = eng.zero.partitions
+        coord = next(iter(parts))
+        if len(parts[coord]) < 2:
+            from repro.dist.topology import ParallelConfig
+
+            eng = make_engine(
+                parallel=ParallelConfig(tp=1, pp=1, dp=2, sp=1), seed=3
+            )
+            parts = eng.zero.partitions
+            coord = next(iter(parts))
+        with sanitize(strict=False) as san:
+            parts[coord][1].fp32 = parts[coord][0].fp32  # shared buffer
+            san.check_engine(eng, context="after tamper")
+        found = san.report.by_rule("UCP025")
+        assert found
+        assert any("dp0" in d.message and "dp1" in d.message for d in found)
+
+    def test_check_engine_isolation_standalone(self):
+        eng = make_engine(seed=3)
+        report = check_engine_isolation(eng)
+        assert report.ok
+
+
+class TestActivation:
+    def test_current_is_none_by_default(self, monkeypatch):
+        monkeypatch.setattr(sanitizer_module, "_STACK", [])
+        assert current() is None
+
+    def test_nesting_innermost_wins(self):
+        with sanitize(strict=True) as outer:
+            with sanitize(strict=False) as inner:
+                bad_broadcast(np.ones(4), 2)
+            assert inner.report.by_rule("UCP025")
+        assert outer.report.ok  # the outer sanitizer never saw it
+
+    def test_enabled_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not enabled_from_env()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not enabled_from_env()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert enabled_from_env()
+
+    def test_violation_renders_through_standard_report(self):
+        san = MemorySanitizer(strict=False)
+        shared = np.ones(2)
+        san.on_collective("broadcast", "tp", [0, 1], [], [shared, shared])
+        text = san.report.render_text()
+        assert "UCP025" in text and "cross-rank-writable-aliasing" in text

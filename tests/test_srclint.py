@@ -1,0 +1,228 @@
+"""AST source lint: every rule fires on an injection and stays quiet on
+the patterns the codebase legitimately uses.
+
+The safe-shape tests encode the lint's precision contract: the exact
+idioms ``src/repro`` relies on (returning collective results from
+``ProcessGroup``, slice-storing ``frombuffer`` reads into fresh buffers,
+``sorted()``-wrapped set iteration) must never be flagged — the final
+test pins the whole tree lint-clean against the committed empty
+baseline.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.srclint import (
+    apply_baseline,
+    baseline_counts,
+    lint_source_file,
+    lint_source_tree,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_snippet(tmp_path, source: str):
+    path = tmp_path / "snippet.py"
+    path.write_text(source)
+    return lint_source_file(path, "snippet.py")
+
+
+def rules(findings):
+    return [d.rule_id for d in findings]
+
+
+class TestSRC001CollectiveResultNoCopy:
+    @pytest.mark.parametrize("snippet", [
+        "self.results = group.all_reduce(shards)\n",
+        "acc.append(all_gather(shards))\n",
+        "state['grads'] = broadcast(x, 4)\n",
+        "pair = [all_to_all(chunks), extra]\n",
+        "cache.setdefault(k, reduce_scatter(shards))\n",
+    ], ids=["attr", "append", "keyed", "literal", "setdefault"])
+    def test_escaping_result_fires(self, tmp_path, snippet):
+        assert rules(lint_snippet(tmp_path, snippet)) == ["SRC001"]
+
+    @pytest.mark.parametrize("snippet", [
+        "out = all_reduce(shards)\n",                      # local name
+        "def f(s):\n    return all_reduce(s)\n",           # the API itself
+        "y = group.all_reduce(p, op='sum')[0]\n",          # indexed local
+        "acc.append(all_gather(s)[0].copy())\n",           # defensive copy
+        "n = len(all_gather(s))\n",                        # scalar consumer
+    ], ids=["name", "return", "indexed", "copied", "len"])
+    def test_safe_shapes_pass(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet) == []
+
+
+class TestSRC002FrombufferEscape:
+    @pytest.mark.parametrize("snippet", [
+        "def f(b):\n    return np.frombuffer(b, dtype='f4')\n",
+        "self.arr = np.frombuffer(buf)\n",
+        "def f(b):\n    return np.frombuffer(b).reshape(2, 2)\n",
+        "views['k'] = np.frombuffer(buf)\n",
+        "out.append(np.frombuffer(buf))\n",
+    ], ids=["return", "attr", "reshape-return", "keyed", "append"])
+    def test_escaping_view_fires(self, tmp_path, snippet):
+        assert rules(lint_snippet(tmp_path, snippet)) == ["SRC002"]
+
+    @pytest.mark.parametrize("snippet", [
+        # the repo's three legitimate shapes:
+        "arr[a:b] = np.frombuffer(buf, dtype='f4', count=n)\n",  # ops/convert
+        "arr = np.frombuffer(raw)\n",                            # serializer
+        "def f(b):\n    return np.frombuffer(b).reshape(2).copy()\n",
+        "total = np.frombuffer(b).sum()\n",                      # scalarized
+    ], ids=["slice-store", "name", "copy-return", "reduced"])
+    def test_safe_shapes_pass(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet) == []
+
+
+class TestSRC003UnorderedSetIteration:
+    @pytest.mark.parametrize("snippet", [
+        "for k in set(xs):\n    emit(k)\n",
+        "ys = [k for k in set(xs)]\n",
+        "ys = list({1, 2} | {3})\n",
+        "for k in set(a) | set(b):\n    emit(k)\n",
+        "s = ','.join({str(x) for x in xs})\n",
+    ], ids=["for", "comp", "list-union", "for-union", "join"])
+    def test_unordered_iteration_fires(self, tmp_path, snippet):
+        assert rules(lint_snippet(tmp_path, snippet)) == ["SRC003"]
+
+    @pytest.mark.parametrize("snippet", [
+        "ks = sorted(k for k in set(a) | set(b) if k in a)\n",  # convert.py
+        "ks = sorted(set(xs))\n",
+        "n = len(set(xs))\n",
+        "ok = any(k in a for k in xs)\n",
+        "for k in sorted(set(xs)):\n    emit(k)\n",
+    ], ids=["sorted-genexp", "sorted", "len", "any", "for-sorted"])
+    def test_order_insensitive_consumers_pass(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet) == []
+
+
+class TestSRC004MutableDefaultArgument:
+    @pytest.mark.parametrize("snippet", [
+        "def f(x, acc=[]):\n    pass\n",
+        "def f(x, opts={}):\n    pass\n",
+        "def f(x, buf=np.zeros(4)):\n    pass\n",
+        "def f(x, *, seen=set()):\n    pass\n",
+    ], ids=["list", "dict", "ndarray", "kwonly-set"])
+    def test_mutable_default_fires(self, tmp_path, snippet):
+        found = lint_snippet(tmp_path, snippet)
+        assert rules(found) == ["SRC004"]
+        assert all(d.severity == "warning" for d in found)
+
+    def test_none_and_immutable_defaults_pass(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "def f(x, acc=None, k=3, name='a', t=()):\n    pass\n"
+        ) == []
+
+
+class TestSuppression:
+    def test_disable_all_rules_on_line(self, tmp_path):
+        src = "for k in set(xs):  # srclint: disable\n    pass\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_disable_specific_rule(self, tmp_path):
+        src = "for k in set(xs):  # srclint: disable=SRC003\n    pass\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_other_rule_suppression_does_not_apply(self, tmp_path):
+        src = "for k in set(xs):  # srclint: disable=SRC001\n    pass\n"
+        assert rules(lint_snippet(tmp_path, src)) == ["SRC003"]
+
+
+class TestBaseline:
+    def test_roundtrip_silences_known_findings(self, tmp_path):
+        (tmp_path / "m.py").write_text("self.r = all_reduce(s)\n")
+        report = lint_source_tree(tmp_path)
+        assert not report.ok
+        baseline = baseline_counts(report)
+        assert baseline == {f"SRC001:{tmp_path.name}/m.py": 1}
+        assert apply_baseline(report, baseline).ok
+
+    def test_new_findings_exceed_baseline(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            "self.r = all_reduce(s)\nself.q = all_gather(s)\n"
+        )
+        report = lint_source_tree(tmp_path)
+        residual = apply_baseline(
+            report, {f"SRC001:{tmp_path.name}/m.py": 1}
+        )
+        assert len(residual.diagnostics) == 1
+
+
+class TestCLI:
+    def test_lint_src_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint-src", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_src_finding_exits_one_with_location(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("self.r = all_reduce(s)\n")
+        assert main(["lint-src", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "SRC001" in out and "bad.py:1" in out
+
+    def test_json_format_is_stable(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("self.r = all_reduce(s)\n")
+        main(["lint-src", str(tmp_path), "--format", "json"])
+        first = capsys.readouterr().out
+        main(["lint-src", str(tmp_path), "--format", "json"])
+        second = capsys.readouterr().out
+        assert first == second
+        doc = json.loads(first)
+        assert doc["num_errors"] == 1
+        assert doc["diagnostics"][0]["rule_id"] == "SRC001"
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("self.r = all_reduce(s)\n")
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint-src", str(tmp_path), "--write-baseline", str(baseline)
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "lint-src", str(tmp_path), "--baseline", str(baseline)
+        ]) == 0
+
+    def test_default_root_is_the_installed_package(self, capsys):
+        assert main(["lint-src"]) == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestRepoIsClean:
+    def test_source_tree_has_no_findings(self):
+        report = lint_source_tree(Path(repro.__file__).parent)
+        assert report.diagnostics == [], report.render_text()
+
+    def test_committed_baseline_is_empty(self):
+        baseline = json.loads(
+            (REPO_ROOT / "srclint-baseline.json").read_text()
+        )
+        assert baseline == {}
+
+    def test_cli_gate_deterministic_under_hash_seeds(self):
+        """The CI gate's exact invocation, run under two hash seeds."""
+        outputs = []
+        for seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "lint-src",
+                 "--format", "json",
+                 "--baseline", str(REPO_ROOT / "srclint-baseline.json")],
+                capture_output=True,
+                text=True,
+                cwd=str(REPO_ROOT),
+                env={
+                    "PYTHONPATH": str(REPO_ROOT / "src"),
+                    "PYTHONHASHSEED": seed,
+                    "PATH": "/usr/bin:/bin",
+                },
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
