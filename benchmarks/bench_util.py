@@ -11,14 +11,21 @@ import json
 import pathlib
 from typing import Dict, List
 
+from repro.analysis.continuity import PAPER_LOSS_BAND, check_loss_continuity
 from repro.dist.topology import ParallelConfig
 from repro.models import get_config
 from repro.parallel.engine import TrainingEngine
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+__all__ = [
+    "PAPER_LOSS_BAND",
+    "check_loss_continuity",
+    "make_engine",
+    "record_result",
+    "loss_curve",
+    "max_abs_delta",
+]
 
-PAPER_LOSS_BAND = 0.02
-"""Paper §4.2: resumed-loss deltas stay within 0.02 of the baseline."""
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def make_engine(

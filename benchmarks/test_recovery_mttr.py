@@ -1,0 +1,71 @@
+"""BENCH_recovery_mttr — repair time and goodput of elastic recovery.
+
+Runs the supervised kill→reshard→resume loop over a deterministic
+kill schedule covering the three recovery-triggering failure points
+(mid-step, post-commit save, mid-convert) and records the simulated
+MTTR, per-stage repair breakdown, and goodput the CI chaos job
+publishes as an artifact.  Everything here is simulated time, so the
+numbers are byte-stable across machines for a fixed schedule + seed.
+"""
+
+from repro.dist.supervisor import supervise
+from repro.dist.topology import ParallelConfig
+from repro.models import get_config
+from repro.storage.faults import KillSchedule
+
+from bench_util import record_result
+
+PARALLEL = ParallelConfig(tp=2, pp=1, dp=2, zero_stage=1)
+HORIZON = 16
+SAVE_EVERY = 4
+KILLS = ["5:step:3", "12:save-post:1", "5:convert:2:4"]
+
+
+def test_recovery_mttr(benchmark, tmp_path):
+    def run():
+        return supervise(
+            get_config("gpt3-mini"),
+            PARALLEL,
+            str(tmp_path / "job"),
+            horizon=HORIZON,
+            save_every=SAVE_EVERY,
+            schedule=KillSchedule.from_specs(KILLS),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert report.useful_steps == HORIZON
+    assert 0.0 < report.goodput <= 1.0
+    assert report.mttr_s > 0.0
+    assert report.lost_committed_tags == []
+    assert report.continuity is not None and report.continuity.ok
+    completed = [e for e in report.events if e.completed]
+    assert completed
+
+    record_result(
+        "BENCH_recovery_mttr",
+        {
+            "model": "gpt3-mini",
+            "initial_config": report.initial_config,
+            "final_config": report.final_config,
+            "kills": KILLS,
+            "horizon": HORIZON,
+            "mttr_s": round(report.mttr_s, 6),
+            "goodput": round(report.goodput, 6),
+            "useful_steps": report.useful_steps,
+            "wall_steps": report.wall_steps,
+            "interruptions": report.interruptions,
+            "sim_time_s": round(report.sim_time_s, 6),
+            "recoveries": [
+                {
+                    "trigger": f"{e.trigger_phase}@step{e.trigger_step}",
+                    "target": e.target_config,
+                    "lost_steps": e.lost_steps,
+                    "atoms_reused": e.atoms_reused,
+                    "completed": e.completed,
+                    "timings": e.timings.to_dict(),
+                }
+                for e in report.events
+            ],
+        },
+    )

@@ -8,6 +8,7 @@ sample every 4 iterations to 40).
 """
 
 
+from repro.analysis.continuity import assert_loss_continuity
 from repro.core.resume import resume_training
 from repro.dist.topology import ParallelConfig
 
@@ -62,8 +63,12 @@ def test_table3_loss_grid(benchmark, tmp_path):
     worst = 0.0
     for spec in TABLE3_TARGETS:
         target, curve = run_row(spec)
-        deltas = [abs(a - b) for a, b in zip(baseline, curve)]
-        worst = max(worst, max(deltas))
+        # the same library check the elastic supervisor applies after
+        # every recovery — raises ContinuityError outside the band
+        report = assert_loss_continuity(
+            baseline, curve, context=target.describe()
+        )
+        worst = max(worst, report.max_delta)
         rows.append(
             {
                 "target": f"{spec[0]}/{spec[1]}/{spec[2]}/{spec[3]}",
@@ -71,10 +76,9 @@ def test_table3_loss_grid(benchmark, tmp_path):
                 "losses": {
                     f"iter_{RESUME_AT + i + 1}": curve[i] for i in sample_idx
                 },
-                "max_delta_vs_baseline": max(deltas),
+                "max_delta_vs_baseline": report.max_delta,
             }
         )
-        assert max(deltas) <= PAPER_LOSS_BAND, spec
 
     record_result(
         "table3_loss_grid",

@@ -38,6 +38,12 @@ from repro.core import (
     resume_training,
     ucp_convert,
 )
+from repro.dist.supervisor import (
+    RecoveryReport,
+    Supervisor,
+    TopologyRejectedError,
+    supervise,
+)
 
 __version__ = "1.0.0"
 
@@ -61,5 +67,9 @@ __all__ = [
     "program_for_config",
     "resume_training",
     "ucp_convert",
+    "RecoveryReport",
+    "Supervisor",
+    "TopologyRejectedError",
+    "supervise",
     "__version__",
 ]

@@ -32,6 +32,13 @@ All findings carry stable rule IDs (``UCP001``... / ``SRC001``...); see
 ``docs/ANALYSIS.md`` for the catalogue.
 """
 
+from repro.analysis.continuity import (
+    PAPER_LOSS_BAND,
+    ContinuityError,
+    ContinuityReport,
+    assert_loss_continuity,
+    check_loss_continuity,
+)
 from repro.analysis.collective_trace import (
     CollectiveTraceRecorder,
     TraceEvent,
@@ -80,10 +87,15 @@ from repro.analysis.sanitizer import (
 from repro.analysis.srclint import lint_source_tree
 
 __all__ = [
+    "PAPER_LOSS_BAND",
     "RULES",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
     "CollectiveTraceRecorder",
+    "ContinuityError",
+    "ContinuityReport",
+    "assert_loss_continuity",
+    "check_loss_continuity",
     "Diagnostic",
     "LayoutLintError",
     "LintReport",

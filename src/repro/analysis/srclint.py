@@ -25,8 +25,12 @@ SRC004    mutable-default-argument     a mutable default (list/dict/set/
 Both statically-safe sinks and the analysis' own limits are deliberate:
 plain ``name = collective(...)`` assignments and slice-stores
 ``buf[a:b] = np.frombuffer(...)`` copy or stay local and are never
-flagged; set-typed *variables* (as opposed to set expressions) are not
-tracked — the lint has no dataflow, only shapes.
+flagged.  SRC003 additionally follows set-typed *variables* within one
+scope: a name whose every binding is a set expression
+(``s = set(xs); ... for k in s:``) fires like the expression would,
+while a name that is ever rebound to anything else — or shadowed by a
+loop target, parameter, or import — is left alone.  No other rule has
+dataflow.
 
 Suppression: append ``# srclint: disable`` (all rules) or
 ``# srclint: disable=SRC002,SRC003`` to the offending physical line.
@@ -212,6 +216,98 @@ def _is_set_expr(node: ast.expr) -> bool:
     return False
 
 
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+"""Nodes that open a new local namespace (plus the module itself)."""
+
+_SET_AUG_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+"""Augmented ops that keep a set a set (``s |= ...`` etc.)."""
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    """Every plain name bound by an assignment/loop target."""
+    return [
+        n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+    ]
+
+
+def _scope_children(scope: ast.AST):
+    """Walk a scope's nodes without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES + (ast.ClassDef,)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _set_typed_names(scope: ast.AST) -> Set[str]:
+    """Names in ``scope`` whose *every* binding is a set expression.
+
+    The one-scope dataflow behind SRC003's variable tracking: a name
+    qualifies when it has at least one ``name = <set expr>`` binding
+    and no binding of any other kind — a rebind to a non-set value, a
+    loop/with/except target, a parameter, an import, or a
+    ``global``/``nonlocal`` declaration all disqualify it, as does a
+    non-set augmented assignment.
+    """
+    set_bound: Set[str] = set()
+    disqualified: Set[str] = set()
+    if isinstance(scope, _SCOPE_NODES):
+        args = scope.args
+        for arg in (
+            args.posonlyargs + args.args + args.kwonlyargs
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            disqualified.add(arg.arg)
+    for node in _scope_children(scope):
+        if isinstance(node, ast.Assign):
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                bucket = (
+                    set_bound if _is_set_expr(node.value) else disqualified
+                )
+                bucket.add(node.targets[0].id)
+            else:
+                for target in node.targets:
+                    disqualified.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                continue
+            if isinstance(node.target, ast.Name):
+                bucket = (
+                    set_bound if _is_set_expr(node.value) else disqualified
+                )
+                bucket.add(node.target.id)
+        elif isinstance(node, ast.NamedExpr):
+            bucket = set_bound if _is_set_expr(node.value) else disqualified
+            bucket.add(node.target.id)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and not isinstance(
+                node.op, _SET_AUG_OPS
+            ):
+                disqualified.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            disqualified.update(_target_names(node.target))
+        elif isinstance(node, ast.comprehension):
+            disqualified.update(_target_names(node.target))
+        elif isinstance(node, ast.withitem):
+            if node.optional_vars is not None:
+                disqualified.update(_target_names(node.optional_vars))
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name is not None:
+                disqualified.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            disqualified.update(node.names)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                disqualified.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, _SCOPE_NODES + (ast.ClassDef,)):
+            name = getattr(node, "name", None)
+            if name is not None:
+                disqualified.add(name)
+    return set_bound - disqualified
+
+
 def _order_safe(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
     """Whether the iteration order is laundered by an enclosing consumer.
 
@@ -236,6 +332,23 @@ class _Checker:
         self.suppress = _suppressions(source)
         self.findings: List[Diagnostic] = []
         self.tree = tree
+        self._set_vars_cache: Dict[ast.AST, Set[str]] = {}
+
+    def _scope_of(self, node: ast.AST) -> ast.AST:
+        """Nearest enclosing function/lambda scope, else the module."""
+        cur = self.parents.get(node)
+        while cur is not None and not isinstance(cur, _SCOPE_NODES):
+            cur = self.parents.get(cur)
+        return cur if cur is not None else self.tree
+
+    def _is_set_typed_var(self, expr: ast.expr, node: ast.AST) -> bool:
+        """Whether ``expr`` names a tracked set-typed local variable."""
+        if not isinstance(expr, ast.Name):
+            return False
+        scope = self._scope_of(node)
+        if scope not in self._set_vars_cache:
+            self._set_vars_cache[scope] = _set_typed_names(scope)
+        return expr.id in self._set_vars_cache[scope]
 
     def _emit(self, diag_factory, rule: str, lineno: int, message: str) -> None:
         rules = self.suppress.get(lineno, "absent")
@@ -296,16 +409,20 @@ class _Checker:
 
     def _check_iteration(self, node) -> None:
         iter_expr = node.iter
-        if not _is_set_expr(iter_expr):
+        if _is_set_expr(iter_expr):
+            what = "a set expression"
+        elif self._is_set_typed_var(iter_expr, node):
+            what = f"set-typed variable {iter_expr.id!r}"
+        else:
             return
         if _order_safe(node if isinstance(node, ast.For) else self.parents.get(node, node), self.parents):
             return
         lineno = getattr(node, "lineno", None) or iter_expr.lineno
         self._emit(
             error, "SRC003", lineno,
-            "iterating a set expression: element order depends on the "
-            "hash seed; wrap in sorted() if the order can reach "
-            "manifests, plans, or files",
+            f"iterating {what}: element order depends on the "
+            f"hash seed; wrap in sorted() if the order can reach "
+            f"manifests, plans, or files",
         )
 
     # SRC004 ----------------------------------------------------------

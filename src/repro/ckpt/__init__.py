@@ -29,7 +29,11 @@ from repro.ckpt.naming import (
     zero3_model_states_name,
 )
 from repro.ckpt.saver import CheckpointInfo, save_distributed_checkpoint
-from repro.ckpt.loader import load_distributed_checkpoint, read_job_config
+from repro.ckpt.loader import (
+    latest_committed_tag,
+    load_distributed_checkpoint,
+    read_job_config,
+)
 from repro.ckpt.consolidated import (
     load_consolidated_checkpoint,
     save_consolidated_checkpoint,
@@ -60,6 +64,7 @@ __all__ = [
     "zero3_model_states_name",
     "CheckpointInfo",
     "save_distributed_checkpoint",
+    "latest_committed_tag",
     "load_distributed_checkpoint",
     "read_job_config",
     "save_consolidated_checkpoint",

@@ -45,6 +45,32 @@ def resolve_tag(store: ObjectStore, tag: Optional[str]) -> str:
         ) from None
 
 
+def latest_committed_tag(directory: str) -> str:
+    """The newest tag whose commit manifest is intact.
+
+    The ``latest`` pointer is written *after* the manifest, so a crash
+    between the two leaves a fully committed tag the pointer does not
+    name yet; conversely a crash before the manifest leaves a newer
+    directory that never committed.  Elastic recovery must trust
+    neither the pointer nor directory mtimes: it scans every tag and
+    picks the highest step whose manifest parses — torn or partial
+    saves are skipped, committed-but-unpointed saves are found.
+
+    Raises:
+        CheckpointNotFoundError: no committed tag exists at all.
+    """
+    from repro.ckpt.retention import list_tags
+
+    store = ObjectStore(directory)
+    for tag in reversed(list_tags(directory)):
+        if manifest_mod.read_manifest(store, tag) is not None:
+            return tag
+    raise CheckpointNotFoundError(
+        f"no committed checkpoint tag under {directory}: every tag is "
+        f"missing its commit manifest"
+    )
+
+
 def read_job_config(directory: str, tag: Optional[str] = None) -> Dict:
     """Read a checkpoint's job config (model/parallel configs, seeds).
 

@@ -13,10 +13,12 @@ Mirrors the operational surface DeepSpeed ships for UCP (the
         [--provenance]
     python -m repro lint-trace <trace.npt | ckpt_dir> [--tag T]
     python -m repro lint-src  [root] [--baseline F] [--write-baseline]
+    python -m repro supervise --model M --topology tp2.pp2.dp2.sp1.zero1 \
+        --workdir D [--kill STEP:PHASE:RANKS ...] [--format text|json]
 
 Every command prints human-readable text and returns a process exit
 code (0 success, 1 failure), so it scripts cleanly; the lint verbs
-also offer ``--format json`` for CI gates.
+and ``supervise`` also offer ``--format json`` for CI gates.
 """
 
 from __future__ import annotations
@@ -267,6 +269,69 @@ def cmd_lint_src(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_supervise(args: argparse.Namespace) -> int:
+    """Run a supervised training job across injected rank failures."""
+    from repro.dist.supervisor import supervise
+    from repro.storage.faults import KillSchedule
+
+    model_cfg = get_config(args.model)
+    parallel_cfg = ParallelConfig.from_describe(args.topology)
+    if args.kill and args.kill_seed is not None:
+        print(
+            "error: --kill and --kill-seed are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 1
+    if args.kill:
+        schedule = KillSchedule.from_specs(args.kill)
+        for event in schedule.events:
+            if event.phase.startswith("save") and (
+                event.step % args.save_every != 0 or event.step > args.steps
+            ):
+                print(
+                    f"warning: kill {event.describe()} is armed on a "
+                    f"non-save step (saves fire every {args.save_every} "
+                    f"steps) and will never trigger",
+                    file=sys.stderr,
+                )
+    elif args.kill_seed is not None:
+        schedule = KillSchedule.random(
+            args.kill_seed,
+            world_size=parallel_cfg.world_size,
+            horizon=args.steps,
+            save_every=args.save_every,
+            failures=args.failures,
+        )
+    else:
+        schedule = KillSchedule()
+
+    report = supervise(
+        model_cfg,
+        parallel_cfg,
+        args.workdir,
+        golden=not args.no_golden,
+        horizon=args.steps,
+        save_every=args.save_every,
+        schedule=schedule,
+        seed=args.seed,
+        global_batch_size=args.batch,
+        seq_len=args.seq_len,
+    )
+    if args.report is not None:
+        with open(args.report, "w") as fh:
+            fh.write(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    ok = not report.lost_committed_tags and all(
+        e.integrity_ok for e in report.events
+    )
+    if report.continuity is not None:
+        ok = ok and report.continuity.ok
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -416,6 +481,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the current findings as a baseline JSON and exit 0",
     )
     p.set_defaults(func=cmd_lint_src)
+
+    p = sub.add_parser(
+        "supervise",
+        help="run a supervised training job: inject rank kills, reshard "
+             "onto survivors, resume, and report MTTR/goodput",
+    )
+    p.add_argument("--model", required=True, help="model name (see models)")
+    p.add_argument(
+        "--topology", required=True,
+        help="initial strategy, e.g. tp2.pp2.dp2.sp1.zero1",
+    )
+    p.add_argument("--workdir", required=True, help="checkpoint/work dir")
+    p.add_argument("--steps", type=int, default=16, help="step horizon")
+    p.add_argument(
+        "--save-every", type=int, default=4, help="checkpoint cadence"
+    )
+    p.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="STEP:PHASE:RANKS",
+        help="inject a kill (phases: step, save-pre, save-post, convert; "
+             "ranks comma-separated); repeatable",
+    )
+    p.add_argument(
+        "--kill-seed", type=int, default=None,
+        help="derive a deterministic random kill schedule from this seed",
+    )
+    p.add_argument(
+        "--failures", type=int, default=1,
+        help="failure count for --kill-seed schedules",
+    )
+    p.add_argument("--seed", type=int, default=7, help="training seed")
+    p.add_argument("--batch", type=int, default=8, help="global batch size")
+    p.add_argument("--seq-len", type=int, default=16, help="sequence length")
+    p.add_argument(
+        "--no-golden",
+        action="store_true",
+        help="skip the uninterrupted golden run (no continuity verdict)",
+    )
+    p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the JSON report to a file (CI artifact)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output rendering (json is stable for CI gates)",
+    )
+    p.set_defaults(func=cmd_supervise)
     return parser
 
 

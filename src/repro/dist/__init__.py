@@ -18,7 +18,15 @@ from repro.dist.collectives import (
     broadcast,
     reduce_scatter,
 )
-from repro.dist.cluster import Cluster
+from repro.dist.cluster import Cluster, RankFailure
+from repro.dist.supervisor import (
+    RecoveryEvent,
+    RecoveryReport,
+    StageTimings,
+    Supervisor,
+    TopologyRejectedError,
+    supervise,
+)
 
 __all__ = [
     "AxisName",
@@ -33,4 +41,11 @@ __all__ = [
     "broadcast",
     "reduce_scatter",
     "Cluster",
+    "RankFailure",
+    "RecoveryEvent",
+    "RecoveryReport",
+    "StageTimings",
+    "Supervisor",
+    "TopologyRejectedError",
+    "supervise",
 ]

@@ -137,6 +137,24 @@ class TrainingEngine:
         group = self.cluster.group_for("dp", rank)
         self.cluster.trace.record(op, group.name, group.ranks, numel)
 
+    def _sanitize_dp_boundary(self, op: str, coord, arrays) -> None:
+        """Run the analytically-modelled DP collective's per-rank result
+        buffers through the memory sanitizer (UCP025).
+
+        The engine never routes DP traffic through ProcessGroup, so its
+        gradient/parameter sync would otherwise be invisible to the
+        sanitizer: each dp rank's persistent partition arrays stand in
+        for the buffers the collective would land in.
+        """
+        from repro.dist.collectives import sanitize_boundary
+
+        pp_stage, sp_rank, tp_rank = coord
+        rank = self.cluster.topology.rank(
+            RankCoord(tp=tp_rank, pp=pp_stage, dp=0, sp=sp_rank)
+        )
+        group = self.cluster.group_for("dp", rank)
+        sanitize_boundary(op, [], arrays, group=(group.name, group.ranks))
+
     def sync_model_from_masters(self) -> None:
         """Refresh model working weights from the fp32 masters (the
         paper's rebroadcast into ``fp16_partitioned_groups_flat``)."""
@@ -196,6 +214,14 @@ class TrainingEngine:
                     "all_reduce", dp, 2 * (dp - 1) * numel * 4 // dp
                 )
                 self._trace_dp_collective("all_reduce", coord, numel)
+                self._sanitize_dp_boundary(
+                    "all_reduce",
+                    coord,
+                    [
+                        self.zero.partitions[coord][d].state.exp_avg
+                        for d in range(dp)
+                    ],
+                )
 
         grad_norm = clip_grad_norm(list(grads.values()), self.grad_clip)
         self.zero.apply_grads(grads, lr)
@@ -206,6 +232,11 @@ class TrainingEngine:
                 numel = self.layout.rank_layout(*coord).flat_numel
                 self.cluster.tracker.record("all_gather", dp, numel * 4)
                 self._trace_dp_collective("all_gather", coord, numel)
+                self._sanitize_dp_boundary(
+                    "all_gather",
+                    coord,
+                    [self.zero.partitions[coord][d].fp32 for d in range(dp)],
+                )
 
         self.sync_model_from_masters()
         if self.loss_scaler is not None:

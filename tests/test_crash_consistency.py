@@ -13,15 +13,22 @@ import shutil
 import numpy as np
 import pytest
 
-from repro.ckpt.errors import CheckpointError
-from repro.ckpt.loader import load_distributed_checkpoint
+from repro.ckpt.errors import CheckpointError, CheckpointNotFoundError
+from repro.ckpt.loader import latest_committed_tag, load_distributed_checkpoint
+from repro.ckpt.naming import LATEST_FILE, MANIFEST_FILE
 from repro.ckpt.saver import save_distributed_checkpoint
 from repro.core.convert import ucp_convert
 from repro.core.inspect import verify_directory
 from repro.dist.topology import ParallelConfig
 from repro.models import get_config
 from repro.parallel.engine import TrainingEngine
-from repro.storage.faults import CrashAtWrite, FaultPolicy, InjectedCrash
+from repro.storage.faults import (
+    CrashAtWrite,
+    FaultPolicy,
+    InjectedCrash,
+    RankKillAtWrite,
+    RankKilled,
+)
 from repro.storage.store import ObjectStore
 
 PARALLEL = ParallelConfig(tp=2, dp=2, zero_stage=1)
@@ -214,3 +221,75 @@ class TestConversionCrashMatrix:
         assert report.num_reused == 0
         # fully rewritten: every object matches the clean conversion
         assert dir_digests(work) == ref_digests
+
+
+class TestLatestCommittedSelection:
+    """``latest_committed_tag`` under partial and torn final saves.
+
+    The elastic supervisor resumes from this function's answer, so it
+    must always name the newest tag whose commit manifest is intact —
+    never a torn save, and *newer* than the ``latest`` pointer when a
+    crash struck between the manifest commit and the pointer update.
+    """
+
+    def _trained(self, steps: int = 2) -> TrainingEngine:
+        engine = tiny_engine()
+        engine.train(steps)
+        return engine
+
+    @pytest.mark.parametrize("torn", [False, True])
+    def test_pre_commit_kill_keeps_previous_tag(self, tmp_path, torn):
+        engine = self._trained(2)
+        save_distributed_checkpoint(engine, str(tmp_path))
+        engine.train(2)
+        store = ObjectStore(
+            str(tmp_path),
+            faults=RankKillAtWrite(ranks=(1,), match=MANIFEST_FILE, torn=torn),
+        )
+        with pytest.raises(RankKilled):
+            save_distributed_checkpoint(engine, str(tmp_path), store=store)
+        # the torn/partial global_step4 never committed
+        assert latest_committed_tag(str(tmp_path)) == "global_step2"
+        # and the plain loader agrees via the untouched pointer
+        probe = tiny_engine(seed=0)
+        assert load_distributed_checkpoint(probe, str(tmp_path)) == "global_step2"
+        assert verify_directory(str(tmp_path)).ok
+
+    def test_post_commit_kill_advances_past_stale_pointer(self, tmp_path):
+        engine = self._trained(2)
+        save_distributed_checkpoint(engine, str(tmp_path))
+        engine.train(2)
+        store = ObjectStore(
+            str(tmp_path),
+            faults=RankKillAtWrite(ranks=(1,), match=LATEST_FILE),
+        )
+        with pytest.raises(RankKilled):
+            save_distributed_checkpoint(engine, str(tmp_path), store=store)
+        # manifest committed before the pointer died: the new tag is
+        # durable even though `latest` still names its predecessor
+        assert latest_committed_tag(str(tmp_path)) == "global_step4"
+        probe = tiny_engine(seed=0)
+        assert load_distributed_checkpoint(probe, str(tmp_path)) == "global_step2"
+        assert verify_directory(str(tmp_path)).ok
+
+    def test_committed_saves_pick_newest(self, tmp_path):
+        engine = self._trained(2)
+        save_distributed_checkpoint(engine, str(tmp_path))
+        assert latest_committed_tag(str(tmp_path)) == "global_step2"
+        engine.train(2)
+        save_distributed_checkpoint(engine, str(tmp_path))
+        assert latest_committed_tag(str(tmp_path)) == "global_step4"
+
+    def test_no_committed_tag_raises_typed_error(self, tmp_path):
+        with pytest.raises(CheckpointNotFoundError):
+            latest_committed_tag(str(tmp_path))
+        # a save killed before its manifest leaves only a torn tag
+        engine = self._trained(2)
+        store = ObjectStore(
+            str(tmp_path),
+            faults=RankKillAtWrite(ranks=(0,), match=MANIFEST_FILE, torn=True),
+        )
+        with pytest.raises(RankKilled):
+            save_distributed_checkpoint(engine, str(tmp_path), store=store)
+        with pytest.raises(CheckpointNotFoundError):
+            latest_committed_tag(str(tmp_path))

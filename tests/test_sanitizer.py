@@ -374,3 +374,59 @@ class TestActivation:
         san.on_collective("broadcast", "tp", [0, 1], [], [shared, shared])
         text = san.report.render_text()
         assert "UCP025" in text and "cross-rank-writable-aliasing" in text
+
+
+class TestEngineDPGradientSync:
+    """The engine's DP gradient-sync path crosses ``sanitize_boundary``.
+
+    ZeRO's per-dp-rank partition arrays are the per-rank results of the
+    modeled gradient all-reduce / parameter all-gather; two dp ranks
+    sharing one writable buffer is the missing-copy bug UCP025 exists
+    for — and must now be caught *inside* ``train_step``.
+    """
+
+    def _dp_engine(self):
+        from repro.dist.topology import ParallelConfig
+
+        return make_engine(
+            parallel=ParallelConfig(tp=1, pp=1, dp=2, zero_stage=1)
+        )
+
+    def test_clean_dp_step_passes_strict(self):
+        engine = self._dp_engine()
+        with sanitize(strict=True) as san:
+            engine.train_step()
+        # both collectives were checked for every model-parallel rank
+        assert san.checks >= 2
+
+    def test_aliased_optimizer_partitions_are_ucp025(self):
+        engine = self._dp_engine()
+        coord = next(iter(engine.zero.partitions))
+        parts = engine.zero.partitions[coord]
+        # dp rank 1 "receives" dp rank 0's buffer: the missing copy
+        parts[1].state.exp_avg = parts[0].state.exp_avg
+        with sanitize(strict=False) as san:
+            engine.train_step()
+        found = san.report.by_rule("UCP025")
+        assert found
+        assert any("all_reduce" in d.message for d in found)
+
+    def test_aliased_fp32_partitions_fail_strict_at_all_gather(self):
+        engine = self._dp_engine()
+        coord = next(iter(engine.zero.partitions))
+        parts = engine.zero.partitions[coord]
+        parts[1].fp32 = parts[0].fp32
+        with pytest.raises(SanitizerError) as err:
+            with sanitize(strict=True):
+                engine.train_step()
+        diags = err.value.report.by_rule("UCP025")
+        assert diags
+        assert any("all_gather" in d.message for d in diags)
+
+    def test_no_active_sanitizer_keeps_step_running(self, monkeypatch):
+        monkeypatch.setattr(sanitizer_module, "_STACK", [])
+        engine = self._dp_engine()
+        coord = next(iter(engine.zero.partitions))
+        parts = engine.zero.partitions[coord]
+        parts[1].state.exp_avg = parts[0].state.exp_avg
+        engine.train_step()  # hook is a no-op without a sanitizer

@@ -104,6 +104,52 @@ class TestSRC003UnorderedSetIteration:
         assert lint_snippet(tmp_path, snippet) == []
 
 
+class TestSRC003SetTypedVariables:
+    """SRC003 follows set-typed *variables* into later iterations —
+    the laundering gap: ``s = set(xs)`` then ``for k in s``."""
+
+    @pytest.mark.parametrize("snippet", [
+        "def f(xs):\n    s = set(xs)\n    for k in s:\n        emit(k)\n",
+        "def f(xs):\n    s = set(xs)\n    return [k for k in s]\n",
+        "def f(a, b):\n    s = set(a) | set(b)\n    for k in s:\n        emit(k)\n",
+        "def f(xs):\n    s = {x for x in xs}\n    for k in s:\n        emit(k)\n",
+        "def f(a, b):\n    s = set(a)\n    s |= set(b)\n    for k in s:\n        emit(k)\n",
+        "s = set(xs)\nfor k in s:\n    emit(k)\n",
+    ], ids=["var", "var-comp", "union-var", "setcomp-var", "augassign",
+            "module-scope"])
+    def test_set_typed_variable_iteration_fires(self, tmp_path, snippet):
+        assert rules(lint_snippet(tmp_path, snippet)) == ["SRC003"]
+
+    @pytest.mark.parametrize("snippet", [
+        # order-insensitive consumption of a set variable
+        "def f(xs):\n    s = set(xs)\n    for k in sorted(s):\n        emit(k)\n",
+        "def f(xs):\n    s = set(xs)\n    return len(s)\n",
+        "def f(xs, y):\n    s = set(xs)\n    return y in s\n",
+        # rebound to an ordered type before the loop
+        "def f(xs):\n    s = set(xs)\n    s = sorted(s)\n    for k in s:\n"
+        "        emit(k)\n",
+        # a bare parameter is not known to be a set
+        "def f(s):\n    for k in s:\n        emit(k)\n",
+        # loop targets shadow outer set variables within their scope
+        "def f(xs, rows):\n    s = set(xs)\n    del s\n"
+        "    for s in rows:\n        for k in s:\n            emit(k)\n",
+        # a nested function's set doesn't taint the outer name
+        "def f(xs):\n    def g():\n        s = set(xs)\n        return len(s)\n"
+        "    s = list(xs)\n    for k in s:\n        emit(k)\n",
+    ], ids=["sorted-var", "len-var", "membership", "rebound", "param",
+            "loop-shadow", "nested-scope"])
+    def test_safe_variable_shapes_pass(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet) == []
+
+    def test_suppression_applies_to_variable_iteration(self, tmp_path):
+        src = (
+            "s = set(xs)\n"
+            "for k in s:  # srclint: disable=SRC003\n"
+            "    emit(k)\n"
+        )
+        assert lint_snippet(tmp_path, src) == []
+
+
 class TestSRC004MutableDefaultArgument:
     @pytest.mark.parametrize("snippet", [
         "def f(x, acc=[]):\n    pass\n",
