@@ -28,6 +28,17 @@ Two enforcement layers guard the *memory* side of the same contracts:
   itself that flags the code patterns *causing* those violations
   (``repro lint-src``).
 
+And two for the *concurrency* side (the threaded IO layer):
+
+- :mod:`~repro.analysis.locks` — the guarded-by/lock-discipline lint
+  (SRC005-SRC008), run as part of ``repro lint-src``.
+- :mod:`~repro.analysis.lockwitness` — instrumented lock wrappers
+  recording per-thread acquisition stacks and a global lock-order
+  graph (UCP029-UCP031); activate with
+  :func:`~repro.analysis.lockwitness.lockcheck`, ``REPRO_LOCKCHECK=1``,
+  or ``REPRO_SANITIZE=1``.  ``repro lint-trace --locks`` replays a
+  recorded witness payload offline.
+
 All findings carry stable rule IDs (``UCP001``... / ``SRC001``...); see
 ``docs/ANALYSIS.md`` for the catalogue.
 """
@@ -78,13 +89,24 @@ from repro.analysis.provenance import (
     check_source_provenance,
     check_target_provenance,
 )
+from repro.analysis.lockwitness import (
+    LockWitness,
+    LockWitnessError,
+    WitnessedLock,
+    check_lock_trace,
+    lockcheck,
+    make_lock,
+)
 from repro.analysis.sanitizer import (
     MemorySanitizer,
     SanitizerError,
     check_engine_isolation,
+    model_param_arrays,
     sanitize,
+    zero_state_arrays,
 )
-from repro.analysis.srclint import lint_source_tree
+from repro.analysis.srclint import lint_source_tree, stale_baseline_entries
+from repro.analysis.locks import lint_locks
 
 __all__ = [
     "PAPER_LOSS_BAND",
@@ -99,10 +121,13 @@ __all__ = [
     "Diagnostic",
     "LayoutLintError",
     "LintReport",
+    "LockWitness",
+    "LockWitnessError",
     "MemorySanitizer",
     "ProvenanceAnalysis",
     "SanitizerError",
     "TraceEvent",
+    "WitnessedLock",
     "analyze_interchange",
     "analyze_source",
     "analyze_ucp_source",
@@ -110,6 +135,7 @@ __all__ = [
     "check_collective_ordering",
     "check_engine_isolation",
     "check_happens_before",
+    "check_lock_trace",
     "check_plan_provenance",
     "check_source_provenance",
     "check_target_provenance",
@@ -119,11 +145,17 @@ __all__ = [
     "error",
     "expected_tag_basenames",
     "lint_checkpoint",
+    "lint_locks",
     "lint_plan",
     "lint_source_tree",
+    "lockcheck",
+    "make_lock",
+    "model_param_arrays",
     "numel_class",
     "preflight_convert",
     "sanitize",
     "simulate_happens_before",
+    "stale_baseline_entries",
     "warning",
+    "zero_state_arrays",
 ]

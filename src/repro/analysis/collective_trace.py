@@ -466,13 +466,25 @@ def simulate_happens_before(
     )
 
 
-def _clock_lte(a: Dict[int, int], b: Dict[int, int]) -> bool:
-    """Vector-clock partial order: ``a`` happened-before-or-equal ``b``."""
+def clock_lte(a: Dict, b: Dict) -> bool:
+    """Vector-clock partial order: ``a`` happened-before-or-equal ``b``.
+
+    Keys are event-source identities — simulated ranks here, thread
+    names in :mod:`repro.analysis.lockwitness`'s thread-level replay,
+    which reuses this exact partial order.
+    """
     return all(count <= b.get(r, 0) for r, count in a.items())
 
 
-def _find_cycle(graph: Dict[int, List[int]]) -> Optional[List[int]]:
-    """One directed cycle in the wait-for graph, or None."""
+_clock_lte = clock_lte
+
+
+def find_cycle(graph: Dict) -> Optional[List]:
+    """One directed cycle in a wait-for/order graph, or None.
+
+    Nodes may be any sortable hashable (ranks here, lock names in the
+    lock witness); traversal order is deterministic (sorted roots).
+    """
     WHITE, GRAY, BLACK = 0, 1, 2
     color = {r: WHITE for r in graph}
     for start in sorted(graph):
@@ -500,6 +512,9 @@ def _find_cycle(graph: Dict[int, List[int]]) -> Optional[List[int]]:
                 color[node] = BLACK
                 path.pop()
     return None
+
+
+_find_cycle = find_cycle
 
 
 def check_happens_before(recorder: CollectiveTraceRecorder) -> LintReport:

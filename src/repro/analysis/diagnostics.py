@@ -51,10 +51,17 @@ RULES: Dict[str, str] = {
     "UCP026": "snapshot-aliases-live-state",
     "UCP027": "cache-return-mutation",
     "UCP028": "loaded-param-aliases-cache",
+    "UCP029": "lock-order-cycle",
+    "UCP030": "unguarded-state-access",
+    "UCP031": "lock-held-across-blocking-io",
     "SRC001": "collective-result-no-copy",
     "SRC002": "frombuffer-escape",
     "SRC003": "unordered-set-iteration",
     "SRC004": "mutable-default-argument",
+    "SRC005": "guarded-attr-outside-lock",
+    "SRC006": "inconsistent-lock-order",
+    "SRC007": "blocking-call-under-lock",
+    "SRC008": "guarded-container-escape",
 }
 """Stable rule ID -> short kebab-case name.  Append-only.
 

@@ -1,0 +1,429 @@
+"""Guarded-by / lock-discipline AST lint (SRC005-SRC008).
+
+The static half of the concurrency checker (the runtime half is
+:mod:`repro.analysis.lockwitness`).  A lightweight annotation convention
+makes lock discipline checkable from the source text alone:
+
+* ``self._blocks = {}  # guarded-by: self._lock`` — declares a class
+  attribute as shared mutable state protected by a lock expression.
+* ``def _put_locked(self, ...):  # holds: self._lock`` — declares that
+  every caller of this function already holds the lock (the
+  ``*_locked`` helper convention).  Multiple guards comma-separate.
+
+========  ==========================  =======================================
+rule      name                        pattern
+========  ==========================  =======================================
+SRC005    guarded-attr-outside-lock   a ``self.X`` read/write of a declared
+                                      guarded attribute outside a
+                                      ``with <guard>:`` block, in a function
+                                      not marked ``# holds: <guard>``
+SRC006    inconsistent-lock-order     lexically nested ``with``-lock
+                                      acquisitions form a cycle across the
+                                      file's functions (static ABBA)
+SRC007    blocking-call-under-lock    a blocking call (disk read,
+                                      ``Future.result``, a collective) while
+                                      a lock is lexically held
+SRC008    guarded-container-escape    ``return``/``yield`` of a guarded
+                                      container (or an alias-returning
+                                      method/subscript of one) without a
+                                      copying wrapper — the reference
+                                      outlives the critical section
+========  ==========================  =======================================
+
+Scope and limits (deliberate): guards are matched by *normalized
+expression text* (``with self._lock:`` matches the declaration
+``guarded-by: self._lock``), so aliasing a lock through another name
+defeats the check; lock identities are scoped per enclosing class, so
+cross-object call chains (reader lock -> cache lock through a method
+call) are the runtime witness's job, not this lint's.  Nested functions
+reset the held set — a closure may run after the ``with`` exits.
+
+Suppression shares :mod:`repro.analysis.srclint`'s mechanism:
+``# srclint: disable=SRC007`` on the offending physical line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, error
+from repro.analysis.srclint import COLLECTIVE_NAMES, _suppressions
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([^#\n]+)")
+_HOLDS_RE = re.compile(r"#\s*holds:\s*([^#\n]+)")
+
+BLOCKING_CALL_NAMES = frozenset({
+    # concurrency waits
+    "result", "wait", "sleep", "barrier", "acquire",
+    # object-store / checkpoint IO
+    "read_range", "read_ranges", "put_bytes", "write_bytes",
+    "save", "save_with_digest", "save_distributed_checkpoint", "persist",
+}) | frozenset(COLLECTIVE_NAMES)
+"""Terminal call names treated as blocking for SRC007."""
+
+_ALIAS_RETURNING_METHODS = frozenset({
+    "get", "setdefault", "values", "keys", "items", "pop", "popitem",
+})
+"""Container methods whose result aliases the container's contents."""
+
+_FN_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _norm(text: str) -> str:
+    """Whitespace-free form of an expression for textual guard matching."""
+    return "".join(text.split())
+
+
+def _terminal_name(expr: ast.expr) -> str:
+    """Rightmost identifier of an expression: ``_lock`` for ``self._lock``."""
+    node = expr
+    while True:
+        if isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Attribute):
+            return node.attr
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return ""
+
+
+def _is_self_attr(node: ast.expr) -> Optional[str]:
+    """The attribute name when ``node`` is exactly ``self.X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _LockChecker:
+    def __init__(self, rel: str, source: str, tree: ast.AST) -> None:
+        self.rel = rel
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.suppress = _suppressions(source)
+        self.findings: List[Diagnostic] = []
+        # every line carrying a guarded-by declaration is exempt from
+        # SRC005 (it *is* the declaration)
+        self.decl_lines: Set[int] = {
+            i for i, line in enumerate(self.lines, start=1)
+            if _GUARDED_BY_RE.search(line)
+        }
+        # all guard expressions declared anywhere in the file: these are
+        # treated as locks for the ordering graph even when not named
+        # like one (e.g. ``self._mu``)
+        self.guard_exprs: Set[str] = set()
+        # (lock_id_a, lock_id_b) -> (lineno, function name), first wins
+        self.edges: Dict[Tuple[str, str], Tuple[int, str]] = {}
+        # holds-annotated methods of the class currently being checked
+        self._holds_methods: Dict[str, Set[str]] = {}
+
+    # --- shared plumbing ---------------------------------------------
+
+    def _emit(self, rule: str, lineno: int, message: str) -> None:
+        rules = self.suppress.get(lineno, "absent")
+        if rules is None or (rules != "absent" and rule in rules):
+            return
+        self.findings.append(
+            error(rule, message, location=f"{self.rel}:{lineno}")
+        )
+
+    def _annotation(
+        self, regex: re.Pattern, start: int, stop: int
+    ) -> Optional[str]:
+        """First annotation match in source lines ``[start, stop]``."""
+        for lineno in range(start, stop + 1):
+            if lineno - 1 >= len(self.lines):
+                break
+            m = regex.search(self.lines[lineno - 1])
+            if m is not None:
+                return m.group(1)
+        return None
+
+    def _holds(self, fn) -> Set[str]:
+        """Guards a function's ``# holds:`` annotation declares held."""
+        stop = fn.body[0].lineno - 1 if fn.body else fn.lineno
+        text = self._annotation(_HOLDS_RE, fn.lineno, max(stop, fn.lineno))
+        if text is None:
+            return set()
+        return {_norm(g) for g in text.split(",") if g.strip()}
+
+    # --- guard collection --------------------------------------------
+
+    def _class_guards(self, cls: ast.ClassDef) -> Dict[str, str]:
+        """``attr -> guard expression`` from guarded-by declarations."""
+        guards: Dict[str, str] = {}
+        for node in ast.walk(cls):
+            if isinstance(node, ast.ClassDef) and node is not cls:
+                continue  # nested classes collect their own guards
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            text = self._annotation(
+                _GUARDED_BY_RE, node.lineno,
+                getattr(node, "end_lineno", node.lineno),
+            )
+            if text is None:
+                continue
+            guard = _norm(text)
+            self.guard_exprs.add(guard)
+            for target in targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    guards[attr] = guard
+        return guards
+
+    def _class_holds_methods(self, cls: ast.ClassDef) -> Dict[str, Set[str]]:
+        """``method name -> guards`` for the class's ``# holds:`` helpers.
+
+        The ``*_locked`` convention cuts both ways: the annotation
+        excuses the helper's body from SRC005, so calling the helper
+        *without* the lock must itself be an SRC005 — otherwise the
+        annotation would be a hole, not a contract.
+        """
+        return {
+            stmt.name: holds
+            for stmt in cls.body
+            if isinstance(stmt, _FN_NODES) and (holds := self._holds(stmt))
+        }
+
+    # --- SRC005 / SRC008: guarded-attribute discipline ---------------
+
+    def _check_class(self, cls: ast.ClassDef) -> None:
+        guards = self._class_guards(cls)
+        holds_methods = self._class_holds_methods(cls)
+        if not guards and not holds_methods:
+            return
+        self._holds_methods = holds_methods
+        for stmt in cls.body:
+            if isinstance(stmt, _FN_NODES):
+                self._visit_guarded(stmt, guards, self._holds(stmt))
+
+    def _visit_guarded(
+        self, fn, guards: Dict[str, str], held: Set[str]
+    ) -> None:
+        for stmt in fn.body:
+            self._visit_node(stmt, guards, held)
+
+    def _visit_node(
+        self, node: ast.AST, guards: Dict[str, str], held: Set[str]
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in node.items:
+                self._visit_node(item.context_expr, guards, held)
+                inner.add(_norm(ast.unparse(item.context_expr)))
+            for stmt in node.body:
+                self._visit_node(stmt, guards, inner)
+            return
+        if isinstance(node, _FN_NODES):
+            # a nested function may run after the with-block exits, so
+            # lexically held locks do not carry into its body
+            self._visit_guarded(node, guards, self._holds(node))
+            return
+        if isinstance(node, ast.Lambda):
+            self._visit_node(node.body, guards, set())
+            return
+        if isinstance(node, ast.ClassDef):
+            return  # checked via its own _check_class pass
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            attr = self._escaping_attr(node.value, guards)
+            if attr is not None:
+                verb = "returned" if isinstance(node, ast.Return) else "yielded"
+                self._emit(
+                    "SRC008", node.lineno,
+                    f"guarded container self.{attr} (guarded-by "
+                    f"{guards[attr]}) {verb} without a copy: the "
+                    f"reference outlives the critical section, so the "
+                    f"caller reads it with no lock held",
+                )
+        if isinstance(node, ast.Call):
+            method = _is_self_attr(node.func)
+            if method is not None:
+                for guard in sorted(
+                    self._holds_methods.get(method, set()) - held
+                ):
+                    self._emit(
+                        "SRC005", node.lineno,
+                        f"call to self.{method}() requires holding "
+                        f"{guard} (its `# holds:` contract) but the "
+                        f"call site does not hold it",
+                    )
+        attr = _is_self_attr(node)
+        if attr is not None:
+            guard = guards.get(attr)
+            if (
+                guard is not None
+                and guard not in held
+                and node.lineno not in self.decl_lines
+            ):
+                self._emit(
+                    "SRC005", node.lineno,
+                    f"attribute self.{attr} is declared guarded-by "
+                    f"{guard} but accessed without it; wrap the access "
+                    f"in `with {guard}:` or mark the enclosing "
+                    f"function `# holds: {guard}`",
+                )
+        for child in ast.iter_child_nodes(node):
+            self._visit_node(child, guards, held)
+
+    def _escaping_attr(
+        self, expr: Optional[ast.expr], guards: Dict[str, str]
+    ) -> Optional[str]:
+        """Guarded attribute escaping through a returned/yielded expression."""
+        if expr is None:
+            return None
+        attr = _is_self_attr(expr)
+        if attr is not None and attr in guards:
+            return attr
+        if isinstance(expr, ast.Subscript):
+            attr = _is_self_attr(expr.value)
+            if attr is not None and attr in guards:
+                return attr
+        if isinstance(expr, ast.Call) and isinstance(
+            expr.func, ast.Attribute
+        ):
+            attr = _is_self_attr(expr.func.value)
+            if (
+                attr is not None
+                and attr in guards
+                and expr.func.attr in _ALIAS_RETURNING_METHODS
+            ):
+                return attr
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            for element in expr.elts:
+                attr = self._escaping_attr(element, guards)
+                if attr is not None:
+                    return attr
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            return self._escaping_attr(expr.value, guards)
+        return None
+
+    # --- SRC006 / SRC007: lock ordering and blocking calls -----------
+
+    def _is_lock_expr(self, expr: ast.expr, norm: str) -> bool:
+        if norm in self.guard_exprs:
+            return True
+        return "lock" in _terminal_name(expr).lower()
+
+    def _order_visit(
+        self,
+        node: ast.AST,
+        clsname: str,
+        fnname: str,
+        held: List[Tuple[str, str]],
+    ) -> None:
+        """Track lexically held locks: ``held`` is ``[(lock_id, display)]``."""
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                self._order_visit(child, node.name, fnname, [])
+            return
+        if isinstance(node, _FN_NODES):
+            inherited = [
+                (f"{clsname}::{g}", g) for g in sorted(self._holds(node))
+            ]
+            for child in node.body:
+                self._order_visit(child, clsname, node.name, inherited)
+            return
+        if isinstance(node, ast.Lambda):
+            self._order_visit(node.body, clsname, fnname, [])
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in node.items:
+                norm = _norm(ast.unparse(item.context_expr))
+                if not self._is_lock_expr(item.context_expr, norm):
+                    continue
+                lock_id = f"{clsname}::{norm}"
+                for prev_id, _ in inner:
+                    if prev_id != lock_id:
+                        self.edges.setdefault(
+                            (prev_id, lock_id), (item.context_expr.lineno, fnname)
+                        )
+                inner.append((lock_id, norm))
+            for stmt in node.body:
+                self._order_visit(stmt, clsname, fnname, inner)
+            return
+        if isinstance(node, ast.Call) and held:
+            name = _terminal_name(node.func)
+            if name in BLOCKING_CALL_NAMES:
+                held_names = ", ".join(display for _, display in held)
+                self._emit(
+                    "SRC007", node.lineno,
+                    f"blocking call {name}() while holding {held_names}: "
+                    f"every thread contending for the lock stalls behind "
+                    f"this IO/wait; move the call outside the critical "
+                    f"section or mark the lock blocking_ok with a "
+                    f"rationale",
+                )
+        for child in ast.iter_child_nodes(node):
+            self._order_visit(child, clsname, fnname, held)
+
+    def _report_cycles(self) -> None:
+        from repro.analysis.collective_trace import find_cycle
+
+        edges = dict(self.edges)
+        reported: Set[frozenset] = set()
+        for _ in range(16):  # bound independent-cycle extraction
+            graph: Dict[str, List[str]] = {}
+            for a, b in sorted(edges):
+                graph.setdefault(a, []).append(b)
+                graph.setdefault(b, [])
+            cycle = find_cycle(graph)
+            if cycle is None:
+                return
+            key = frozenset(cycle)
+            hops = []
+            first_lineno = None
+            for i, a in enumerate(cycle):
+                b = cycle[(i + 1) % len(cycle)]
+                lineno, fn = edges.pop((a, b), (0, "?"))
+                if first_lineno is None:
+                    first_lineno = lineno
+                hops.append(
+                    f"{b.split('::', 1)[-1]} acquired under "
+                    f"{a.split('::', 1)[-1]} in {fn}() "
+                    f"({self.rel}:{lineno})"
+                )
+            if key in reported:
+                continue
+            reported.add(key)
+            names = " -> ".join(
+                c.split("::", 1)[-1] for c in cycle + [cycle[0]]
+            )
+            self._emit(
+                "SRC006", first_lineno or 1,
+                f"inconsistent lock order {names}: " + "; ".join(hops)
+                + " — two threads taking these paths concurrently can "
+                f"deadlock",
+            )
+
+    # --- entry -------------------------------------------------------
+
+    def run(self) -> List[Diagnostic]:
+        # collect every class's guards first so _is_lock_expr knows all
+        # declared guard expressions before the ordering pass
+        classes = [
+            node for node in ast.walk(self.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        for cls in classes:
+            self._class_guards(cls)
+        for cls in classes:
+            self._check_class(cls)
+        self._order_visit(self.tree, "", "<module>", [])
+        self._report_cycles()
+        return self.findings
+
+
+def lint_locks(rel: str, source: str, tree: ast.AST) -> List[Diagnostic]:
+    """Run the lock-discipline rules over one parsed file."""
+    return _LockChecker(rel, source, tree).run()

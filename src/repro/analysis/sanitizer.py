@@ -108,6 +108,26 @@ def zero_state_arrays(zero) -> Iterable[Tuple[str, np.ndarray]]:
             yield f"{label}:exp_avg_sq", part.state.exp_avg_sq
 
 
+def model_param_arrays(engine) -> Iterable[Tuple[str, np.ndarray]]:
+    """``(param-label, array)`` pairs over an engine's model parameters.
+
+    Labels embed the model-parallel coordinates whose shard layout
+    covers the parameter (the engine's per-rank shard enumeration), so
+    a finding names the simulated ranks whose training steps would
+    write through the alias.  Duck-typed like :func:`zero_state_arrays`
+    (``model.named_parameters``/``layout.rank_layout``).
+    """
+    shard_owners: Dict[str, List[str]] = {}
+    for pp, sp, tp in engine.layout.mp_coords():
+        for entry in engine.layout.rank_layout(pp, sp, tp).entries:
+            shard_owners.setdefault(entry.name, []).append(
+                f"pp{pp}.sp{sp}.tp{tp}"
+            )
+    for name, param in engine.model.named_parameters():
+        owners = ",".join(shard_owners.get(name, ())) or "unsharded"
+        yield f"model/{name}[{owners}]", param.data
+
+
 class MemorySanitizer:
     """Tracks buffer ownership across the simulation's isolation boundaries.
 
@@ -124,11 +144,11 @@ class MemorySanitizer:
         self.checks = 0
         self._lock = threading.Lock()
         # root-buffer id -> (weakref to the registered array, cache key)
-        self._cache_owned: Dict[int, Tuple[weakref.ref, str]] = {}
+        self._cache_owned: Dict[int, Tuple[weakref.ref, str]] = {}  # guarded-by: self._lock
         # snapshot label -> [(weakref, state key, root id at capture)]
-        self._snapshots: Dict[str, List[Tuple[weakref.ref, str, int]]] = {}
+        self._snapshots: Dict[str, List[Tuple[weakref.ref, str, int]]] = {}  # guarded-by: self._lock
         # root ids deliberately un-protected via thaw()
-        self._thawed: set = set()
+        self._thawed: set = set()  # guarded-by: self._lock
 
     # --- violation plumbing ------------------------------------------
 
@@ -256,6 +276,7 @@ class MemorySanitizer:
         found: List[Diagnostic] = []
         with self._lock:
             entries = list(self._snapshots.get(label, ()))
+            thawed = set(self._thawed)
         for ref, key, rid in entries:
             arr = ref()
             if arr is None:
@@ -269,7 +290,7 @@ class MemorySanitizer:
                     f"record post-snapshot training",
                     location=f"{label}:{key}",
                 ))
-            elif _writable(arr) and rid not in self._thawed:
+            elif _writable(arr) and rid not in thawed:
                 found.append(error(
                     "UCP026",
                     f"snapshot {label!r}: write protection of {key} was "
@@ -309,14 +330,14 @@ class MemorySanitizer:
             )
 
     def _cache_key_for(self, rid: int) -> Optional[str]:
-        entry = self._cache_owned.get(rid)
-        if entry is None:
-            return None
-        ref, key = entry
-        if ref() is None:
-            with self._lock:
+        with self._lock:
+            entry = self._cache_owned.get(rid)
+            if entry is None:
+                return None
+            ref, key = entry
+            if ref() is None:
                 self._cache_owned.pop(rid, None)
-            return None
+                return None
         return key
 
     def check_cache_integrity(self, context: str = "") -> List[Diagnostic]:
@@ -325,13 +346,14 @@ class MemorySanitizer:
         found: List[Diagnostic] = []
         with self._lock:
             items = list(self._cache_owned.items())
+            thawed = set(self._thawed)
         for rid, (ref, key) in items:
             arr = ref()
             if arr is None:
                 with self._lock:
                     self._cache_owned.pop(rid, None)
                 continue
-            if _writable(arr) and rid not in self._thawed:
+            if _writable(arr) and rid not in thawed:
                 where = f"{context}: " if context else ""
                 found.append(error(
                     "UCP027",
@@ -352,6 +374,10 @@ class MemorySanitizer:
         Two simulated ranks sharing one writable base buffer is UCP025;
         rank state backed by a cache-owned buffer (a loaded parameter
         that stayed a view of an atom/block cache entry) is UCP028.
+        Model-parameter buffers are swept too: a parameter whose memory
+        aliases a rank's optimizer partition writes through every
+        ``sync_model_from_masters`` — the cross-rank alias the shard
+        enumeration labels with its owning mp coordinates.
         """
         self.checks += 1
         where = f"{context}: " if context else ""
@@ -383,6 +409,29 @@ class MemorySanitizer:
                 ))
             else:
                 owners.setdefault(rid, (rank_label, key))
+        for key, arr in model_param_arrays(engine):
+            rid = id(_root(arr))
+            cache_key = self._cache_key_for(rid)
+            if cache_key is not None:
+                found.append(error(
+                    "UCP028",
+                    f"{where}model parameter {key} aliases cached atom "
+                    f"{cache_key}; the next optimizer sync would poison "
+                    f"the shared cache",
+                    location=key,
+                ))
+            if not _writable(arr):
+                continue
+            prev = owners.get(rid)
+            if prev is not None:
+                found.append(error(
+                    "UCP025",
+                    f"{where}model parameter {key} is a writable alias of "
+                    f"rank state {prev[1]}: a parameter write on the "
+                    f"sharing ranks silently rewrites another rank's "
+                    f"optimizer partition",
+                    location=key,
+                ))
         for diag in found:
             self._violation(diag)
         return found

@@ -19,8 +19,14 @@ SRC003    unordered-set-iteration      iterating a ``set`` expression where the
                                        conversion plans) — nondeterministic
                                        under hash randomization
 SRC004    mutable-default-argument     a mutable default (list/dict/set/
-                                       ndarray) shared across calls (warning)
+                                       ndarray) shared across calls
 ========  ===========================  =======================================
+
+The lock-discipline rules SRC005-SRC008 (guarded-by annotations, static
+lock-order cycles, blocking calls under a lock, guarded-container
+escapes) live in :mod:`repro.analysis.locks` and run as part of
+:func:`lint_source_file`; see that module for the annotation
+convention.
 
 Both statically-safe sinks and the analysis' own limits are deliberate:
 plain ``name = collective(...)`` assignments and slice-stores
@@ -48,7 +54,7 @@ import re
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.diagnostics import Diagnostic, LintReport, error, warning
+from repro.analysis.diagnostics import Diagnostic, LintReport, error
 
 COLLECTIVE_NAMES = {
     "all_reduce", "all_gather", "reduce_scatter", "all_to_all", "broadcast",
@@ -442,7 +448,7 @@ class _Checker:
             )
             if mutable:
                 self._emit(
-                    warning, "SRC004", default.lineno,
+                    error, "SRC004", default.lineno,
                     f"mutable default argument in {node.name}(): the one "
                     f"instance is shared across every call; default to "
                     f"None and allocate inside",
@@ -451,9 +457,14 @@ class _Checker:
 
 def lint_source_file(path: Path, rel: str) -> List[Diagnostic]:
     """Lint one Python file; ``rel`` is the location prefix."""
+    # imported lazily: locks.py uses this module's helpers at import time
+    from repro.analysis import locks
+
     source = path.read_text()
     tree = ast.parse(source, filename=str(path))
-    return _Checker(rel, source, tree).run()
+    findings = _Checker(rel, source, tree).run()
+    findings.extend(locks.lint_locks(rel, source, tree))
+    return findings
 
 
 def lint_source_tree(root: Path) -> LintReport:
@@ -477,6 +488,23 @@ def baseline_counts(report: LintReport) -> Dict[str, int]:
         key = f"{diag.rule_id}:{file_part}"
         counts[key] = counts.get(key, 0) + 1
     return dict(sorted(counts.items()))
+
+
+def stale_baseline_entries(
+    report: LintReport, baseline: Dict[str, int]
+) -> List[str]:
+    """Baseline keys no longer backed by any current finding.
+
+    The baseline is shrink-only: once the code a ``"RULE:file"`` entry
+    excused is fixed, the entry must be deleted, or the gate fails —
+    otherwise a stale allowance would silently excuse the next
+    regression in that file.  Returns the offending keys, sorted.
+    """
+    current = baseline_counts(report)
+    return sorted(
+        key for key, allowed in baseline.items()
+        if current.get(key, 0) < allowed
+    )
 
 
 def apply_baseline(report: LintReport, baseline: Dict[str, int]) -> LintReport:

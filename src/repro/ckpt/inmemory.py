@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.analysis import lockwitness as _lockwitness
 from repro.ckpt.errors import CheckpointError
 
 PartitionKey = Tuple[Tuple[int, int, int], int]
@@ -56,7 +57,11 @@ class InMemoryCheckpoint:
         self.engine = engine
         self.replication_factor = replication_factor
         self.iteration: Optional[int] = None
-        self._replicas: Dict[PartitionKey, List[_Replica]] = {}
+        # a supervisor thread may call recover()/surviving_replicas()
+        # while a training thread is mid-commit; the replica map swap is
+        # atomic under the lock and readers snapshot it
+        self._lock = _lockwitness.make_lock("InMemoryCheckpoint._lock")
+        self._replicas: Dict[PartitionKey, List[_Replica]] = {}  # guarded-by: self._lock
         self.commit_bytes = 0
 
     def _owner_rank(self, coord, dp_rank: int) -> int:
@@ -87,8 +92,8 @@ class InMemoryCheckpoint:
         Returns the bytes copied (accounted as broadcast traffic).
         """
         copied = 0
-        self._replicas.clear()
-        self.iteration = self.engine.iteration
+        iteration = self.engine.iteration
+        staged: Dict[PartitionKey, List[_Replica]] = {}
         for coord, parts in self.engine.zero.partitions.items():
             for dp_rank, part in enumerate(parts):
                 owner = self._owner_rank(coord, dp_rank)
@@ -97,7 +102,7 @@ class InMemoryCheckpoint:
                     replicas.append(
                         _Replica(
                             host_rank=host,
-                            iteration=self.engine.iteration,
+                            iteration=iteration,
                             fp32=part.fp32.copy(),
                             exp_avg=part.state.exp_avg.copy(),
                             exp_avg_sq=part.state.exp_avg_sq.copy(),
@@ -105,8 +110,13 @@ class InMemoryCheckpoint:
                         )
                     )
                     copied += int(part.fp32.nbytes) * 3
-                self._replicas[(coord, dp_rank)] = replicas
-        self._sanitize_commit()
+                staged[(coord, dp_rank)] = replicas
+        self._sanitize_commit(staged)
+        # the expensive copy/sanitize work happened outside the lock;
+        # a reader sees either the old complete map or the new one
+        with self._lock:
+            self._replicas = staged
+            self.iteration = iteration
         self.commit_bytes = copied
         if self.engine.parallel_cfg.world_size > 1:
             self.engine.cluster.tracker.record(
@@ -114,14 +124,18 @@ class InMemoryCheckpoint:
             )
         return copied
 
-    def _sanitize_commit(self) -> None:
-        """Register the committed replicas with the active sanitizer.
+    def _sanitize_commit(
+        self, staged: Dict[PartitionKey, List[_Replica]]
+    ) -> None:
+        """Register the staged replicas with the active sanitizer.
 
         A replica aliasing the owner's live partition defeats the whole
         scheme — the "checkpoint" would track training instead of
         pinning an iteration (UCP026).  Clean replicas are frozen so a
-        recovering rank cannot scribble on peer memory.  Lazy import:
-        ``repro.ckpt`` stays free of analysis imports at module scope.
+        recovering rank cannot scribble on peer memory.  Runs on the
+        commit-local ``staged`` map *before* it is published, so no lock
+        is needed.  Lazy import: ``repro.ckpt`` stays free of analysis
+        imports at module scope.
         """
         from repro.analysis import sanitizer as _sanitizer
 
@@ -130,7 +144,7 @@ class InMemoryCheckpoint:
             return
 
         def replica_arrays():
-            for (coord, dp_rank), replicas in self._replicas.items():
+            for (coord, dp_rank), replicas in staged.items():
                 pp, sp, tp = coord
                 base = f"pp{pp}.sp{sp}.tp{tp}/dp{dp_rank}"
                 for r in replicas:
@@ -146,9 +160,11 @@ class InMemoryCheckpoint:
 
     def surviving_replicas(self, failed_ranks: Set[int]) -> Dict[PartitionKey, int]:
         """How many replicas of each partition survive a failure set."""
+        with self._lock:
+            replicas_map = dict(self._replicas)
         return {
             key: sum(1 for r in replicas if r.host_rank not in failed_ranks)
-            for key, replicas in self._replicas.items()
+            for key, replicas in replicas_map.items()
         }
 
     def recover(self, failed_ranks: Set[int]) -> int:
@@ -164,10 +180,13 @@ class InMemoryCheckpoint:
         Raises:
             InMemoryCheckpointError: some partition lost all replicas.
         """
-        if self.iteration is None:
+        with self._lock:
+            iteration = self.iteration
+            replicas_map = dict(self._replicas)
+        if iteration is None:
             raise InMemoryCheckpointError("no committed in-memory checkpoint")
         dead = []
-        for key, replicas in self._replicas.items():
+        for key, replicas in replicas_map.items():
             alive = [r for r in replicas if r.host_rank not in failed_ranks]
             if not alive:
                 dead.append(key)
@@ -176,7 +195,7 @@ class InMemoryCheckpoint:
                 f"{len(dead)} partitions lost every replica (e.g. {dead[0]}); "
                 f"increase the replication factor or fall back to disk"
             )
-        for (coord, dp_rank), replicas in self._replicas.items():
+        for (coord, dp_rank), replicas in replicas_map.items():
             source = next(
                 r for r in replicas if r.host_rank not in failed_ranks
             )
@@ -185,15 +204,16 @@ class InMemoryCheckpoint:
             part.state.exp_avg[...] = source.exp_avg
             part.state.exp_avg_sq[...] = source.exp_avg_sq
             part.state.step = source.step
-        self.engine.iteration = self.iteration
+        self.engine.iteration = iteration
         self.engine.sync_model_from_masters()
-        return self.iteration
+        return iteration
 
     @property
     def memory_bytes(self) -> int:
         """Total peer RAM consumed by the replicas."""
-        return sum(
-            int(r.fp32.nbytes) * 3
-            for replicas in self._replicas.values()
-            for r in replicas
-        )
+        with self._lock:
+            return sum(
+                int(r.fp32.nbytes) * 3
+                for replicas in self._replicas.values()
+                for r in replicas
+            )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
+from repro.analysis import lockwitness as _lockwitness
 from repro.ckpt.saver import CheckpointInfo, save_distributed_checkpoint
 from repro.parallel.zero import ZeroOptimizer
 
@@ -69,8 +70,12 @@ class SnapshotManager:
 
     def __init__(self, engine) -> None:
         self.engine = engine
-        self._pending: List[EngineSnapshot] = []
-        self._captures = 0
+        # the persist phase is meant to run on a background thread while
+        # the training thread keeps snapshotting; only the bookkeeping
+        # is locked — disk writes happen outside the critical section
+        self._lock = _lockwitness.make_lock("SnapshotManager._lock")
+        self._pending: List[EngineSnapshot] = []  # guarded-by: self._lock
+        self._captures = 0  # guarded-by: self._lock
 
     def snapshot(self) -> EngineSnapshot:
         """Capture a consistent copy of the current training state.
@@ -81,7 +86,9 @@ class SnapshotManager:
         frozen = ZeroOptimizer(self.engine.layout, self.engine.adam)
         for coord, parts in self.engine.zero.partitions.items():
             frozen.partitions[coord] = [p.clone() for p in parts]
-        self._captures += 1
+        with self._lock:
+            self._captures += 1
+            capture_id = self._captures
         snap = EngineSnapshot(
             iteration=self.engine.iteration,
             zero=frozen,
@@ -91,10 +98,11 @@ class SnapshotManager:
                 else None
             ),
             source_engine=self.engine,
-            label=f"snapshot#{self._captures}@it{self.engine.iteration}",
+            label=f"snapshot#{capture_id}@it{self.engine.iteration}",
         )
         self._sanitize_capture(snap)
-        self._pending.append(snap)
+        with self._lock:
+            self._pending.append(snap)
         return snap
 
     def persist(self, snapshot: EngineSnapshot, directory: str) -> CheckpointInfo:
@@ -104,9 +112,12 @@ class SnapshotManager:
         the files reflect the snapshot instant regardless.
         """
         self._sanitize_persist(snapshot)
+        # the disk write must not happen under the lock (SRC007/UCP031):
+        # a concurrent snapshot() would stall behind the whole persist
         info = save_distributed_checkpoint(_SnapshotView(snapshot), directory)
-        if snapshot in self._pending:
-            self._pending.remove(snapshot)
+        with self._lock:
+            if snapshot in self._pending:
+                self._pending.remove(snapshot)
         return info
 
     def _sanitize_capture(self, snap: EngineSnapshot) -> None:
@@ -146,8 +157,10 @@ class SnapshotManager:
 
     def drain(self) -> List[CheckpointInfo]:
         """Persist every outstanding snapshot (e.g. at shutdown)."""
+        with self._lock:
+            outstanding = list(self._pending)
         infos = []
-        for snap in list(self._pending):
+        for snap in outstanding:
             directory = getattr(snap, "pending_directory", None)
             if directory is None:
                 continue
@@ -157,7 +170,8 @@ class SnapshotManager:
     @property
     def pending_count(self) -> int:
         """Snapshots captured but not yet persisted."""
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
 
 @dataclasses.dataclass(frozen=True)

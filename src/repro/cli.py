@@ -205,7 +205,19 @@ def cmd_lint_trace(args: argparse.Namespace) -> int:
     from repro.ckpt import naming
     from repro.ckpt.loader import resolve_tag
     from repro.storage.store import ObjectStore
+    import json as _json
     import pathlib
+
+    if args.locks:
+        from repro.analysis import check_lock_trace
+
+        payload = _json.loads(pathlib.Path(args.trace).read_text())
+        report = check_lock_trace(payload)
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.render_text())
+        return 0 if report.ok else 1
 
     path = pathlib.Path(args.trace)
     if path.is_dir():
@@ -234,21 +246,31 @@ def cmd_lint_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_lint_src(args: argparse.Namespace) -> int:
-    """AST-lint the repro source tree itself (SRC001-SRC004)."""
+    """AST-lint the repro source tree itself (SRC001-SRC008)."""
     import json as _json
     import pathlib
 
     import repro
+    from repro.analysis import LintReport
     from repro.analysis.srclint import (
         apply_baseline,
         baseline_counts,
         lint_source_tree,
+        stale_baseline_entries,
     )
 
     root = pathlib.Path(
         args.root if args.root else pathlib.Path(repro.__file__).parent
     )
     report = lint_source_tree(root)
+    if args.locks:
+        lock_rules = ("SRC005", "SRC006", "SRC007", "SRC008")
+        report = LintReport(
+            subject=report.subject,
+            diagnostics=[
+                d for d in report.diagnostics if d.rule_id in lock_rules
+            ],
+        )
     if args.write_baseline:
         pathlib.Path(args.write_baseline).write_text(
             _json.dumps(baseline_counts(report), indent=2, sort_keys=True)
@@ -261,6 +283,19 @@ def cmd_lint_src(args: argparse.Namespace) -> int:
         return 0
     if args.baseline:
         baseline = _json.loads(pathlib.Path(args.baseline).read_text())
+        stale = stale_baseline_entries(report, baseline)
+        if stale:
+            # shrink-only: an allowance no longer backed by a finding
+            # must be deleted, or it would excuse the next regression
+            for key in stale:
+                print(f"stale baseline entry: {key}", file=sys.stderr)
+            print(
+                f"error: {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} in {args.baseline}; "
+                f"remove them (the findings they excused are fixed)",
+                file=sys.stderr,
+            )
+            return 1
         report = apply_baseline(report, baseline)
     if args.format == "json":
         print(report.to_json())
@@ -447,6 +482,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--tag", default=None, help="tag to read (default: latest)")
     p.add_argument(
+        "--locks",
+        action="store_true",
+        help="treat the input as a lock-witness payload (JSON from "
+             "LockWitness.to_payload) and replay it for lock-order "
+             "cycles and data races (UCP029/UCP030)",
+    )
+    p.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output rendering (json is stable for CI gates)",
     )
@@ -455,7 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint-src",
         help="AST-lint the repro sources for aliasing and determinism "
-             "hazards (SRC001-SRC004)",
+             "hazards (SRC001-SRC008)",
     )
     p.add_argument(
         "root",
@@ -479,6 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the current findings as a baseline JSON and exit 0",
+    )
+    p.add_argument(
+        "--locks",
+        action="store_true",
+        help="report only the lock-discipline rules (SRC005-SRC008)",
     )
     p.set_defaults(func=cmd_lint_src)
 

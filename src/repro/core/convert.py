@@ -443,6 +443,7 @@ def ucp_convert(
     streaming="auto",
     window_bytes: int = DEFAULT_WINDOW_BYTES,
     cache_bytes: int = DEFAULT_CACHE_BYTES,
+    cache: Optional[BlockCache] = None,
 ) -> ConversionReport:
     """Convert a distributed checkpoint into UCP atom format.
 
@@ -486,6 +487,11 @@ def ucp_convert(
             to hold a rank file, the digest-verification pass pre-warms
             every block Extract reads, so each source byte is read from
             disk once.
+        cache: streaming only — a caller-provided :class:`BlockCache`
+            to use instead of a fresh one (``cache_bytes`` is then
+            ignored).  The cache is internally locked, so one instance
+            may be shared across concurrent conversions and verifiers
+            (the multi-tenant hub shape).
 
     Raises:
         CheckpointNotFoundError: missing directory or tag.
@@ -700,7 +706,7 @@ def ucp_convert(
         )
         reader = RangeReader(
             src_store,
-            cache=BlockCache(cache_bytes),
+            cache=cache if cache is not None else BlockCache(cache_bytes),
             window_bytes=window_bytes,
             parallel=max(1, workers),
         )

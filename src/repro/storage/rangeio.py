@@ -21,19 +21,28 @@ onto:
   verification pass *pre-warms* the very blocks the extract phase
   reads next instead of doubling the IO.
 
-Thread-safe: one reader may serve a whole worker pool (the
-``ObjectStore`` byte accounting is not itself thread-safe, so the
-reader serializes its disk reads under a lock).
+Thread-safety and lock discipline: the cache is internally locked —
+one :class:`BlockCache` may be shared by several readers and worker
+pools — and every container it owns carries a ``# guarded-by:``
+annotation enforced by ``repro lint-src`` (SRC005-SRC008).  Each
+reader additionally serializes its disk reads under its own lock
+(the ``ObjectStore`` byte accounting is not thread-safe); that lock is
+declared ``blocking_ok`` because holding it across the read *is* the
+serialization.  Both locks are :func:`repro.analysis.lockwitness
+.make_lock` wrappers, so under ``REPRO_LOCKCHECK=1`` the runtime
+witness sees every acquisition; when the witness is off the wrappers
+cost one list check over a plain lock.  Readers always acquire
+reader-lock before cache-lock (reader methods call cache methods,
+never the reverse), which keeps the runtime lock-order graph acyclic.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-import threading
-from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import lockwitness as _lockwitness
 from repro.storage.store import ObjectStore
 
 DEFAULT_WINDOW_BYTES = 1 << 20
@@ -42,10 +51,15 @@ DEFAULT_WINDOW_BYTES = 1 << 20
 DEFAULT_CACHE_BYTES = 64 << 20
 """Default shared block-cache bound."""
 
-_NO_SPANS: List[Tuple[int, int]] = []
-"""Shared empty span list for files with nothing cached."""
-
 _INF = float("inf")
+
+
+def _overlaps(spans: List[Tuple[int, int]], start: int, end: int) -> bool:
+    """Whether ``[start, end)`` intersects any span of a sorted list."""
+    i = bisect.bisect_right(spans, (start, _INF)) - 1
+    if i >= 0 and spans[i][1] > start:
+        return True
+    return i + 1 < len(spans) and spans[i + 1][0] < end
 
 
 class BlockCache:
@@ -53,9 +67,14 @@ class BlockCache:
 
     ``max_bytes`` bounds the total cached payload; insertion evicts
     least-recently-used blocks until the new block fits.  Blocks of one
-    file never overlap — the reader only inserts gaps it measured
-    against the current cache — so lookups can binary-search a sorted
-    per-file span list.
+    file never overlap — :meth:`put` drops a block that intersects an
+    already-cached span (two threads that raced to fetch the same gap
+    both succeed; the loser's bytes are simply not cached) — so lookups
+    can binary-search a sorted per-file span list.
+
+    All mutation happens under ``self._lock``; the ``*_locked`` helpers
+    carry ``# holds:`` annotations and double as the runtime witness's
+    UCP030 accessor hooks.
     """
 
     def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
@@ -65,32 +84,77 @@ class BlockCache:
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
-        self._blocks: "OrderedDict[Tuple[str, int, int], bytes]" = OrderedDict()
+        self._lock = _lockwitness.make_lock("BlockCache._lock")
+        self._blocks: Dict[Tuple[str, int, int], bytes] = {}  # guarded-by: self._lock
         # per-file sorted, disjoint [(start, end)] spans mirroring _blocks
-        self._spans: Dict[str, List[Tuple[int, int]]] = {}
+        self._spans: Dict[str, List[Tuple[int, int]]] = {}  # guarded-by: self._lock
+        # LRU order over _blocks keys (dicts preserve insertion order;
+        # re-inserting on touch keeps the first key least recent)
+        self._lru: Dict[Tuple[str, int, int], None] = {}  # guarded-by: self._lock
+
+    def _check_guarded(self) -> None:
+        """UCP030 hook: every ``*_locked`` helper reports its access."""
+        witness = _lockwitness.current()
+        if witness is not None:
+            witness.check_guarded(self._lock, "BlockCache._blocks")
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        with self._lock:
+            self._check_guarded()
+            return len(self._blocks)
 
     def spans(self, rel: str) -> List[Tuple[int, int]]:
         """Sorted disjoint cached ``(start, end)`` spans of one file."""
-        return list(self._spans.get(rel, ()))
-
-    def spans_view(self, rel: str) -> List[Tuple[int, int]]:
-        """Like :meth:`spans` but without copying — read-only; invalidated
-        by any :meth:`put` or eviction."""
-        return self._spans.get(rel, _NO_SPANS)
+        with self._lock:
+            self._check_guarded()
+            return list(self._spans.get(rel, ()))
 
     def get(self, rel: str, start: int, end: int) -> Optional[bytes]:
         """The cached block exactly spanning ``[start, end)``, LRU-touched."""
+        with self._lock:
+            return self._get_locked(rel, start, end)
+
+    def _get_locked(self, rel: str, start: int, end: int) -> Optional[bytes]:  # holds: self._lock
+        self._check_guarded()
         key = (rel, start, end - start)
         data = self._blocks.get(key)
         if data is not None:
-            self._blocks.move_to_end(key)
+            self._lru.pop(key, None)
+            self._lru[key] = None
         return data
 
+    def coverage(
+        self, rel: str, start: int, end: int
+    ) -> List[Tuple[int, int, bytes]]:
+        """Cached blocks overlapping ``[start, end)``, as one atomic snapshot.
+
+        Returns sorted ``(block_start, block_end, data)`` triples and
+        LRU-touches each.  Because the caller holds direct references to
+        the (immutable) block payloads, a concurrent eviction cannot
+        invalidate the snapshot — the reader assembles from it without
+        re-entering the cache.
+        """
+        with self._lock:
+            self._check_guarded()
+            spans = self._spans.get(rel)
+            if not spans:
+                return []
+            out: List[Tuple[int, int, bytes]] = []
+            i = max(0, bisect.bisect_right(spans, (start, _INF)) - 1)
+            while i < len(spans):
+                s, e = spans[i]
+                if s >= end:
+                    break
+                if e > start:
+                    key = (rel, s, e - s)
+                    self._lru.pop(key, None)
+                    self._lru[key] = None
+                    out.append((s, e, self._blocks[key]))
+                i += 1
+            return out
+
     def put(self, rel: str, start: int, data: bytes) -> None:
-        """Insert one block; caller guarantees it overlaps no cached span.
+        """Insert one block unless it overlaps an already-cached span.
 
         The block is stored as immutable ``bytes`` whatever buffer type
         the caller hands in, so every view served out of the cache is
@@ -101,18 +165,32 @@ class BlockCache:
             return
         if not isinstance(data, bytes):
             data = bytes(data)
+        with self._lock:
+            self._put_locked(rel, start, data)
+
+    def _put_locked(self, rel: str, start: int, data: bytes) -> None:  # holds: self._lock
+        self._check_guarded()
         if len(data) > self.max_bytes:
             return  # a block larger than the whole budget is never cached
         end = start + len(data)
-        while self.current_bytes + len(data) > self.max_bytes:
-            self._evict_one()
-        self._blocks[(rel, start, len(data))] = data
-        self.current_bytes += len(data)
         spans = self._spans.setdefault(rel, [])
+        if _overlaps(spans, start, end):
+            return  # a concurrent fetch already cached (part of) this range
+        while self.current_bytes + len(data) > self.max_bytes:
+            self._evict_one_locked()
+        self._blocks[(rel, start, len(data))] = data
+        self._lru[(rel, start, len(data))] = None
+        self.current_bytes += len(data)
+        # _evict_one_locked may have dropped the file's last span list
+        spans = self._spans.setdefault(rel, spans)
         bisect.insort(spans, (start, end))
 
-    def _evict_one(self) -> None:
-        (rel, start, length), data = self._blocks.popitem(last=False)
+    def _evict_one_locked(self) -> None:  # holds: self._lock
+        self._check_guarded()
+        key = next(iter(self._lru))
+        del self._lru[key]
+        rel, start, length = key
+        data = self._blocks.pop(key)
         self.current_bytes -= len(data)
         spans = self._spans.get(rel)
         if spans is not None:
@@ -120,11 +198,44 @@ class BlockCache:
             if not spans:
                 del self._spans[rel]
 
+    def record_lookup(self, hit: bool) -> None:
+        """Count one logical lookup (readers report hit/miss through this)."""
+        with self._lock:
+            self._check_guarded()
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
     def clear(self) -> None:
         """Drop every cached block (counters are kept)."""
-        self._blocks.clear()
-        self._spans.clear()
-        self.current_bytes = 0
+        with self._lock:
+            self._check_guarded()
+            self._blocks.clear()
+            self._spans.clear()
+            self._lru.clear()
+            self.current_bytes = 0
+
+
+def _uncovered(
+    covered: List[Tuple[int, int, bytes]], start: int, end: int
+) -> List[Tuple[int, int]]:
+    """Sub-ranges of ``[start, end)`` not covered by a sorted block list."""
+    gaps: List[Tuple[int, int]] = []
+    cursor = start
+    for s, e, _ in covered:
+        if e <= cursor:
+            continue
+        if s >= end:
+            break
+        if s > cursor:
+            gaps.append((cursor, s))
+        cursor = max(cursor, e)
+        if cursor >= end:
+            break
+    if cursor < end:
+        gaps.append((cursor, end))
+    return gaps
 
 
 class RangeReader:
@@ -169,28 +280,37 @@ class RangeReader:
         self.cache_hits = 0
         self.cache_misses = 0
         self.peak_window_bytes = 0
-        self._sizes: Dict[str, int] = {}
-        self._lock = threading.Lock()
+        # serializes this reader's disk IO; holding it across the read
+        # is the point, hence blocking_ok (UCP031 stays quiet for it)
+        self._io_lock = _lockwitness.make_lock(
+            "RangeReader._io_lock", blocking_ok=True
+        )
+        self._sizes: Dict[str, int] = {}  # guarded-by: self._io_lock
 
     # --- helpers -----------------------------------------------------
 
     def size(self, rel: str) -> int:
         """Cached on-disk size of one object."""
-        with self._lock:
+        with self._io_lock:
             return self._size_locked(rel)
 
-    def _size_locked(self, rel: str) -> int:
+    def _size_locked(self, rel: str) -> int:  # holds: self._io_lock
         size = self._sizes.get(rel)
         if size is None:
             size = self.store.size(rel)
             self._sizes[rel] = size
         return size
 
-    def _fetch_locked(self, rel: str, gaps: List[Tuple[int, int]]) -> None:
-        """Read uncached gaps from disk in window-sized blocks, caching.
+    def _fetch_locked(  # holds: self._io_lock
+        self, rel: str, gaps: List[Tuple[int, int]]
+    ) -> List[Tuple[int, int, bytes]]:
+        """Read uncached gaps from disk in window-sized blocks.
 
         All blocks go through one batched :meth:`ObjectStore.read_ranges`
-        call — one file open no matter how fragmented the plan is.
+        call — one file open no matter how fragmented the plan is.  Each
+        block is offered to the cache (which may decline overlapping or
+        oversized ones) and returned directly, so assembly never depends
+        on what the cache retained.
         """
         blocks: List[Tuple[int, int]] = []
         for start, end in gaps:
@@ -200,86 +320,56 @@ class RangeReader:
                 blocks.append((cursor, step))
                 cursor += step
         if not blocks:
-            return
-        for (start, step), data in zip(
-            blocks, self.store.read_ranges(rel, blocks, parallel=self.parallel)
-        ):
+            return []
+        witness = _lockwitness.current()
+        io_before = getattr(self.store, "simulated_read_s", 0.0)
+        # deliberate: this reader's lock exists to serialize disk reads
+        payloads = self.store.read_ranges(  # srclint: disable=SRC007
+            rel, blocks, parallel=self.parallel
+        )
+        if witness is not None:
+            witness.note_blocking(
+                f"read_ranges({rel}, {len(blocks)} blocks)",
+                getattr(self.store, "simulated_read_s", 0.0) - io_before,
+            )
+        fresh: List[Tuple[int, int, bytes]] = []
+        for (start, step), data in zip(blocks, payloads):
             self.bytes_read += step
             self.read_ops += 1
             self.peak_window_bytes = max(self.peak_window_bytes, step)
             if not isinstance(data, bytes):
                 data = bytes(data)
             self.cache.put(rel, start, data)
-            # stash the freshly read block for the assembly pass even if
-            # the cache immediately evicted it under memory pressure
-            self._fresh[(rel, start, step)] = data
+            fresh.append((start, start + step, data))
+        return fresh
 
-    def _gaps_locked(
-        self, rel: str, start: int, end: int
-    ) -> List[Tuple[int, int]]:
-        """Sub-ranges of ``[start, end)`` not covered by cached spans."""
-        gaps: List[Tuple[int, int]] = []
-        cursor = start
-        spans = self.cache.spans_view(rel)
-        i = max(0, bisect.bisect_right(spans, (cursor, _INF)) - 1)
-        n = len(spans)
-        while i < n:
-            s, e = spans[i]
-            if e <= cursor:
-                i += 1
-                continue
-            if s >= end:
-                break
-            if s > cursor:
-                gaps.append((cursor, s))
-            cursor = max(cursor, e)
-            if cursor >= end:
-                break
-            i += 1
-        if cursor < end:
-            gaps.append((cursor, end))
-        return gaps
-
-    def _assemble_locked(
-        self,
+    @staticmethod
+    def _assemble(
         rel: str,
         offset: int,
         length: int,
-        fresh: List[Tuple[int, int, bytes]],
+        blocks: List[Tuple[int, int, bytes]],
     ) -> memoryview:
-        """Build the requested bytes from cached + freshly read blocks.
+        """Build the requested bytes from a sorted disjoint block list.
 
-        Cached spans are preferred; wherever a block was evicted between
-        fetch and assembly (a request larger than the whole cache), the
-        sorted ``fresh`` block stash fills in.  Both lists are sorted
-        and the cursor only moves forward, so after a bisect to the
-        first candidate a two-pointer merge suffices.
+        ``blocks`` mixes the cache-coverage snapshot with freshly read
+        blocks; the caller holds references to every payload, so no
+        concurrent eviction can invalidate them.  The cursor only moves
+        forward, so after a bisect to the first candidate a single scan
+        suffices.
         """
         end = offset + length
         cursor = offset
         pieces: List[Tuple[int, bytes, int, int]] = []
-        spans = self.cache.spans_view(rel)
-        si = max(0, bisect.bisect_right(spans, (cursor, _INF)) - 1)
-        fi = 0
+        i = max(0, bisect.bisect_right(blocks, (cursor, _INF)) - 1)
         while cursor < end:
-            block: Optional[Tuple[int, int, bytes]] = None
-            while si < len(spans) and spans[si][1] <= cursor:
-                si += 1
-            if si < len(spans) and spans[si][0] <= cursor:
-                s, e = spans[si]
-                data = self.cache.get(rel, s, e)
-                if data is not None:
-                    block = (s, e, data)
-            if block is None:
-                while fi < len(fresh) and fresh[fi][1] <= cursor:
-                    fi += 1
-                if fi < len(fresh) and fresh[fi][0] <= cursor:
-                    block = fresh[fi]
-            if block is None:
+            while i < len(blocks) and blocks[i][1] <= cursor:
+                i += 1
+            if i >= len(blocks) or blocks[i][0] > cursor:
                 raise RuntimeError(
                     f"{rel}: bytes at offset {cursor} unavailable after fetch"
                 )
-            s, e, data = block
+            s, e, data = blocks[i]
             hi = min(e, end)
             pieces.append((cursor, data, cursor - s, hi - s))
             cursor = hi
@@ -319,42 +409,45 @@ class RangeReader:
         for offset, length in ranges:
             if offset < 0 or length < 0:
                 raise ValueError(f"invalid range ({offset}, {length})")
-        with self._lock:
-            self._fresh: Dict[Tuple[str, int, int], bytes] = {}
-            # coalesce the requested ranges into fetch spans
-            wanted = sorted(
-                (o, o + n) for o, n in ranges if n > 0
-            )
-            spans: List[Tuple[int, int]] = []
-            for s, e in wanted:
-                if spans and s <= spans[-1][1] + self.coalesce_gap:
-                    spans[-1] = (spans[-1][0], max(spans[-1][1], e))
-                else:
-                    spans.append((s, e))
-            all_gaps: List[Tuple[int, int]] = []
-            for s, e in spans:
-                gaps = self._gaps_locked(rel, s, e)
-                covered = (e - s) - sum(g_e - g_s for g_s, g_e in gaps)
-                if covered > 0:
-                    self.cache_hits += 1
-                    self.cache.hits += 1
-                if gaps:
-                    self.cache_misses += 1
-                    self.cache.misses += 1
-                all_gaps.extend(gaps)
-            self._fetch_locked(rel, all_gaps)
-            fresh = sorted(
-                (f_start, f_start + f_len, data)
-                for (f_rel, f_start, f_len), data in self._fresh.items()
-                if f_rel == rel
-            )
-            out = [
-                self._assemble_locked(rel, offset, length, fresh)
-                if length > 0 else memoryview(b"")
-                for offset, length in ranges
-            ]
-            self._fresh = {}
-            return out
+        with self._io_lock:
+            return self._read_multi_locked(rel, ranges)
+
+    def _read_multi_locked(  # holds: self._io_lock
+        self, rel: str, ranges: List[Tuple[int, int]]
+    ) -> List[memoryview]:
+        # coalesce the requested ranges into fetch spans
+        wanted = sorted((o, o + n) for o, n in ranges if n > 0)
+        spans: List[Tuple[int, int]] = []
+        for s, e in wanted:
+            if spans and s <= spans[-1][1] + self.coalesce_gap:
+                spans[-1] = (spans[-1][0], max(spans[-1][1], e))
+            else:
+                spans.append((s, e))
+        # one coverage snapshot per span; a cached block straddling two
+        # spans would appear twice, hence the keyed dedup
+        covered: Dict[Tuple[int, int], bytes] = {}
+        all_gaps: List[Tuple[int, int]] = []
+        for s, e in spans:
+            cov = self.cache.coverage(rel, s, e)
+            gaps = _uncovered(cov, s, e)
+            if sum(b_e - b_s for b_s, b_e, _ in cov) > 0:
+                self.cache_hits += 1
+                self.cache.record_lookup(True)
+            if gaps:
+                self.cache_misses += 1
+                self.cache.record_lookup(False)
+            for b_s, b_e, data in cov:
+                covered[(b_s, b_e)] = data
+            all_gaps.extend(gaps)
+        fresh = self._fetch_locked(rel, all_gaps)
+        blocks = sorted(
+            [(s, e, data) for (s, e), data in covered.items()] + fresh
+        )
+        return [
+            self._assemble(rel, offset, length, blocks)
+            if length > 0 else memoryview(b"")
+            for offset, length in ranges
+        ]
 
     def digest(self, rel: str, chunk_bytes: int = DEFAULT_WINDOW_BYTES) -> str:
         """Streaming SHA-256 of a whole object, in bounded chunks.

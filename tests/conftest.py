@@ -30,3 +30,24 @@ def _session_sanitizer():
         return
     with sanitize(strict=True, subject="tier-1 session"):
         yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_lockwitness():
+    """Run the whole suite under a strict lock witness when asked.
+
+    ``REPRO_LOCKCHECK=1 pytest`` (the CI concurrency job) — or
+    ``REPRO_SANITIZE=1``, which implies it — wraps every test in one
+    strict :func:`repro.analysis.lockwitness.lockcheck` activation: a
+    lock-order cycle, unguarded access to witnessed state, or a lock
+    held across over-budget IO (UCP029-UCP031) raises at the point of
+    the offense.  Injection tests push their own non-strict witness —
+    the innermost wins — so they keep working under the checked run.
+    """
+    from repro.analysis.lockwitness import enabled_from_env, lockcheck
+
+    if not enabled_from_env():
+        yield
+        return
+    with lockcheck(strict=True, subject="tier-1 session"):
+        yield

@@ -220,7 +220,7 @@ class TestSnapshotBoundary:
             imc._replicas[key][0].fp32 = (
                 eng.zero.partitions[coord][dp_rank].fp32
             )
-            imc._sanitize_commit()
+            imc._sanitize_commit(imc._replicas)
         found = san.report.by_rule("UCP026")
         assert found
         assert any("host" in d.location for d in found)
@@ -346,6 +346,62 @@ class TestEngineSweep:
         eng = make_engine(seed=3)
         report = check_engine_isolation(eng)
         assert report.ok
+
+
+class TestModelParameterSweep:
+    """The isolation sweep covers model-*parameter* buffers too, with
+    each finding labelled by the mp coordinates whose per-rank shard
+    enumeration owns the parameter."""
+
+    def test_param_labels_carry_shard_owner_coords(self):
+        eng = make_engine(seed=3)
+        labels = [k for k, _ in sanitizer_module.model_param_arrays(eng)]
+        assert len(labels) == len(list(eng.model.named_parameters()))
+        assert all(label.startswith("model/") for label in labels)
+        # at least the embedding is covered by rank layouts, so its
+        # label names concrete pp/sp/tp owner coordinates
+        assert any("pp0" in label and "tp0" in label for label in labels)
+
+    def test_param_grafted_onto_rank_partition_is_ucp025(self):
+        """The injected bug: a load that left a model parameter as a
+        writable view of one rank's optimizer master partition."""
+        eng = make_engine(seed=3)
+        coord = next(iter(eng.zero.partitions))
+        part = eng.zero.partitions[coord][0]
+        name = param = None
+        for name, param in eng.model.named_parameters():
+            if param.data.size <= part.fp32.size:
+                break
+        assert param is not None and param.data.size <= part.fp32.size
+        param.data = part.fp32[: param.data.size].reshape(param.data.shape)
+        with sanitize(strict=False) as san:
+            san.check_engine(eng, context="after graft")
+        found = san.report.by_rule("UCP025")
+        assert any(
+            "model parameter" in d.message
+            and "rank state" in d.message
+            and name in d.location
+            for d in found
+        ), san.report.render_text()
+
+    def test_param_kept_as_cache_view_is_ucp028(self):
+        eng = make_engine(seed=3)
+        name, param = next(iter(eng.model.named_parameters()))
+        with sanitize(strict=False) as san:
+            fake_block = np.array(param.data)
+            san.register_cache("block:rank0:model", fake_block)
+            param.data = fake_block  # zero-copy load kept the cache view
+            san.check_engine(eng, context="after load")
+        found = san.report.by_rule("UCP028")
+        assert any(
+            "model parameter" in d.message and name in d.location
+            for d in found
+        ), san.report.render_text()
+
+    def test_clean_engine_params_stay_quiet_after_training(self):
+        eng = make_engine(seed=3)
+        eng.train(1)
+        assert check_engine_isolation(eng).ok
 
 
 class TestActivation:

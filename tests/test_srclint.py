@@ -22,6 +22,7 @@ from repro.analysis.srclint import (
     baseline_counts,
     lint_source_file,
     lint_source_tree,
+    stale_baseline_entries,
 )
 from repro.cli import main
 
@@ -160,7 +161,8 @@ class TestSRC004MutableDefaultArgument:
     def test_mutable_default_fires(self, tmp_path, snippet):
         found = lint_snippet(tmp_path, snippet)
         assert rules(found) == ["SRC004"]
-        assert all(d.severity == "warning" for d in found)
+        # promoted to error once the tree was clean (ISSUE 7 satellite)
+        assert all(d.severity == "error" for d in found)
 
     def test_none_and_immutable_defaults_pass(self, tmp_path):
         assert lint_snippet(
@@ -201,6 +203,22 @@ class TestBaseline:
         )
         assert len(residual.diagnostics) == 1
 
+    def test_stale_entries_are_detected(self, tmp_path):
+        """Shrink-only: an entry the tree no longer produces (fully or
+        in part) must be surfaced, not silently carried."""
+        (tmp_path / "m.py").write_text("self.r = all_reduce(s)\n")
+        report = lint_source_tree(tmp_path)
+        baseline = baseline_counts(report)
+        assert stale_baseline_entries(report, baseline) == []
+        baseline[f"SRC002:{tmp_path.name}/gone.py"] = 1
+        assert stale_baseline_entries(report, baseline) == [
+            f"SRC002:{tmp_path.name}/gone.py"
+        ]
+        # a count above what the tree still produces is stale too
+        assert stale_baseline_entries(
+            report, {f"SRC001:{tmp_path.name}/m.py": 2}
+        ) == [f"SRC001:{tmp_path.name}/m.py"]
+
 
 class TestCLI:
     def test_lint_src_clean_tree_exits_zero(self, tmp_path, capsys):
@@ -235,6 +253,33 @@ class TestCLI:
         assert main([
             "lint-src", str(tmp_path), "--baseline", str(baseline)
         ]) == 0
+
+    def test_stale_baseline_entry_fails_the_run(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({f"SRC001:{tmp_path.name}/gone.py": 1})
+        )
+        assert main([
+            "lint-src", str(tmp_path), "--baseline", str(baseline)
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err and "gone.py" in err
+
+    def test_locks_mode_reports_only_lock_rules(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "self.r = all_reduce(s)\n"                       # SRC001
+            "def f(lock, fut):\n"
+            "    with lock:\n"
+            "        fut.result()\n"                         # SRC007
+        )
+        assert main(["lint-src", str(tmp_path), "--locks"]) == 1
+        out = capsys.readouterr().out
+        assert "SRC007" in out and "SRC001" not in out
+        capsys.readouterr()
+        assert main(["lint-src", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "SRC007" in out and "SRC001" in out
 
     def test_default_root_is_the_installed_package(self, capsys):
         assert main(["lint-src"]) == 0
