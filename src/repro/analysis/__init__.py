@@ -39,6 +39,20 @@ And two for the *concurrency* side (the threaded IO layer):
   or ``REPRO_SANITIZE=1``.  ``repro lint-trace --locks`` replays a
   recorded witness payload offline.
 
+And two for the *crash-consistency* side (the commit protocol):
+
+- :mod:`~repro.analysis.fseffects` — the filesystem-effect lint
+  (SRC009-SRC012: publishes of never-fsynced bytes, missing directory
+  fsyncs, temp-file leaks on exception paths, ``latest``-before-
+  manifest order violations), run as part of ``repro lint-src``
+  (``--fs`` to filter).
+- :mod:`~repro.analysis.fswitness` — an FS-op recorder over every
+  store file effect plus an ALICE-style crash-state enumerator that
+  materializes every legal post-crash disk state of a trace and proves
+  recovery from each one (UCP032-UCP035); activate with
+  :func:`~repro.analysis.fswitness.fstrace`, replay with
+  ``repro lint-trace --fs``.
+
 All findings carry stable rule IDs (``UCP001``... / ``SRC001``...); see
 ``docs/ANALYSIS.md`` for the catalogue.
 """
@@ -89,6 +103,15 @@ from repro.analysis.provenance import (
     check_source_provenance,
     check_target_provenance,
 )
+from repro.analysis.fseffects import lint_fs_effects
+from repro.analysis.fswitness import (
+    CrashState,
+    FSOp,
+    FSOpRecorder,
+    check_fs_trace,
+    enumerate_crash_states,
+    fstrace,
+)
 from repro.analysis.lockwitness import (
     LockWitness,
     LockWitnessError,
@@ -116,6 +139,9 @@ __all__ = [
     "CollectiveTraceRecorder",
     "ContinuityError",
     "ContinuityReport",
+    "CrashState",
+    "FSOp",
+    "FSOpRecorder",
     "assert_loss_continuity",
     "check_loss_continuity",
     "Diagnostic",
@@ -134,6 +160,7 @@ __all__ = [
     "check_collective_args",
     "check_collective_ordering",
     "check_engine_isolation",
+    "check_fs_trace",
     "check_happens_before",
     "check_lock_trace",
     "check_plan_provenance",
@@ -142,9 +169,12 @@ __all__ = [
     "check_trace",
     "config_diagnostics",
     "crosscheck_manifest",
+    "enumerate_crash_states",
     "error",
     "expected_tag_basenames",
+    "fstrace",
     "lint_checkpoint",
+    "lint_fs_effects",
     "lint_locks",
     "lint_plan",
     "lint_source_tree",

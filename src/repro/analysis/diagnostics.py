@@ -54,6 +54,10 @@ RULES: Dict[str, str] = {
     "UCP029": "lock-order-cycle",
     "UCP030": "unguarded-state-access",
     "UCP031": "lock-held-across-blocking-io",
+    "UCP032": "publish-observed-before-durable",
+    "UCP033": "crash-state-recovery-failure",
+    "UCP034": "tmp-leaked-after-clean-exit",
+    "UCP035": "crash-enumeration-bounded",
     "SRC001": "collective-result-no-copy",
     "SRC002": "frombuffer-escape",
     "SRC003": "unordered-set-iteration",
@@ -62,6 +66,10 @@ RULES: Dict[str, str] = {
     "SRC006": "inconsistent-lock-order",
     "SRC007": "blocking-call-under-lock",
     "SRC008": "guarded-container-escape",
+    "SRC009": "publish-without-durable-temp",
+    "SRC010": "missing-dir-fsync-after-publish",
+    "SRC011": "temp-file-leak-on-exception",
+    "SRC012": "commit-order-violation",
 }
 """Stable rule ID -> short kebab-case name.  Append-only.
 

@@ -370,13 +370,23 @@ class LockWitness:
 
     # --- blocking-IO hook (UCP031) -----------------------------------
 
-    def note_blocking(self, desc: str, seconds: float) -> Optional[Diagnostic]:
-        """Report one blocking call (disk read, future wait) and its cost.
+    def note_blocking(
+        self, desc: str, seconds: float, kind: str = "io"
+    ) -> Optional[Diagnostic]:
+        """Report one blocking call (disk read, fsync, future wait).
 
         ``seconds`` should be the *simulated* IO cost where one exists
         (the store's NVMe clock) so the check is deterministic; flags
         UCP031 when any held lock not marked ``blocking_ok`` rode
-        across a call beyond the budget.
+        across the call.  ``kind`` decides the severity model:
+
+        - ``"io"`` / ``"cache-miss"``: budgeted — a cold-cache miss
+          legitimately holds its lock for one brief windowed read, so
+          only costs beyond ``io_budget_s`` fire;
+        - ``"fsync"``: unconditional — durable-write latency is
+          device-dependent and unbounded (a busy disk can take
+          hundreds of ms to flush), so *any* fsync/flush under a
+          non-``blocking_ok`` lock fires regardless of the budget.
         """
         self.checks += 1
         held = self._held()
@@ -384,16 +394,28 @@ class LockWitness:
             "blocking", desc, tuple(h.name for h in held)
         )
         offenders = [h for h in held if not h.blocking_ok]
-        if not offenders or seconds <= self.io_budget_s:
+        if not offenders:
+            return None
+        if kind != "fsync" and seconds <= self.io_budget_s:
             return None
         stack = _capture_stack(skip=3)
+        if kind == "fsync":
+            why = (
+                f"lock {offenders[0].name!r} held across {desc}: "
+                f"fsync/flush latency is unbounded (device-dependent), "
+                f"so no budget excuses it — move the durable write "
+                f"outside the critical section"
+            )
+        else:
+            why = (
+                f"lock {offenders[0].name!r} held across blocking call "
+                f"{desc} costing {seconds * 1e3:.1f}ms "
+                f"(budget {self.io_budget_s * 1e3:.1f}ms)"
+            )
         diag = error(
             "UCP031",
-            f"lock {offenders[0].name!r} held across blocking call "
-            f"{desc} costing {seconds * 1e3:.1f}ms "
-            f"(budget {self.io_budget_s * 1e3:.1f}ms) at "
-            f"[{_fmt_stack(stack)}]: every thread contending for the "
-            f"lock stalls behind this IO",
+            f"{why} at [{_fmt_stack(stack)}]: every thread contending "
+            f"for the lock stalls behind this IO",
             location=offenders[0].name,
         )
         self._violation(diag)

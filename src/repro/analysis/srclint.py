@@ -24,9 +24,13 @@ SRC004    mutable-default-argument     a mutable default (list/dict/set/
 
 The lock-discipline rules SRC005-SRC008 (guarded-by annotations, static
 lock-order cycles, blocking calls under a lock, guarded-container
-escapes) live in :mod:`repro.analysis.locks` and run as part of
-:func:`lint_source_file`; see that module for the annotation
-convention.
+escapes) live in :mod:`repro.analysis.locks`, and the crash-consistency
+rules SRC009-SRC012 (publish-without-durable-temp, missing directory
+fsync after a publish, temp-file leak on an exception path,
+manifest-before-``latest`` commit-order violations) live in
+:mod:`repro.analysis.fseffects`; both run as part of
+:func:`lint_source_file` and can be filtered via ``repro lint-src
+--locks`` / ``--fs``.
 
 Both statically-safe sinks and the analysis' own limits are deliberate:
 plain ``name = collective(...)`` assignments and slice-stores
@@ -457,13 +461,15 @@ class _Checker:
 
 def lint_source_file(path: Path, rel: str) -> List[Diagnostic]:
     """Lint one Python file; ``rel`` is the location prefix."""
-    # imported lazily: locks.py uses this module's helpers at import time
-    from repro.analysis import locks
+    # imported lazily: both modules use this module's helpers at import
+    # time
+    from repro.analysis import fseffects, locks
 
     source = path.read_text()
     tree = ast.parse(source, filename=str(path))
     findings = _Checker(rel, source, tree).run()
     findings.extend(locks.lint_locks(rel, source, tree))
+    findings.extend(fseffects.lint_fs_effects(rel, source, tree))
     return findings
 
 

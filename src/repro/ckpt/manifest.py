@@ -14,6 +14,13 @@ Readers treat a manifest-less tag as uncommitted, and verify each file
 they consume against its manifest entry, so a torn save is *never*
 silently loaded — recovery either lands on the previous committed tag
 or raises :class:`CheckpointIntegrityError`.
+
+The protocol is not trusted on faith: SRC012 (``repro lint-src --fs``)
+statically rejects any ``latest`` write a manifest publish does not
+dominate, and the crash-state enumerator
+(:mod:`repro.analysis.fswitness`) replays recorded save traces to
+prove steps 1-3 actually survive every crash the persistence model
+permits.
 """
 
 from __future__ import annotations

@@ -11,7 +11,12 @@ save-time work beyond metadata that is already known at save time.
 
 Saves are crash-consistent: every file is an atomic commit, a per-tag
 manifest (:mod:`repro.ckpt.manifest`) records each file's digest, and
-``latest`` advances only after the manifest is durable.
+``latest`` advances only after the manifest is durable.  That ordering
+is machine-checked twice over: statically by the filesystem-effect
+lint (SRC009-SRC012, ``repro lint-src --fs``) and at runtime by the
+FS-op witness (:mod:`repro.analysis.fswitness`), whose crash-state
+enumerator replays a recorded save trace and proves recovery from
+every legal post-crash disk state (UCP032-UCP035).
 """
 
 from __future__ import annotations

@@ -11,8 +11,10 @@ Mirrors the operational surface DeepSpeed ships for UCP (the
     python -m repro lint-ckpt <dir> [--tag T] [--format text|json] [--deep]
     python -m repro lint-plan --source <dir> --target tp2.pp1.dp4.sp1.zero1 \
         [--provenance]
-    python -m repro lint-trace <trace.npt | ckpt_dir> [--tag T]
-    python -m repro lint-src  [root] [--baseline F] [--write-baseline]
+    python -m repro lint-trace <trace.npt | ckpt_dir> [--tag T] \
+        [--locks] [--fs [--state-cap N] [--crashed]]
+    python -m repro lint-src  [root] [--baseline F] [--write-baseline] \
+        [--locks] [--fs]
     python -m repro supervise --model M --topology tp2.pp2.dp2.sp1.zero1 \
         --workdir D [--kill STEP:PHASE:RANKS ...] [--format text|json]
 
@@ -208,11 +210,36 @@ def cmd_lint_trace(args: argparse.Namespace) -> int:
     import json as _json
     import pathlib
 
-    if args.locks:
-        from repro.analysis import check_lock_trace
+    if args.locks or args.fs:
+        from repro.analysis import LintReport
 
         payload = _json.loads(pathlib.Path(args.trace).read_text())
-        report = check_lock_trace(payload)
+        # one JSON file can carry both payloads ({"locks": .., "fs": ..});
+        # a bare payload is accepted when a single family is requested
+        families = []
+        if args.locks:
+            from repro.analysis import check_lock_trace
+
+            families.append(check_lock_trace(payload.get("locks", payload)))
+        if args.fs:
+            from repro.analysis import check_fs_trace
+            from repro.analysis.fswitness import DEFAULT_STATE_CAP
+
+            families.append(check_fs_trace(
+                payload.get("fs", payload),
+                state_cap=(
+                    args.state_cap if args.state_cap is not None
+                    else DEFAULT_STATE_CAP
+                ),
+                clean_exit=not args.crashed,
+            ))
+        report = LintReport(
+            subject="+".join(
+                n for n, on in (("locks", args.locks), ("fs", args.fs)) if on
+            )
+        )
+        for family in families:
+            report.extend(family.diagnostics)
         if args.format == "json":
             print(report.to_json())
         else:
@@ -246,7 +273,7 @@ def cmd_lint_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_lint_src(args: argparse.Namespace) -> int:
-    """AST-lint the repro source tree itself (SRC001-SRC008)."""
+    """AST-lint the repro source tree itself (SRC001-SRC012)."""
     import json as _json
     import pathlib
 
@@ -263,12 +290,16 @@ def cmd_lint_src(args: argparse.Namespace) -> int:
         args.root if args.root else pathlib.Path(repro.__file__).parent
     )
     report = lint_source_tree(root)
-    if args.locks:
-        lock_rules = ("SRC005", "SRC006", "SRC007", "SRC008")
+    if args.locks or args.fs:
+        wanted = ()
+        if args.locks:
+            wanted += ("SRC005", "SRC006", "SRC007", "SRC008")
+        if args.fs:
+            wanted += ("SRC009", "SRC010", "SRC011", "SRC012")
         report = LintReport(
             subject=report.subject,
             diagnostics=[
-                d for d in report.diagnostics if d.rule_id in lock_rules
+                d for d in report.diagnostics if d.rule_id in wanted
             ],
         )
     if args.write_baseline:
@@ -489,6 +520,29 @@ def build_parser() -> argparse.ArgumentParser:
              "cycles and data races (UCP029/UCP030)",
     )
     p.add_argument(
+        "--fs",
+        action="store_true",
+        help="treat the input as an FS-op trace (JSON from "
+             "FSOpRecorder.to_payload) and replay it: durability "
+             "ordering (UCP032), exhaustive crash-state enumeration "
+             "with recovery from every state (UCP033), tmp leaks "
+             "(UCP034); combine with --locks on a "
+             "{'locks': .., 'fs': ..} file for one merged report",
+    )
+    p.add_argument(
+        "--state-cap",
+        type=int,
+        default=None,
+        help="crash-state materialization budget for --fs (default "
+             "512; hitting the cap is reported as UCP035)",
+    )
+    p.add_argument(
+        "--crashed",
+        action="store_true",
+        help="the --fs trace came from a deliberately killed run: "
+             "leftover *.tmp files are expected, so UCP034 is skipped",
+    )
+    p.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output rendering (json is stable for CI gates)",
     )
@@ -496,8 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint-src",
-        help="AST-lint the repro sources for aliasing and determinism "
-             "hazards (SRC001-SRC008)",
+        help="AST-lint the repro sources for aliasing, determinism, "
+             "lock-discipline, and crash-consistency hazards "
+             "(SRC001-SRC012)",
     )
     p.add_argument(
         "root",
@@ -526,6 +581,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--locks",
         action="store_true",
         help="report only the lock-discipline rules (SRC005-SRC008)",
+    )
+    p.add_argument(
+        "--fs",
+        action="store_true",
+        help="report only the crash-consistency rules (SRC009-SRC012: "
+             "unfsynced publishes, missing directory fsyncs, temp-file "
+             "leaks, manifest/latest commit-order violations); "
+             "combines with --locks",
     )
     p.set_defaults(func=cmd_lint_src)
 

@@ -328,9 +328,13 @@ class RangeReader:
             rel, blocks, parallel=self.parallel
         )
         if witness is not None:
+            # a cold-cache miss legitimately holds the reader lock for
+            # one windowed read, so it stays under the UCP031 budget
+            # model (unlike fsync, which fires unconditionally)
             witness.note_blocking(
                 f"read_ranges({rel}, {len(blocks)} blocks)",
                 getattr(self.store, "simulated_read_s", 0.0) - io_before,
+                kind="cache-miss",
             )
         fresh: List[Tuple[int, int, bytes]] = []
         for (start, step), data in zip(blocks, payloads):

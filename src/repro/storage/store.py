@@ -2,12 +2,23 @@
 
 All writes are *atomic commits*: bytes land in a ``*.tmp`` sibling and
 are published with ``os.replace``, so a reader never observes a torn
-object — it sees either the previous version or the new one.  Every IO
-boundary runs through the optional :class:`~repro.storage.faults.
-FaultPolicy` hook (crash injection, transient errors, latency spikes),
-and transient faults are retried under a
-:class:`~repro.storage.faults.RetryPolicy` whose backoff is charged to
-the simulated NVMe clock.
+object — it sees either the previous version or the new one.  With
+``durable`` (the default, controlled by ``REPRO_DURABLE``) commits are
+additionally *power-loss safe*: the temp file is fsynced before the
+rename and the parent directory after it, so the publish can neither
+become durable ahead of the bytes it names nor be rolled back by a
+crash.  Every IO boundary runs through the optional
+:class:`~repro.storage.faults.FaultPolicy` hook (crash injection,
+transient errors, latency spikes), and transient faults are retried
+under a :class:`~repro.storage.faults.RetryPolicy` whose backoff is
+charged to the simulated NVMe clock.
+
+Every file effect (write / fsync / rename / directory fsync / unlink)
+is reported to the active FS-op witness
+(:mod:`repro.analysis.fswitness`) when one is tracing, feeding the
+crash-state enumerator behind ``repro lint-trace --fs``; the commit
+sequence itself is statically checked by ``repro lint-src --fs``
+(SRC009-SRC012).  Both hooks are one ``sys.modules`` lookup when off.
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ from __future__ import annotations
 import hashlib
 import os
 import pathlib
+import posixpath
+import sys
 from typing import Any, List, Optional, Tuple
 
 from repro.storage.faults import FaultPolicy, RetryPolicy, TransientIOError
@@ -32,6 +45,51 @@ def sha256_hex(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+def _durable_default() -> bool:
+    """Whether commits default to power-loss-safe (``REPRO_DURABLE``).
+
+    Durability is on unless the environment explicitly opts out with
+    ``REPRO_DURABLE=0`` — the off-switch exists for speed-sensitive
+    test suites, where two extra fsyncs per object write dominate the
+    runtime of tiny checkpoints.
+    """
+    return os.environ.get("REPRO_DURABLE", "1") != "0"
+
+
+def _fsync_dir(dir_path: pathlib.Path) -> None:
+    """Fsync a directory so entry ops inside it survive power loss.
+
+    A rename or unlink only mutates the parent directory; POSIX makes
+    that mutation durable at the next fsync of the *directory*, not of
+    any file.  Skipping this leaves a committed-looking publish that a
+    crash can roll back — exactly what SRC010/UCP032 flag.
+    """
+    fd = os.open(str(dir_path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fs_recorder():
+    """The active FS-op recorder, or None — without importing analysis.
+
+    The witness can only be active if :mod:`repro.analysis.fswitness`
+    was imported (its ``fstrace`` context manager is the sole
+    activation path), so a ``sys.modules`` probe keeps the off-path
+    free of any import cost and breaks the store <- analysis import
+    cycle.
+    """
+    mod = sys.modules.get("repro.analysis.fswitness")
+    return None if mod is None else mod.current()
+
+
+def _lock_witness():
+    """The active lock witness, or None (same probe as above)."""
+    mod = sys.modules.get("repro.analysis.lockwitness")
+    return None if mod is None else mod.current()
+
+
 class ObjectStore:
     """Persist ``.npt`` objects under a base directory.
 
@@ -44,6 +102,8 @@ class ObjectStore:
         nvme: device profile for simulated-time accounting.
         faults: optional fault-injection policy hooked into every IO.
         retry: how injected transient faults are retried.
+        durable: fsync commits for power-loss safety; None defers to
+            the ``REPRO_DURABLE`` environment default (on).
     """
 
     def __init__(
@@ -52,6 +112,7 @@ class ObjectStore:
         nvme: NVMeModel = DEFAULT_NVME,
         faults: Optional[FaultPolicy] = None,
         retry: Optional[RetryPolicy] = None,
+        durable: Optional[bool] = None,
     ) -> None:
         self.base = pathlib.Path(base_dir)
         self.base.mkdir(parents=True, exist_ok=True)
@@ -59,6 +120,7 @@ class ObjectStore:
         self.nvme = nvme
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
+        self.durable = _durable_default() if durable is None else durable
         self.bytes_written = 0
         self.bytes_read = 0
         self.simulated_write_s = 0.0
@@ -96,7 +158,14 @@ class ObjectStore:
 
         The write goes to a temp file first and is published with an
         atomic rename — a crash at any point leaves either the previous
-        object or the new one visible, never a torn file.
+        object or the new one visible, never a torn file.  Under
+        :attr:`durable` the commit also survives power loss: the temp
+        file is fsynced *before* the rename (the publish can never
+        become durable ahead of the bytes it names) and the parent
+        directory *after* it (the publish itself cannot be rolled
+        back).  A write that fails mid-commit cleans up its temp file;
+        injected crash faults fire before the write and deliberately
+        leave their torn temp behind, as a real crash would.
         """
         path = self._resolve(rel_path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -105,9 +174,45 @@ class ObjectStore:
             self._attempt_with_retry(
                 lambda: self.faults.on_write(rel_path, tmp, data), "write"
             )
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp, path)
+        recorder = _fs_recorder()
+        rel_norm = tmp_rel = ""
+        if recorder is not None:
+            rel_norm = os.path.relpath(str(path), self._base_str)
+            rel_norm = rel_norm.replace(os.sep, "/")
+            tmp_rel = os.path.relpath(str(tmp), self._base_str)
+            tmp_rel = tmp_rel.replace(os.sep, "/")
+            recorder.record_write(self._base_str, tmp_rel, data)
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+                if self.durable:
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            if self.durable:
+                if recorder is not None:
+                    recorder.record_fsync(self._base_str, tmp_rel)
+                witness = _lock_witness()
+                if witness is not None:
+                    witness.note_blocking(
+                        f"fsync({rel_path})", 0.0, kind="fsync"
+                    )
+            os.replace(tmp, path)
+            if recorder is not None:
+                recorder.record_rename(self._base_str, tmp_rel, rel_norm)
+            if self.durable:
+                _fsync_dir(path.parent)
+                if recorder is not None:
+                    recorder.record_fsync_dir(
+                        self._base_str, posixpath.dirname(rel_norm) or "."
+                    )
+        except BaseException:
+            try:
+                tmp.unlink()
+                if recorder is not None:
+                    recorder.record_unlink(self._base_str, tmp_rel)
+            except OSError:
+                pass
+            raise
         self.bytes_written += len(data)
         self.simulated_write_s += self.nvme.write_time(len(data), parallel)
         if self.faults is not None:
@@ -322,16 +427,34 @@ class ObjectStore:
         return sorted(out)
 
     def delete(self, rel_path: str) -> None:
-        """Remove one object (missing objects are ignored)."""
+        """Remove one object (missing objects are ignored).
+
+        Under :attr:`durable` the parent directory is fsynced so the
+        removal itself survives power loss — retention decisions stay
+        made.
+        """
         path = self._resolve(rel_path)
         if path.is_file():
             path.unlink()
+            recorder = _fs_recorder()
+            if recorder is not None:
+                rel_norm = os.path.relpath(str(path), self._base_str)
+                rel_norm = rel_norm.replace(os.sep, "/")
+                recorder.record_unlink(self._base_str, rel_norm)
+            if self.durable:
+                _fsync_dir(path.parent)
+                if recorder is not None:
+                    recorder.record_fsync_dir(
+                        self._base_str, posixpath.dirname(rel_norm) or "."
+                    )
 
     def write_text(self, rel_path: str, text: str) -> None:
         """Atomically write a small text marker file (e.g. ``latest``).
 
-        Goes through the same temp-file + rename commit as object
-        writes: advancing the ``latest`` tag is all-or-nothing.
+        Goes through the same temp-file + rename commit (and, under
+        :attr:`durable`, the same fsync protocol) as object writes:
+        advancing the ``latest`` tag is all-or-nothing and cannot
+        outlive the manifest it points at.
         """
         self.put_bytes(rel_path, text.encode())
 

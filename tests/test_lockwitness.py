@@ -186,6 +186,43 @@ class TestUCP031LockHeldAcrossBlockingIO:
             assert w.note_blocking("read", 0.5) is None  # nothing held
         assert w.report.ok
 
+    def test_fsync_kind_fires_regardless_of_budget(self):
+        """Durable commits report ``kind="fsync"`` with near-zero
+        measured time — fsync latency is device-dependent, so no budget
+        excuses holding a lock across one."""
+        with lockcheck(strict=False, io_budget_s=0.01) as w:
+            with make_lock("meta_lock"):
+                diag = w.note_blocking(
+                    "fsync(tag/model.npt)", 0.0, kind="fsync")
+        assert diag is not None and diag.rule_id == "UCP031"
+        assert "fsync/flush latency is unbounded" in diag.message
+        assert "move the durable write outside" in diag.message
+
+    def test_cache_miss_kind_stays_budgeted(self):
+        """The cold-cache-miss path keeps the budget: a fast miss under
+        a lock is expected, only a slow one is a finding."""
+        with lockcheck(strict=False, io_budget_s=0.01) as w:
+            with make_lock("cache_lock"):
+                assert w.note_blocking(
+                    "read_ranges(r0, 4 blocks)", 0.001,
+                    kind="cache-miss") is None
+                slow = w.note_blocking(
+                    "read_ranges(r0, 4 blocks)", 0.5, kind="cache-miss")
+        assert slow is not None and slow.rule_id == "UCP031"
+
+    def test_fsync_under_blocking_ok_lock_is_quiet(self):
+        with lockcheck(strict=False, io_budget_s=0.01) as w:
+            with make_lock("io_lock", blocking_ok=True):
+                assert w.note_blocking("fsync(x)", 0.0, kind="fsync") is None
+        assert w.report.ok
+
+    def test_fsync_unlocked_is_quiet(self):
+        """The store's own fsync probe with no lock held — the normal
+        durable-commit path — must never fire."""
+        with lockcheck(strict=False, io_budget_s=0.01) as w:
+            assert w.note_blocking("fsync(x)", 0.0, kind="fsync") is None
+        assert w.report.ok
+
 
 class TestPayloadReplay:
     def test_recorded_abba_replays_as_ucp029(self):

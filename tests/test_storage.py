@@ -222,3 +222,61 @@ class TestChecksums:
     def test_checksum_error_is_a_serialization_error(self):
         from repro.storage.serializer import ChecksumError
         assert issubclass(ChecksumError, SerializationError)
+
+
+class TestDurability:
+    def test_default_follows_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_DURABLE", raising=False)
+        assert ObjectStore(str(tmp_path)).durable is True
+        monkeypatch.setenv("REPRO_DURABLE", "0")
+        assert ObjectStore(str(tmp_path)).durable is False
+        monkeypatch.setenv("REPRO_DURABLE", "1")
+        assert ObjectStore(str(tmp_path)).durable is True
+
+    def test_explicit_flag_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DURABLE", "0")
+        assert ObjectStore(str(tmp_path), durable=True).durable is True
+        monkeypatch.setenv("REPRO_DURABLE", "1")
+        assert ObjectStore(str(tmp_path), durable=False).durable is False
+
+    def test_durable_commit_round_trips_with_no_tmp_left(self, tmp_path, rng):
+        store = ObjectStore(str(tmp_path), durable=True)
+        obj = {"x": rng.standard_normal(16).astype(np.float32)}
+        store.save("tag/file.npt", obj)
+        assert np.array_equal(store.load("tag/file.npt")["x"], obj["x"])
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_durable_write_text_round_trips(self, tmp_path):
+        store = ObjectStore(str(tmp_path), durable=True)
+        store.write_text("latest", "global_step7")
+        assert store.read_text("latest") == "global_step7"
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_failed_commit_cleans_its_tmp(self, tmp_path, monkeypatch):
+        """A mid-commit error (here: the publishing rename itself) must
+        not leak the temp file."""
+        store = ObjectStore(str(tmp_path), durable=True)
+
+        def boom(src, dst):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr("os.replace", boom)
+        with pytest.raises(OSError, match="simulated rename"):
+            store.put_bytes("x.npt", b"data")
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert not (tmp_path / "x.npt").exists()
+
+    def test_injected_crash_leaves_torn_tmp(self, tmp_path):
+        """Fault injection models a kill, not an error: the torn temp
+        stays on disk (the crash matrix inspects it) and the final path
+        is never touched."""
+        from repro.storage.faults import CrashAtWrite, InjectedCrash
+
+        store = ObjectStore(
+            str(tmp_path), faults=CrashAtWrite(0, torn=True), durable=True
+        )
+        with pytest.raises(InjectedCrash):
+            store.put_bytes("x.npt", b"datadata")
+        (leftover,) = tmp_path.rglob("*.tmp")
+        assert leftover.read_bytes() == b"data"
+        assert not (tmp_path / "x.npt").exists()
