@@ -621,10 +621,23 @@ def _compose_param(
                 ))
             selected.append((0, coords[0]))
 
+    # the shard -> consolidated map depends only on the tp rank, and a
+    # dp-replicated layout maps several coords through the same rank —
+    # memoize so the fragmenter (which executes over a full-size arange
+    # index tensor) runs once per distinct rank, not once per coord
+    runs_by_rank: Dict[int, List[MapRun]] = {}
+
+    def _runs(tp_rank: int) -> List[MapRun]:
+        runs = runs_by_rank.get(tp_rank)
+        if runs is None:
+            runs = shard_to_full_runs(spec, tp_degree, tp_rank)
+            runs_by_rank[tp_rank] = runs
+        return runs
+
     def _map_through_runs(
         coord: Tuple[int, int, int], tp_rank: int
     ) -> List[SourceExtent]:
-        runs = shard_to_full_runs(spec, tp_degree, tp_rank)
+        runs = _runs(tp_rank)
         mapped: List[SourceExtent] = []
         for piece in assembled[coord]:
             for run in runs:

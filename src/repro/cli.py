@@ -30,13 +30,12 @@ import sys
 from typing import List, Optional
 
 from repro.ckpt.loader import read_job_config
-from repro.core.convert import ucp_convert
+from repro.core.convert import DEFAULT_COALESCE_GAP, ucp_convert
 from repro.core.patterns import program_for_config
 from repro.core.resume import ElasticResumeManager
 from repro.dist.topology import ParallelConfig
 from repro.models import available_models, get_config
 from repro.models.configs import ModelConfig
-from repro.storage.rangeio import DEFAULT_WINDOW_BYTES
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -94,20 +93,29 @@ def cmd_convert(args: argparse.Namespace) -> int:
         workers=args.workers,
         streaming=False if args.no_stream else "auto",
         window_bytes=args.window_bytes,
+        coalesce_gap=args.coalesce_gap,
+        digest_pool=args.digest_pool,
     )
     reused = f", {report.num_reused} reused" if report.num_reused else ""
     print(f"converted {report.source_tag}: {report.num_files} rank files -> "
           f"{report.num_params} atoms{reused} "
           f"({report.atom_bytes / 1e6:.1f} MB) "
-          f"in {report.total_seconds:.2f}s "
-          f"(extract {report.extract_seconds:.2f}s, "
-          f"union {report.union_seconds:.2f}s, "
-          f"write {report.write_seconds:.2f}s)")
+          f"in {report.total_seconds:.2f}s")
+    if report.stage_seconds:
+        stages = " ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in report.stage_seconds.items()
+        )
+        print(f"stages:  {stages}")
     mode = "streamed" if report.streamed else "full-read"
     print(f"io:      {mode}, read {report.bytes_read / 1e6:.1f} MB / "
           f"wrote {report.bytes_written / 1e6:.1f} MB "
           f"(cache hits {report.cache_hits}, "
           f"peak window {report.peak_window_bytes / 1e6:.2f} MB)")
+    if report.streamed:
+        print(f"ranges:  {report.num_preads} preads in "
+              f"{report.num_batches} batches, "
+              f"{report.ranges_coalesced} ranges coalesced")
     return 0
 
 
@@ -427,8 +435,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--window-bytes",
         type=int,
-        default=DEFAULT_WINDOW_BYTES,
-        help="streaming: max bytes per disk read (bounds buffer memory)",
+        default=None,
+        help="streaming: max bytes per disk read, bounds buffer memory "
+        "(default: auto-sized to the largest touched file, capped at "
+        "64 MiB, so extract runs zero-copy)",
+    )
+    p.add_argument(
+        "--coalesce-gap",
+        type=int,
+        default=DEFAULT_COALESCE_GAP,
+        help="streaming: merge planned ranges separated by at most this "
+        "many bytes into one fetch (0 = only adjacent/overlapping; "
+        "output is byte-identical at any setting)",
+    )
+    p.add_argument(
+        "--digest-pool",
+        choices=("thread", "process"),
+        default="thread",
+        help="streaming: where manifest digests hash — 'thread' overlaps "
+        "with extract and pre-warms the block cache (default); "
+        "'process' sidesteps the GIL but loses the pre-warm",
     )
     p.add_argument(
         "--no-stream",

@@ -28,18 +28,23 @@ annotation enforced by ``repro lint-src`` (SRC005-SRC008).  Each
 reader additionally serializes its disk reads under its own lock
 (the ``ObjectStore`` byte accounting is not thread-safe); that lock is
 declared ``blocking_ok`` because holding it across the read *is* the
-serialization.  Both locks are :func:`repro.analysis.lockwitness
-.make_lock` wrappers, so under ``REPRO_LOCKCHECK=1`` the runtime
-witness sees every acquisition; when the witness is off the wrappers
-cost one list check over a plain lock.  Readers always acquire
-reader-lock before cache-lock (reader methods call cache methods,
-never the reverse), which keeps the runtime lock-order graph acyclic.
+serialization.  Fully-cached requests bypass the IO lock entirely —
+they assemble from an atomic coverage snapshot, updating their
+counters under a leaf stats lock — so concurrent cache hits never
+queue behind a cold miss's disk read.  All locks are
+:func:`repro.analysis.lockwitness.make_lock` wrappers, so under
+``REPRO_LOCKCHECK=1`` the runtime witness sees every acquisition; when
+the witness is off the wrappers cost one list check over a plain lock.
+Readers always acquire reader-lock before cache-lock or stats-lock
+(reader methods call cache methods, never the reverse; the stats lock
+is a leaf), which keeps the runtime lock-order graph acyclic.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import lockwitness as _lockwitness
@@ -52,6 +57,9 @@ DEFAULT_CACHE_BYTES = 64 << 20
 """Default shared block-cache bound."""
 
 _INF = float("inf")
+
+_NEVER_RESIDENT = object()
+"""Memo sentinel: this file can never be one cached block (too large)."""
 
 
 def _overlaps(spans: List[Tuple[int, int]], start: int, end: int) -> bool:
@@ -168,6 +176,25 @@ class BlockCache:
         with self._lock:
             self._put_locked(rel, start, data)
 
+    def put_many(self, rel: str, blocks: List[Tuple[int, bytes]]) -> None:
+        """Insert several ``(start, data)`` blocks of one file at once.
+
+        One lock acquisition covers the whole batch, so a windowed fetch
+        that lands N blocks pays the cache bookkeeping once instead of N
+        times.  Each block follows :meth:`put` semantics individually
+        (overlapping or oversized blocks are declined, the rest land).
+        """
+        items = [
+            (start, data if isinstance(data, bytes) else bytes(data))
+            for start, data in blocks
+            if data
+        ]
+        if not items:
+            return
+        with self._lock:
+            for start, data in items:
+                self._put_locked(rel, start, data)
+
     def _put_locked(self, rel: str, start: int, data: bytes) -> None:  # holds: self._lock
         self._check_guarded()
         if len(data) > self.max_bytes:
@@ -206,6 +233,15 @@ class BlockCache:
                 self.hits += 1
             else:
                 self.misses += 1
+
+    def record_lookups(self, hits: int, misses: int) -> None:
+        """Count a batch of logical lookups under one lock acquisition."""
+        if hits == 0 and misses == 0:
+            return
+        with self._lock:
+            self._check_guarded()
+            self.hits += hits
+            self.misses += misses
 
     def clear(self) -> None:
         """Drop every cached block (counters are kept)."""
@@ -277,17 +313,77 @@ class RangeReader:
         self.parallel = parallel
         self.bytes_read = 0
         self.read_ops = 0
+        self.num_batches = 0
+        self.ranges_coalesced = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.peak_window_bytes = 0
+        self.fetch_seconds = 0.0
         # serializes this reader's disk IO; holding it across the read
-        # is the point, hence blocking_ok (UCP031 stays quiet for it)
+        # is the point, hence blocking_ok (UCP031 stays quiet for it).
+        # Fully-cached requests never take it: they assemble straight
+        # from a coverage snapshot, so concurrent cache hits don't
+        # serialize behind a cold miss's disk read.
         self._io_lock = _lockwitness.make_lock(
             "RangeReader._io_lock", blocking_ok=True
         )
+        # leaf lock for the counters above, which the lock-free cache-hit
+        # path also updates; ordering is io_lock -> stats_lock, never the
+        # reverse, so the witness order graph stays acyclic
+        self._stats_lock = _lockwitness.make_lock("RangeReader._stats_lock")
         self._sizes: Dict[str, int] = {}  # guarded-by: self._io_lock
+        # lock-free memo of (size, whole-file view) pairs (see
+        # _resident_view); values are read-only views over immutable
+        # bytes, so the unsynchronized get/set race is benign — both
+        # racing writers store an equivalent pair.  Files that can never
+        # resolve to one block memoize _NEVER_RESIDENT so later calls
+        # skip the size() lookup (and its _io_lock hop) entirely.
+        self._resident: Dict[str, object] = {}
 
     # --- helpers -----------------------------------------------------
+
+    @property
+    def num_preads(self) -> int:
+        """Positioned reads issued against the store (alias of read_ops).
+
+        Each windowed block inside a batched :meth:`ObjectStore
+        .read_ranges` call is one seek+read — one ``pread`` on a real
+        file — so this is the syscall-shaped counter the benchmarks and
+        the CLI report.
+        """
+        return self.read_ops
+
+    def _count(
+        self,
+        *,
+        hits: int = 0,
+        misses: int = 0,
+        coalesced: int = 0,
+    ) -> None:
+        """Update logical-lookup counters (safe from the lock-free path)."""
+        with self._stats_lock:
+            self.cache_hits += hits
+            self.cache_misses += misses
+            self.ranges_coalesced += coalesced
+        self.cache.record_lookups(hits, misses)
+
+    def _coalesce(
+        self, ranges: List[Tuple[int, int]]
+    ) -> List[Tuple[int, int]]:
+        """Merge requested ``(offset, length)`` ranges into fetch spans.
+
+        Ranges are sorted into sequential file order first, so the fetch
+        plan always walks the file forward; near-adjacent ranges (gap <=
+        ``coalesce_gap``) and overlapping ranges merge into one span.
+        """
+        wanted = sorted((o, o + n) for o, n in ranges if n > 0)
+        spans: List[Tuple[int, int]] = []
+        for s, e in wanted:
+            if spans and s <= spans[-1][1] + self.coalesce_gap:
+                spans[-1] = (spans[-1][0], max(spans[-1][1], e))
+            else:
+                spans.append((s, e))
+        return spans
 
     def size(self, rel: str) -> int:
         """Cached on-disk size of one object."""
@@ -301,6 +397,34 @@ class RangeReader:
             self._sizes[rel] = size
         return size
 
+    def _resident_view(self, rel: str) -> Optional[Tuple[int, memoryview]]:
+        """``(size, view)`` over the whole file if one cached block holds it.
+
+        Small files (at most one read window) land in the cache as a
+        single block during the digest pre-warm pass; every later range
+        request against them reduces to slicing one read-only view.  The
+        resolved view is memoized, which pins the block's payload for
+        this reader's lifetime — a later cache eviction frees the cache
+        budget but not the bytes, which is exactly the pin the extract
+        phase wants for files it is still scattering from.
+        """
+        memo = self._resident.get(rel)
+        if memo is not None:
+            return memo if memo is not _NEVER_RESIDENT else None
+        size = self.size(rel)
+        if size == 0 or size > self.window_bytes:
+            # Blocks are at most one read window, so a bigger file can
+            # never be served from a single cached block — remember that
+            # so later calls don't re-pay the size lookup and probe.
+            self._resident[rel] = _NEVER_RESIDENT
+            return None
+        data = self.cache.get(rel, 0, size)
+        if data is None:
+            return None
+        memo = (size, memoryview(data).toreadonly())
+        self._resident[rel] = memo
+        return memo
+
     def _fetch_locked(  # holds: self._io_lock
         self, rel: str, gaps: List[Tuple[int, int]]
     ) -> List[Tuple[int, int, bytes]]:
@@ -313,7 +437,7 @@ class RangeReader:
         on what the cache retained.
         """
         blocks: List[Tuple[int, int]] = []
-        for start, end in gaps:
+        for start, end in sorted(gaps):
             cursor = start
             while cursor < end:
                 step = min(self.window_bytes, end - cursor)
@@ -323,6 +447,7 @@ class RangeReader:
             return []
         witness = _lockwitness.current()
         io_before = getattr(self.store, "simulated_read_s", 0.0)
+        wall_before = time.perf_counter()
         # deliberate: this reader's lock exists to serialize disk reads
         payloads = self.store.read_ranges(  # srclint: disable=SRC007
             rel, blocks, parallel=self.parallel
@@ -337,14 +462,20 @@ class RangeReader:
                 kind="cache-miss",
             )
         fresh: List[Tuple[int, int, bytes]] = []
+        nbytes = 0
         for (start, step), data in zip(blocks, payloads):
-            self.bytes_read += step
-            self.read_ops += 1
+            nbytes += step
             self.peak_window_bytes = max(self.peak_window_bytes, step)
             if not isinstance(data, bytes):
                 data = bytes(data)
-            self.cache.put(rel, start, data)
             fresh.append((start, start + step, data))
+        # one cache-lock acquisition for the whole batch
+        self.cache.put_many(rel, [(s, d) for s, _, d in fresh])
+        with self._stats_lock:
+            self.bytes_read += nbytes
+            self.read_ops += len(blocks)
+            self.num_batches += 1
+            self.fetch_seconds += time.perf_counter() - wall_before
         return fresh
 
     @staticmethod
@@ -382,10 +513,12 @@ class RangeReader:
             # zero-copy fast path; toreadonly() guarantees the cache's
             # bytes cannot be poisoned even if a block type regresses
             return memoryview(block)[b_lo:b_hi].toreadonly()
+        # multi-piece: one gather into a scratch buffer, returned as a
+        # read-only view directly over it — no trailing bytes() copy
         out = bytearray(length)
         for lo, block, b_lo, b_hi in pieces:
             out[lo - offset : lo - offset + (b_hi - b_lo)] = block[b_lo:b_hi]
-        return memoryview(bytes(out)).toreadonly()
+        return memoryview(out).toreadonly()
 
     # --- public API --------------------------------------------------
 
@@ -406,43 +539,95 @@ class RangeReader:
 
         Near-adjacent ranges (gap <= ``coalesce_gap``) are fetched with
         one disk read; each requested range still comes back as its own
-        buffer, in input order.
+        buffer, in input order.  A request fully covered by the cache is
+        assembled straight from a coverage snapshot without touching the
+        IO lock, so concurrent hits never wait behind a disk read.
         """
         if not ranges:
             return []
         for offset, length in ranges:
             if offset < 0 or length < 0:
                 raise ValueError(f"invalid range ({offset}, {length})")
+        resident = self._resident_view(rel)
+        if resident is not None:
+            size, view = resident
+            if all(offset + length <= size for offset, length in ranges):
+                out = [
+                    view[offset : offset + length]
+                    if length > 0 else memoryview(b"")
+                    for offset, length in ranges
+                ]
+                self._count(hits=sum(1 for _, n in ranges if n > 0))
+                return out
+        spans = self._coalesce(ranges)
+        n_wanted = sum(1 for _, n in ranges if n > 0)
+        served = self._try_cached(rel, ranges, spans, n_wanted)
+        if served is not None:
+            return served
         with self._io_lock:
-            return self._read_multi_locked(rel, ranges)
+            return self._read_multi_locked(rel, ranges, spans, n_wanted)
+
+    def _try_cached(
+        self,
+        rel: str,
+        ranges: List[Tuple[int, int]],
+        spans: List[Tuple[int, int]],
+        n_wanted: int,
+    ) -> Optional[List[memoryview]]:
+        """Serve a fully-cached request without the IO lock, else None.
+
+        The coverage snapshot holds direct references to the immutable
+        block payloads, so a concurrent eviction between snapshot and
+        assembly cannot invalidate the result.  Any gap at all falls
+        back to the locked path (which re-snapshots under the lock).
+        """
+        blocks: List[Tuple[int, int, bytes]] = []
+        for s, e in spans:
+            cov = self.cache.coverage(rel, s, e)
+            if _uncovered(cov, s, e):
+                return None
+            blocks.extend(cov)
+        covered: Dict[Tuple[int, int], bytes] = {
+            (s, e): data for s, e, data in blocks
+        }
+        sorted_blocks = sorted(
+            (s, e, data) for (s, e), data in covered.items()
+        )
+        out = [
+            self._assemble(rel, offset, length, sorted_blocks)
+            if length > 0 else memoryview(b"")
+            for offset, length in ranges
+        ]
+        self._count(
+            hits=len(spans), coalesced=n_wanted - len(spans)
+        )
+        return out
 
     def _read_multi_locked(  # holds: self._io_lock
-        self, rel: str, ranges: List[Tuple[int, int]]
+        self,
+        rel: str,
+        ranges: List[Tuple[int, int]],
+        spans: List[Tuple[int, int]],
+        n_wanted: int,
     ) -> List[memoryview]:
-        # coalesce the requested ranges into fetch spans
-        wanted = sorted((o, o + n) for o, n in ranges if n > 0)
-        spans: List[Tuple[int, int]] = []
-        for s, e in wanted:
-            if spans and s <= spans[-1][1] + self.coalesce_gap:
-                spans[-1] = (spans[-1][0], max(spans[-1][1], e))
-            else:
-                spans.append((s, e))
         # one coverage snapshot per span; a cached block straddling two
         # spans would appear twice, hence the keyed dedup
         covered: Dict[Tuple[int, int], bytes] = {}
         all_gaps: List[Tuple[int, int]] = []
+        hits = misses = 0
         for s, e in spans:
             cov = self.cache.coverage(rel, s, e)
             gaps = _uncovered(cov, s, e)
             if sum(b_e - b_s for b_s, b_e, _ in cov) > 0:
-                self.cache_hits += 1
-                self.cache.record_lookup(True)
+                hits += 1
             if gaps:
-                self.cache_misses += 1
-                self.cache.record_lookup(False)
+                misses += 1
             for b_s, b_e, data in cov:
                 covered[(b_s, b_e)] = data
             all_gaps.extend(gaps)
+        self._count(
+            hits=hits, misses=misses, coalesced=n_wanted - len(spans)
+        )
         fresh = self._fetch_locked(rel, all_gaps)
         blocks = sorted(
             [(s, e, data) for (s, e), data in covered.items()] + fresh
@@ -453,19 +638,23 @@ class RangeReader:
             for offset, length in ranges
         ]
 
-    def digest(self, rel: str, chunk_bytes: int = DEFAULT_WINDOW_BYTES) -> str:
+    def digest(self, rel: str, chunk_bytes: Optional[int] = None) -> str:
         """Streaming SHA-256 of a whole object, in bounded chunks.
 
         Each chunk goes through :meth:`read`, so the verified blocks
         stay in the shared cache for the extract phase to reuse — the
         digest pass and the data pass together read each byte from disk
-        once.
+        once.  Chunks default to this reader's window so the cached
+        blocks match the read granularity: a file no larger than one
+        window lands as a single block, which the :meth:`read_multi`
+        resident-view fast path then serves without any copies.
         """
+        chunk = chunk_bytes or self.window_bytes
         size = self.size(rel)
         hasher = hashlib.sha256()
         cursor = 0
         while cursor < size:
-            step = min(chunk_bytes, size - cursor)
+            step = min(chunk, size - cursor)
             hasher.update(self.read(rel, cursor, step))
             cursor += step
         return hasher.hexdigest()

@@ -156,6 +156,80 @@ class TestReadByteBounds:
         assert report.cache_hits > 0
 
 
+class TestConversionKnobs:
+    """The batching/overlap knobs tune IO shape, never output bytes."""
+
+    def test_coalesce_gap_is_byte_invisible(self, tp4_checkpoint, tmp_path):
+        _, ckpt_dir = tp4_checkpoint
+        tight_dir = str(tmp_path / "tight")
+        wide_dir = str(tmp_path / "wide")
+        tight = ucp_convert(ckpt_dir, tight_dir, coalesce_gap=0)
+        wide = ucp_convert(ckpt_dir, wide_dir, coalesce_gap=1 << 20)
+        assert dir_digests(tight_dir) == dir_digests(wide_dir)
+        assert wide.num_preads <= tight.num_preads
+
+    def test_process_digest_pool_identical(self, tp4_checkpoint, tmp_path):
+        _, ckpt_dir = tp4_checkpoint
+        thread_dir = str(tmp_path / "thread")
+        proc_dir = str(tmp_path / "proc")
+        ucp_convert(ckpt_dir, thread_dir, workers=2)
+        report = ucp_convert(
+            ckpt_dir, proc_dir, workers=2, digest_pool="process"
+        )
+        assert report.streamed is True
+        assert dir_digests(proc_dir) == dir_digests(thread_dir)
+
+    def test_invalid_knobs_rejected(self, tp4_checkpoint, tmp_path):
+        _, ckpt_dir = tp4_checkpoint
+        with pytest.raises(ValueError):
+            ucp_convert(ckpt_dir, str(tmp_path / "x"), digest_pool="gpu")
+        with pytest.raises(ValueError):
+            ucp_convert(ckpt_dir, str(tmp_path / "y"), coalesce_gap=-1)
+
+    def test_stage_timings_and_counters_populated(
+        self, tp4_checkpoint, tmp_path
+    ):
+        _, ckpt_dir = tp4_checkpoint
+        streamed = ucp_convert(ckpt_dir, str(tmp_path / "s"))
+        assert set(streamed.stage_seconds) == {
+            "lower", "plan", "digest", "read", "assemble", "write",
+            "finalize",
+        }
+        assert all(t >= 0 for t in streamed.stage_seconds.values())
+        assert streamed.num_preads > 0
+        assert streamed.num_batches > 0
+        assert streamed.ranges_coalesced > 0
+        assert (
+            streamed.header_bytes
+            + streamed.digest_bytes
+            <= streamed.bytes_read
+        )
+        assert 0 < streamed.planned_state_bytes <= streamed.digest_bytes
+        full = ucp_convert(
+            ckpt_dir, str(tmp_path / "f"), streaming=False
+        )
+        assert set(full.stage_seconds) == {"extract", "union", "write"}
+
+    def test_window_auto_sizing_reads_whole_files(
+        self, tp4_checkpoint, tmp_path
+    ):
+        """With no explicit window the reader grows it to the largest
+        touched file, so the digest pass caches each file as one block
+        and extract is served zero-copy — far fewer preads than a
+        small fixed window, same output bytes."""
+        _, ckpt_dir = tp4_checkpoint
+        auto_dir = str(tmp_path / "auto")
+        fixed_dir = str(tmp_path / "fixed")
+        auto = ucp_convert(ckpt_dir, auto_dir)
+        fixed = ucp_convert(ckpt_dir, fixed_dir, window_bytes=4096)
+        assert dir_digests(auto_dir) == dir_digests(fixed_dir)
+        assert auto.num_preads < fixed.num_preads
+        assert fixed.peak_window_bytes <= 4096
+        src = ObjectStore(ckpt_dir)
+        largest = max(src.size(rel) for rel in src.list("."))
+        assert auto.peak_window_bytes >= min(largest, 64 << 20)
+
+
 class TestSlicedLoad:
     def test_sliced_load_state_identical_fewer_bytes(
         self, tp4_checkpoint, tmp_path

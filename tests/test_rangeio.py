@@ -152,6 +152,133 @@ class TestRangeReader:
             reader.read("nope.bin", 0, 10)
 
 
+class TestCoalescingEdgeCases:
+    """Range batching may change IO shape only — never a payload byte.
+
+    Every case checks the returned buffers against a plain slice of the
+    original payload (the "uncoalesced" ground truth) and then pins the
+    pread/batch/coalesce counters the batching is supposed to improve.
+    """
+
+    def test_overlapping_ranges_fetch_union_once(self, store):
+        store, payload = store
+        reader = RangeReader(store)
+        ranges = [(0, 200), (100, 200), (250, 100)]
+        parts = reader.read_multi("blob.bin", ranges)
+        assert [bytes(p) for p in parts] == [
+            payload[o:o + n] for o, n in ranges
+        ]
+        assert reader.num_preads == 1
+        assert reader.bytes_read == 350  # union of the overlaps, not sum
+        assert reader.ranges_coalesced == 2
+
+    def test_out_of_order_ranges_sorted_into_one_pread(self, store):
+        store, payload = store
+        reader = RangeReader(store)
+        ranges = [(200, 100), (0, 100), (100, 100)]
+        parts = reader.read_multi("blob.bin", ranges)
+        # results in request order, fetched in file order
+        assert [bytes(p) for p in parts] == [
+            payload[o:o + n] for o, n in ranges
+        ]
+        assert reader.num_preads == 1
+        assert reader.num_batches == 1
+
+    def test_adjacent_single_byte_slices_one_pread(self, store):
+        store, payload = store
+        reader = RangeReader(store)
+        ranges = [(i, 1) for i in range(64)]
+        parts = reader.read_multi("blob.bin", ranges)
+        assert [bytes(p) for p in parts] == [
+            payload[i:i + 1] for i in range(64)
+        ]
+        assert reader.num_preads == 1
+        assert reader.ranges_coalesced == 63
+
+    def test_scattered_single_byte_slices_stay_separate(self, store):
+        store, payload = store
+        reader = RangeReader(store)  # coalesce_gap=0
+        ranges = [(i * 1000, 1) for i in range(8)]
+        parts = reader.read_multi("blob.bin", ranges)
+        assert [bytes(p) for p in parts] == [
+            payload[o:o + 1] for o, _ in ranges
+        ]
+        assert reader.num_preads == 8
+        assert reader.bytes_read == 8
+        assert reader.ranges_coalesced == 0
+
+    def test_gap_budget_is_a_hard_boundary(self, store):
+        store, _ = store
+        just_inside = RangeReader(store, coalesce_gap=11)
+        just_inside.read_multi("blob.bin", [(0, 10), (21, 10)])
+        assert just_inside.num_preads == 1  # 11-byte gap == budget
+        just_outside = RangeReader(store, coalesce_gap=10)
+        just_outside.read_multi("blob.bin", [(0, 10), (21, 10)])
+        assert just_outside.num_preads == 2
+
+    def test_coalesced_span_straddling_window_boundary(self, store):
+        store, payload = store
+        reader = RangeReader(store, window_bytes=100, coalesce_gap=16)
+        # the merged span [0, 120) exceeds one window: the fetch must
+        # split into bounded reads yet still return each range intact
+        parts = reader.read_multi("blob.bin", [(0, 60), (70, 50)])
+        assert bytes(parts[0]) == payload[0:60]
+        assert bytes(parts[1]) == payload[70:120]
+        assert reader.num_preads == 2
+        assert reader.peak_window_bytes <= 100
+
+    def test_range_straddling_cached_block_boundary(self, store):
+        store, payload = store
+        reader = RangeReader(store, window_bytes=100)
+        reader.read("blob.bin", 0, 300)  # cached as three 100-byte blocks
+        ops = reader.read_ops
+        view = reader.read("blob.bin", 90, 120)  # spans all three blocks
+        assert bytes(view) == payload[90:210]
+        assert reader.read_ops == ops  # stitched from cache, no new IO
+
+    def test_coalescing_across_cache_eviction(self, store):
+        """Eviction between batched reads must never surface stale or
+        misassembled bytes — re-fetched spans are byte-identical."""
+        store, payload = store
+        reader = RangeReader(
+            store,
+            cache=BlockCache(max_bytes=256),
+            window_bytes=128,
+            coalesce_gap=64,
+        )
+        ranges_a = [(0, 100), (150, 100)]
+        ranges_b = [(1000, 100), (1150, 100)]
+        for _ in range(3):  # alternate so each batch evicts the other's
+            parts = reader.read_multi("blob.bin", ranges_a)
+            assert [bytes(p) for p in parts] == [
+                payload[o:o + n] for o, n in ranges_a
+            ]
+            parts = reader.read_multi("blob.bin", ranges_b)
+            assert [bytes(p) for p in parts] == [
+                payload[o:o + n] for o, n in ranges_b
+            ]
+
+    def test_random_plans_identical_with_and_without_coalescing(self, store):
+        store, payload = store
+        rng = np.random.default_rng(7)
+        plain = RangeReader(store, coalesce_gap=0)
+        batched = RangeReader(store, coalesce_gap=4096)
+        for _ in range(20):
+            n = int(rng.integers(1, 12))
+            offsets = rng.integers(0, len(payload) - 64, size=n)
+            ranges = [
+                (int(o), int(rng.integers(1, 64))) for o in offsets
+            ]
+            expected = [payload[o:o + ln] for o, ln in ranges]
+            assert [
+                bytes(p) for p in plain.read_multi("blob.bin", ranges)
+            ] == expected
+            assert [
+                bytes(p) for p in batched.read_multi("blob.bin", ranges)
+            ] == expected
+        assert batched.read_ops <= plain.read_ops
+
+
 class TestReadOnlyReturns:
     """Cache-poisoning defense: served bytes are immutable.
 
