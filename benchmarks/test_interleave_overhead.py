@@ -1,0 +1,190 @@
+"""BENCH_interleave — cost of running one schedule under the explorer.
+
+Three measurements keep the cooperative scheduler honest:
+
+* **plain_s**: a production-scale convert+verify workload (1 MiB
+  windows over an 8 MiB source through a shared ``BlockCache``) run
+  serially with nothing attached — the context number.
+* **witnessed_s**: the same workload under the three per-run witnesses
+  every explored schedule pays (sanitizer, lock witness, FS trace).
+  Their cost is budgeted by their *own* benches
+  (``BENCH_lockwitness_overhead``, ``BENCH_sanitizer_overhead``); this
+  bench does not re-gate it.
+* **controlled_s**: the full :func:`interleave.run_schedule` — park
+  every thread at every yield point, dispatch serially, record the
+  trace.  The gate: ``controlled_s / witnessed_s <= MAX_OVERHEAD``,
+  i.e. the scheduler machinery proper adds at most 30% on top of the
+  instrumentation the run needs anyway.  Yield-point handoffs are two
+  ``Event`` round trips (~tens of µs); at production window sizes they
+  amortize into the real IO/digest work between them.
+
+Off-mode, the whole subsystem must vanish: with ``REPRO_INTERLEAVE``
+unset no controller is installed, and every hook site is one module
+global load plus a ``None`` check.  The micro-ratio budget is loose on
+purpose — it exists to catch an accidental always-on regression
+(unconditional stack capture or event recording is ~100x), not to
+police nanoseconds.
+"""
+
+import hashlib
+import os
+import time
+
+from repro.analysis import interleave, schedpoint
+from repro.analysis.fswitness import fstrace
+from repro.analysis.lockwitness import lockcheck
+from repro.analysis.sanitizer import sanitize
+from repro.storage.rangeio import BlockCache, RangeReader
+from repro.storage.store import ObjectStore
+
+from bench_util import record_result
+
+MB = 1 << 20
+SOURCE_BYTES = 8 * MB
+WINDOW_BYTES = MB
+REPEATS = 4
+MAX_OVERHEAD = 1.3
+MAX_OFF_MODE_RATIO = 10.0
+OFF_CALLS = 200_000
+
+
+def _best_of(fn, repeats=REPEATS):
+    """Min-of-N wall time: the least-noise estimator for short runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_scenario(root) -> interleave.Scenario:
+    """Convert+verify at production granularity: one tenant streams a
+    planned read through the shared cache and publishes an atom while
+    a verifier digests the same source through the same cache."""
+    src = ObjectStore(os.path.join(root, "src"), durable=False)
+    src.put_bytes("rank0.bin", interleave._blob(0, "bench", SOURCE_BYTES))
+    dst_root = os.path.join(root, "dst")
+    plan = [(off, WINDOW_BYTES) for off in range(0, SOURCE_BYTES, WINDOW_BYTES)]
+
+    def fresh() -> interleave.RunCase:
+        dst = ObjectStore(dst_root, durable=False)
+        cache = BlockCache(4 * MB)
+        r0 = RangeReader(src, cache=cache, window_bytes=WINDOW_BYTES)
+        r1 = RangeReader(src, cache=cache, window_bytes=WINDOW_BYTES)
+        out = {}
+
+        def convert() -> None:
+            parts = r0.read_multi("rank0.bin", plan)
+            dst.put_bytes("atom.bin", b"".join(parts))
+
+        def verify() -> None:
+            digest = hashlib.sha256()
+            for off, length in plan:
+                digest.update(r1.read("rank0.bin", off, length))
+            out["digest"] = digest.hexdigest()
+
+        return interleave.RunCase(
+            threads=[convert, verify],
+            fingerprint=lambda: dst.digest("atom.bin") + out["digest"],
+        )
+
+    return interleave.scenario("bench-convert-verify", fresh)
+
+
+def test_interleave_overhead_within_budget(benchmark, tmp_path):
+    scen = _bench_scenario(str(tmp_path))
+
+    def plain():
+        case = scen.fresh()
+        for fn in case.threads:
+            fn()
+        case.fingerprint()
+        case.cleanup()
+
+    def witnessed():
+        with sanitize(strict=False), lockcheck(strict=False), \
+                fstrace(capture_data=False):
+            plain()
+
+    def controlled():
+        interleave.run_schedule(scen.fresh())
+
+    # the fingerprints must agree before any timing means anything
+    case = scen.fresh()
+    for fn in case.threads:
+        fn()
+    serial_fp = case.fingerprint()
+    case.cleanup()
+    result = interleave.run_schedule(scen.fresh())
+    assert result.fingerprint == serial_fp
+    # and the controlled run really crossed the yield points
+    kinds = {ev.kind for ev in result.trace}
+    assert {"acquire", "release", "access", "fs"} <= kinds
+    assert len(result.trace) > 50
+
+    witnessed()  # extra warmup (plain/controlled warmed above)
+    plain_s = _best_of(plain)
+    witnessed_s = _best_of(witnessed)
+    controlled_s = _best_of(controlled)
+    ratio = controlled_s / witnessed_s
+
+    benchmark.pedantic(controlled, rounds=1, iterations=1)
+
+    # off-mode micro: a yield point with no controller installed is a
+    # global load + None check around a no-op
+    assert schedpoint.controller() is None
+
+    def baseline():
+        for _ in range(OFF_CALLS):
+            pass
+
+    def hooked():
+        for _ in range(OFF_CALLS):
+            interleave.access("bench")
+
+    baseline_s = _best_of(lambda: baseline())
+    hooked_s = _best_of(lambda: hooked())
+    off_ratio = hooked_s / max(baseline_s, 1e-9)
+
+    record_result(
+        "BENCH_interleave",
+        {
+            "workload": {
+                "source_bytes": SOURCE_BYTES,
+                "window_bytes": WINDOW_BYTES,
+                "threads": 2,
+                "trace_events": len(result.trace),
+            },
+            "repeats": REPEATS,
+            "plain_s": round(plain_s, 4),
+            "witnessed_s": round(witnessed_s, 4),
+            "controlled_s": round(controlled_s, 4),
+            "overhead_ratio": round(ratio, 3),
+            "budget_ratio": MAX_OVERHEAD,
+            "off_mode_calls": OFF_CALLS,
+            "off_mode_ratio": round(off_ratio, 2),
+            "off_mode_budget_ratio": MAX_OFF_MODE_RATIO,
+        },
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"controlled schedule costs {ratio:.2f}x the witnessed run "
+        f"(budget {MAX_OVERHEAD}x): {controlled_s:.3f}s vs "
+        f"{witnessed_s:.3f}s over {len(result.trace)} yield points"
+    )
+    assert off_ratio <= MAX_OFF_MODE_RATIO, (
+        f"inactive yield point costs {off_ratio:.1f}x an empty loop "
+        f"body (budget {MAX_OFF_MODE_RATIO}x): the None fast path "
+        f"regressed"
+    )
+
+
+def test_interleave_off_mode_is_inert(monkeypatch):
+    """With ``REPRO_INTERLEAVE`` unset nothing may be installed: the
+    env gate reads off, no controller exists, and a hook call leaves
+    no trace behind."""
+    monkeypatch.delenv(interleave.ENV_VAR, raising=False)
+    assert not interleave.enabled_from_env()
+    assert schedpoint.controller() is None
+    interleave.access("off-mode", write=True)
+    assert schedpoint.controller() is None

@@ -58,6 +58,10 @@ RULES: Dict[str, str] = {
     "UCP033": "crash-state-recovery-failure",
     "UCP034": "tmp-leaked-after-clean-exit",
     "UCP035": "crash-enumeration-bounded",
+    "UCP036": "schedule-dependent-divergence",
+    "UCP037": "deadlock-schedule",
+    "UCP038": "unsynchronized-access-pair",
+    "UCP039": "bounded-exploration",
     "SRC001": "collective-result-no-copy",
     "SRC002": "frombuffer-escape",
     "SRC003": "unordered-set-iteration",
@@ -70,6 +74,8 @@ RULES: Dict[str, str] = {
     "SRC010": "missing-dir-fsync-after-publish",
     "SRC011": "temp-file-leak-on-exception",
     "SRC012": "commit-order-violation",
+    "SRC013": "check-then-act-on-guarded-state",
+    "SRC014": "compound-op-spans-critical-sections",
 }
 """Stable rule ID -> short kebab-case name.  Append-only.
 

@@ -65,10 +65,11 @@ import posixpath
 import shutil
 import tempfile
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.analysis import schedpoint as _schedpoint
 from repro.analysis.diagnostics import LintReport, error, warning
 
 PAYLOAD_VERSION = 1
@@ -106,6 +107,10 @@ class FSOp:
             even when the bytes themselves were not captured.
         data: payload bytes when the recorder captured them; the
             enumerator needs these to materialize states.
+        thread: name of the thread that performed the op (stamped by
+            the recorder) — what lets interleaving traces and
+            crash-state enumeration compose once the async persister's
+            queue coalesces writes from several threads.
     """
 
     kind: str
@@ -114,12 +119,15 @@ class FSOp:
     nbytes: int = 0
     sha256: str = ""
     data: Optional[bytes] = None
+    thread: str = ""
 
     def to_dict(self, with_data: bool) -> Dict:
         """JSON-ready form; ``with_data`` inlines write bytes as base64."""
         out: Dict = {"kind": self.kind, "path": self.path}
         if self.dst is not None:
             out["dst"] = self.dst
+        if self.thread:
+            out["thread"] = self.thread
         if self.kind == WRITE:
             out["nbytes"] = self.nbytes
             out["sha256"] = self.sha256
@@ -137,6 +145,7 @@ class FSOp:
             nbytes=int(raw.get("nbytes", 0)),
             sha256=raw.get("sha256", ""),
             data=base64.b64decode(data) if data is not None else None,
+            thread=raw.get("thread", ""),
         )
 
 
@@ -175,8 +184,15 @@ class FSOpRecorder:
         return posixpath.normpath(f"{label}/{rel}")
 
     def _add(self, op: FSOp) -> None:
+        if not op.thread:
+            op = replace(op, thread=threading.current_thread().name)
         with self._mu:
             self._ops.append(op)
+        # yield AFTER recording: under the cooperative scheduler only
+        # one thread runs at a time, so trace order == effect order
+        ctl = _schedpoint._CONTROLLER
+        if ctl is not None:
+            ctl.on_fs(op.kind, op.path)
 
     def record_write(self, root: str, rel: str, data: bytes) -> None:
         """A data write of ``data`` to ``rel`` (typically a ``*.tmp``)."""

@@ -1,0 +1,1399 @@
+"""Deterministic interleaving explorer for the threaded IO layer.
+
+The witnesses of PRs 7-8 check the *one* schedule the OS happened to
+run.  The concurrency claims the multi-tenant checkpoint hub and the
+async persister rest on are quantified over *all* schedules, so this
+module explores the schedule *space*: a cooperative scheduler runs a
+scenario's threads one at a time, switching only at instrumented yield
+points, and a DFS explorer with dynamic partial-order reduction and a
+preemption bound drives the scenario through every inequivalent
+schedule it can afford, checking per-schedule invariants.
+
+Yield points are the hooks the runtime checkers already own — no new
+instrumentation in production code:
+
+* :class:`~repro.analysis.lockwitness.WitnessedLock` acquire/release,
+* the ``BlockCache`` accessor hooks behind UCP030 (now carrying a
+  read/write flag),
+* every :class:`~repro.analysis.fswitness.FSOpRecorder` store op,
+* explicit :func:`access` calls for scenario-declared shared state.
+
+Per-schedule invariants and the rules they report:
+
+========  ==============================  ================================
+rule      name                            finding
+========  ==============================  ================================
+UCP036    schedule-dependent-divergence   a schedule whose output
+                                          fingerprint differs from the
+                                          serial reference — reported
+                                          with both schedules' yield
+                                          traces and a delta-shrunk
+                                          minimal counterexample
+UCP037    deadlock-schedule               an all-blocked state, with the
+                                          wait cycle and the acquisition
+                                          stacks of every held lock
+UCP038    unsynchronized-access-pair      two accesses to one resource
+                                          from different threads with no
+                                          common lock and no
+                                          happens-before edge at
+                                          yield-point granularity
+UCP039    bounded-exploration             the schedule cap or preemption
+                                          bound was hit; counts reported
+                                          (a bounded run never silently
+                                          passes as exhaustive)
+========  ==============================  ================================
+
+The reduction is race-reversal DPOR: after each executed schedule the
+explorer finds racing pairs — adjacent-concurrent dependent events from
+different threads — and queues a schedule that reverses each pair at
+the branch point where the earlier event was chosen.  Two events are
+dependent when they touch the same resource with at least one write,
+or when they acquire the same lock while at least one holder nests it
+under another lock (the shape that can create a wait cycle).  Lock
+acquisitions whose critical sections touch no conflicting state are
+treated as independent, which is what keeps real IO scenarios — where
+every cache hit takes the same lock — tractable.
+
+Everything is deterministic: thread names are fixed (``T0``, ``T1``,
+...), schedules are branch-choice lists, the DFS order is sorted, and
+:meth:`ExploreReport.to_json` is byte-stable for one seed/schedule.
+``repro explore`` is the CLI entry; ``--schedule FILE`` replays one
+exact schedule, which is how a UCP036/UCP037 minimal counterexample is
+reproduced.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import lockwitness as _lockwitness
+from repro.analysis import schedpoint
+from repro.analysis.collective_trace import clock_lte
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    error,
+    warning,
+)
+
+ENV_VAR = "REPRO_INTERLEAVE"
+"""Set to ``1`` to opt tests/CI into deeper (slower) exploration caps."""
+
+DEFAULT_SCHEDULE_CAP = 256
+"""Executed-schedule budget per exploration (UCP039 when exceeded)."""
+
+DEFAULT_MAX_STEPS = 100_000
+"""Per-schedule step budget; past it the run is treated as divergent
+non-termination and the exploration raises :class:`ExploreError`."""
+
+DEFAULT_SHRINK_BUDGET = 64
+"""Extra runs the delta-shrinker may spend per counterexample."""
+
+_TRACE_LIMIT = 400
+"""Events kept per serialized yield trace in reports (head)."""
+
+
+class ExploreError(Exception):
+    """The exploration itself is misconfigured (bad scenario, bad
+    schedule file, step-budget blowout) — distinct from a *finding*."""
+
+
+class _Abort(BaseException):
+    """Unwinds a controlled thread when the scheduler cancels a run.
+
+    A ``BaseException`` so scenario code's ``except Exception`` blocks
+    cannot swallow the unwind.
+    """
+
+
+def enabled_from_env() -> bool:
+    """Whether ``REPRO_INTERLEAVE`` asks for deep exploration caps."""
+    return os.environ.get(ENV_VAR, "") not in ("", "0")
+
+
+# --- events and per-run results ----------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """One executed yield point.
+
+    ``key`` is the dependency identity (lock uid / resource / path);
+    ``resource`` is the display name.  ``branch`` is the index into the
+    run's branch-choice list when >1 thread was runnable at this step,
+    else ``-1``; ``runnable`` records which threads were runnable.
+    """
+
+    seq: int
+    thread: int
+    name: str
+    kind: str  # start | acquire | release | access | fs
+    resource: str
+    key: str
+    write: bool
+    held: Tuple[str, ...]
+    branch: int
+    runnable: Tuple[int, ...]
+
+    def to_row(self) -> List:
+        """Compact JSON trace row: seq, thread, kind, resource, r/w, held."""
+        return [
+            self.seq, self.name, self.kind, self.resource,
+            "w" if self.write else "r", list(self.held),
+        ]
+
+
+@dataclasses.dataclass
+class _Deadlock:
+    """An all-blocked state: who waits for what, and who holds it."""
+
+    waiters: List[Dict]  # [{thread, wants, owner, stack, owner_stack}]
+
+    def cycle_key(self) -> frozenset:
+        return frozenset(
+            (w["thread"], w["wants"], w["owner"]) for w in self.waiters
+        )
+
+    def describe(self) -> str:
+        hops = []
+        for w in self.waiters:
+            hops.append(
+                f"thread {w['thread']!r} waits for {w['wants']!r} held by "
+                f"{w['owner']!r} (blocked at [{w['stack']}]; owner "
+                f"acquired it at [{w['owner_stack']}])"
+            )
+        return "; ".join(hops)
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything one controlled execution produced."""
+
+    choices: List[int]
+    trace: List[Event]
+    deadlock: Optional[_Deadlock]
+    fingerprint: Optional[str]
+    preemptions: int
+    bound_exceeded: bool
+    witness_errors: List[Diagnostic]
+    sanitizer_errors: List[Diagnostic]
+
+
+# --- the cooperative scheduler -----------------------------------------
+
+
+class _TState:
+    """One controlled thread's scheduling state."""
+
+    __slots__ = (
+        "index", "name", "thread", "go", "parked", "done", "aborting",
+        "pending", "error",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.name = f"T{index}"
+        self.thread: Optional[threading.Thread] = None
+        self.go = threading.Event()
+        self.parked = False
+        self.done = False
+        self.aborting = False
+        # (kind, resource, key, write, lock_obj, stack)
+        self.pending: Optional[Tuple] = None
+        self.error: Optional[BaseException] = None
+
+
+class Controller:
+    """Cooperative scheduler: one controlled thread runs at a time.
+
+    Controlled threads park at every yield point; the scheduler (the
+    spawning thread) picks which parked thread proceeds.  Lock
+    ownership is modeled by the scheduler itself — a thread whose
+    pending acquire targets a lock owned by another controlled thread
+    is not runnable — so the real lock acquire that follows a dispatch
+    can never block, and an all-blocked state is *detected and
+    reported* (UCP037) instead of hanging the process.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        forced: Sequence[int],
+        preemption_bound: Optional[int],
+        max_steps: int,
+    ) -> None:
+        self.order = [_TState(i) for i in range(n_threads)]
+        self._by_ident: Dict[int, _TState] = {}
+        self._forced = list(forced)
+        self._pbound = preemption_bound
+        self._max_steps = max_steps
+        self._back = threading.Event()
+        self._abort = False
+        self._finished = False
+        self.trace: List[Event] = []
+        self.choices: List[int] = []
+        self.preemptions = 0
+        self.bound_exceeded = False
+        self.deadlock: Optional[_Deadlock] = None
+        # scheduler-side lock model (only the scheduler mutates these)
+        self._owner: Dict[int, _TState] = {}  # id(lock) -> holder
+        self._held: Dict[_TState, List[object]] = {}
+        self._lock_uids: Dict[int, str] = {}
+        self._acq_stacks: Dict[Tuple[int, int], str] = {}
+
+    # --- controlled-thread side (hook entry points) ------------------
+
+    def _state(self) -> Optional[_TState]:
+        return self._by_ident.get(threading.get_ident())
+
+    def _park(self, ts: _TState, pending: Tuple) -> None:
+        ts.pending = pending
+        ts.parked = True
+        self._back.set()
+        ts.go.wait()
+        ts.go.clear()
+        if self._abort:
+            ts.aborting = True
+            raise _Abort()
+
+    def lock_enter(self, lock) -> None:
+        """Hook from ``WitnessedLock.__enter__`` (pre real acquire)."""
+        ts = self._state()
+        if ts is None or ts.aborting or self._finished:
+            return
+        stack = _lockwitness._fmt_stack(_lockwitness._capture_stack(skip=3))
+        self._park(ts, ("acquire", lock.name, "", False, lock, stack))
+
+    def lock_exit(self, lock) -> None:
+        """Hook from ``WitnessedLock.__exit__`` (pre real release)."""
+        ts = self._state()
+        if ts is None or ts.aborting or self._finished:
+            return
+        self._park(ts, ("release", lock.name, "", False, lock, ""))
+
+    def on_access(self, resource: str, write: bool) -> None:
+        """Hook for guarded-state accessors and :func:`access`."""
+        ts = self._state()
+        if ts is None or ts.aborting or self._finished:
+            return
+        self._park(ts, ("access", resource, resource, write, None, ""))
+
+    def on_fs(self, kind: str, path: str) -> None:
+        """Hook from the FS-op recorder: store file effects."""
+        ts = self._state()
+        if ts is None or ts.aborting or self._finished:
+            return
+        write = kind in ("write", "rename", "unlink")
+        self._park(ts, ("fs", f"{kind}:{path}", path, write, None, ""))
+
+    # --- scheduler side ----------------------------------------------
+
+    def _uid(self, lock) -> str:
+        uid = self._lock_uids.get(id(lock))
+        if uid is None:
+            uid = f"{lock.name}#{len(self._lock_uids)}"
+            self._lock_uids[id(lock)] = uid
+        return uid
+
+    def _enabled(self, ts: _TState) -> bool:
+        if not ts.parked or ts.pending is None:
+            return False
+        kind, _, _, _, lock, _ = ts.pending
+        if kind != "acquire":
+            return True
+        owner = self._owner.get(id(lock))
+        return owner is None or owner is ts
+
+    def _held_names(self, ts: _TState) -> Tuple[str, ...]:
+        return tuple(self._uid(lk) for lk in self._held.get(ts, ()))
+
+    def _dispatch(self, ts: _TState) -> None:
+        ts.parked = False
+        ts.go.set()
+        self._back.wait()
+        self._back.clear()
+
+    def _await_all_parked(self) -> None:
+        while True:
+            if all(ts.done or ts.parked for ts in self.order):
+                return
+            self._back.wait()
+            self._back.clear()
+
+    def _abort_all(self) -> None:
+        self._abort = True
+        live = [ts for ts in self.order if not ts.done]
+        for ts in live:
+            ts.go.set()
+        for ts in live:
+            if ts.thread is not None:
+                ts.thread.join()
+
+    def _wait_cycle(self) -> _Deadlock:
+        waiters = []
+        for ts in sorted(
+            (t for t in self.order if not t.done), key=lambda t: t.index
+        ):
+            kind, resource, _, _, lock, stack = ts.pending
+            owner = self._owner.get(id(lock))
+            # keyed by the lock *name*, not the per-run uid: the same
+            # wait cycle found via two schedules must dedupe to one
+            # finding even though first-touch uid numbering differs
+            waiters.append({
+                "thread": ts.name,
+                "wants": lock.name,
+                "owner": owner.name if owner else "?",
+                "stack": stack,
+                "owner_stack": self._acq_stacks.get(
+                    (owner.index if owner else -1, id(lock)), "<unknown>"
+                ),
+            })
+        return _Deadlock(waiters=waiters)
+
+    def run(self, thread_fns: Sequence[Callable[[], None]]) -> None:
+        """Execute the scenario threads under the forced schedule."""
+        for ts, fn in zip(self.order, thread_fns):
+            ts.thread = threading.Thread(
+                target=self._thread_main, args=(ts, fn),
+                name=ts.name, daemon=True,
+            )
+        for ts in self.order:
+            ts.thread.start()
+        self._await_all_parked()
+        prev: Optional[_TState] = None
+        steps = 0
+        try:
+            while True:
+                live = [ts for ts in self.order if not ts.done]
+                if not live:
+                    break
+                runnable = [ts for ts in live if self._enabled(ts)]
+                if not runnable:
+                    self.deadlock = self._wait_cycle()
+                    self._abort_all()
+                    break
+                if len(runnable) > 1:
+                    branch = len(self.choices)
+                    if branch < len(self._forced):
+                        want = self._forced[branch]
+                        chosen = next(
+                            (t for t in runnable if t.index == want), None
+                        )
+                        if chosen is None:
+                            raise ExploreError(
+                                f"schedule chooses T{want} at branch "
+                                f"{branch}, but only "
+                                f"{[t.name for t in runnable]} are runnable"
+                            )
+                    elif prev is not None and prev in runnable:
+                        chosen = prev
+                    else:
+                        chosen = runnable[0]
+                    self.choices.append(chosen.index)
+                else:
+                    branch = -1
+                    chosen = runnable[0]
+                if (
+                    prev is not None
+                    and chosen is not prev
+                    and prev in runnable
+                ):
+                    self.preemptions += 1
+                    if (
+                        self._pbound is not None
+                        and self.preemptions > self._pbound
+                    ):
+                        self.bound_exceeded = True
+                        self._abort_all()
+                        break
+                self._record(chosen, branch, runnable)
+                steps += 1
+                if steps > self._max_steps:
+                    self._abort_all()
+                    raise ExploreError(
+                        f"schedule exceeded {self._max_steps} steps; the "
+                        f"scenario does not terminate under this schedule"
+                    )
+                self._dispatch(chosen)
+                self._await_all_parked()
+                prev = chosen
+        finally:
+            self._finished = True
+            for ts in self.order:
+                if ts.thread is not None:
+                    ts.thread.join()
+        for ts in self.order:
+            if ts.error is not None:
+                raise ExploreError(
+                    f"thread {ts.name} raised under schedule "
+                    f"{self.choices}: {ts.error!r}"
+                ) from ts.error
+
+    def _record(self, ts: _TState, branch: int, runnable: List[_TState]) -> None:
+        kind, resource, key, write, lock, stack = ts.pending
+        held = self._held_names(ts)
+        if kind == "acquire":
+            key = self._uid(lock)
+            resource = key
+            self._owner[id(lock)] = ts
+            self._held.setdefault(ts, []).append(lock)
+            self._acq_stacks[(ts.index, id(lock))] = stack
+        elif kind == "release":
+            key = self._uid(lock)
+            resource = key
+            held_list = self._held.get(ts, [])
+            for i in range(len(held_list) - 1, -1, -1):
+                if held_list[i] is lock:
+                    del held_list[i]
+                    break
+            if not any(lk is lock for lk in held_list):
+                self._owner.pop(id(lock), None)
+        self.trace.append(Event(
+            seq=len(self.trace),
+            thread=ts.index,
+            name=ts.name,
+            kind=kind,
+            resource=resource,
+            key=key,
+            write=write,
+            held=held,
+            branch=branch,
+            runnable=tuple(t.index for t in runnable),
+        ))
+
+    def _thread_main(self, ts: _TState, fn: Callable[[], None]) -> None:
+        self._by_ident[threading.get_ident()] = ts
+        try:
+            self._park(ts, ("start", f"thread:{ts.name}", "", False, None, ""))
+            fn()
+        except _Abort:
+            pass
+        except BaseException as exc:  # reported as ExploreError by run()
+            ts.error = exc
+        finally:
+            ts.done = True
+            ts.parked = False
+            ts.pending = None
+            self._back.set()
+
+
+def access(resource: str, write: bool = False) -> None:
+    """Declare one access to scenario-shared state (a yield point).
+
+    Scenario and test code wraps its shared-state touches in this so
+    the explorer sees them; outside a controlled run it costs one
+    global load.  Unsynchronized conflicting pairs across threads are
+    reported as UCP038.
+    """
+    ctl = schedpoint._CONTROLLER
+    if ctl is not None:
+        ctl.on_access(resource, write)
+
+
+# --- dependency relation and race reversal -----------------------------
+
+
+class _Dependence:
+    """The dependency relation over one executed trace, by event index.
+
+    Two events are dependent when reordering them could change the
+    execution:
+
+    * access/fs events on a common key with at least one write and
+      **no common held lock** — a pair serialized by a shared lock
+      cannot be reordered at the access itself, only by reversing the
+      enclosing acquires, which the next clause covers;
+    * same-lock acquires whose critical-section *footprints* conflict
+      (both touch some resource, at least one writing) — reversing
+      which thread enters the critical section first is the only
+      scheduler-visible way to reorder lock-protected effects;
+    * same-lock acquires where one side holds a lock the other thread
+      also uses — the cross-nesting shape that can reverse into a
+      wait cycle (ABBA), even when the sections share no data.
+
+    Everything else commutes.  In particular a nesting lock private to
+    one thread (each ``RangeReader``'s own IO lock around the shared
+    cache lock) triggers neither acquire clause, which is what keeps
+    lock-heavy IO scenarios explorable.
+    """
+
+    def __init__(self, events: Sequence[Event]) -> None:
+        self.events = events
+        self.locks_used: Dict[int, Set[str]] = {}
+        # acquire event index -> {resource key: wrote}
+        self.footprints: Dict[int, Dict[str, bool]] = {}
+        open_frames: Dict[int, List[Tuple[str, int]]] = {}
+        for idx, ev in enumerate(events):
+            if ev.kind == "acquire":
+                self.locks_used.setdefault(ev.thread, set()).add(ev.key)
+                open_frames.setdefault(ev.thread, []).append((ev.key, idx))
+                self.footprints[idx] = {}
+            elif ev.kind == "release":
+                frames = open_frames.get(ev.thread, [])
+                for i in range(len(frames) - 1, -1, -1):
+                    if frames[i][0] == ev.key:
+                        del frames[i]
+                        break
+            elif ev.kind in ("access", "fs"):
+                for _, acq_idx in open_frames.get(ev.thread, ()):
+                    fp = self.footprints[acq_idx]
+                    fp[ev.key] = fp.get(ev.key, False) or ev.write
+
+    def __call__(self, i: int, j: int) -> bool:
+        a, b = self.events[i], self.events[j]
+        if a.thread == b.thread:
+            return False
+        if a.kind in ("access", "fs") and b.kind in ("access", "fs"):
+            return (
+                a.key == b.key
+                and (a.write or b.write)
+                and not (set(a.held) & set(b.held))
+            )
+        if a.kind == "acquire" and b.kind == "acquire" and a.key == b.key:
+            fa = self.footprints.get(i, {})
+            fb = self.footprints.get(j, {})
+            for res, wrote_a in fa.items():
+                wrote_b = fb.get(res)
+                if wrote_b is not None and (wrote_a or wrote_b):
+                    return True
+            a_cross = set(a.held) & self.locks_used.get(b.thread, set())
+            b_cross = set(b.held) & self.locks_used.get(a.thread, set())
+            return bool(a_cross - {a.key} or b_cross - {b.key})
+        return False
+
+
+def _reversal_candidates(result: RunResult) -> List[Tuple[int, ...]]:
+    """Forced-prefix schedules that reverse each racing pair.
+
+    For each event ``e_j`` the latest earlier dependent event ``e_i``
+    of each other thread is considered; the pair races when no
+    intermediate event is dependent with both (which would order
+    them).  The candidate replays the branch choices up to ``e_i``'s
+    branch point and schedules ``e_j``'s thread there instead —
+    possible only when it was runnable at that point.
+    """
+    events = result.trace
+    dep = _Dependence(events)
+    out: Set[Tuple[int, ...]] = set()
+    for j, ej in enumerate(events):
+        paired: Set[int] = set()  # threads whose latest racer is found
+        for i in range(j - 1, -1, -1):
+            ei = events[i]
+            if ei.thread in paired or not dep(i, j):
+                continue
+            paired.add(ei.thread)
+            ordered = False
+            for k in range(i + 1, j):
+                if dep(i, k) and dep(k, j):
+                    ordered = True
+                    break
+            if ordered:
+                continue
+            if ei.branch >= 0 and ej.thread in ei.runnable:
+                out.add(
+                    tuple(result.choices[:ei.branch]) + (ej.thread,)
+                )
+    return sorted(out)
+
+
+def _fs_write(kind: str) -> bool:
+    return kind.split(":", 1)[0] in ("write", "rename", "unlink")
+
+
+def _hb_races(trace: List[Event]) -> List[Tuple]:
+    """Unsynchronized conflicting access pairs in one executed schedule.
+
+    Happens-before at yield-point granularity: program order plus
+    lock release -> acquire hand-offs.  Two access/fs events on one
+    key from different threads with at least one write, no common held
+    lock, and vector-clock-concurrent are a UCP038 pair.
+    """
+    clocks: Dict[int, Dict[int, int]] = {}
+    release_clock: Dict[str, Dict[int, int]] = {}
+    last: Dict[str, Dict[int, Tuple[Dict[int, int], frozenset, Event]]] = {}
+    races: List[Tuple] = []
+    for ev in trace:
+        clock = clocks.setdefault(ev.thread, {})
+        clock[ev.thread] = clock.get(ev.thread, 0) + 1
+        if ev.kind == "acquire":
+            handoff = release_clock.get(ev.key)
+            if handoff:
+                for t, count in handoff.items():
+                    if count > clock.get(t, 0):
+                        clock[t] = count
+        elif ev.kind == "release":
+            release_clock[ev.key] = dict(clock)
+        elif ev.kind in ("access", "fs"):
+            write = ev.write
+            held = frozenset(ev.held)
+            for other, (oclock, oheld, oev) in last.get(ev.key, {}).items():
+                if other == ev.thread:
+                    continue
+                if not (write or oev.write):
+                    continue
+                if held & oheld:
+                    continue
+                if clock_lte(oclock, clock) or clock_lte(clock, oclock):
+                    continue
+                races.append((ev.key, oev, ev))
+            last.setdefault(ev.key, {})[ev.thread] = (
+                dict(clock), held, ev
+            )
+    return races
+
+
+# --- scenarios ---------------------------------------------------------
+
+
+class RunCase:
+    """One fresh execution of a scenario: thread bodies + fingerprint."""
+
+    def __init__(
+        self,
+        threads: Sequence[Callable[[], None]],
+        fingerprint: Optional[Callable[[], str]] = None,
+        cleanup: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if len(threads) < 2:
+            raise ExploreError("a scenario needs at least two threads")
+        self.threads = list(threads)
+        self._fingerprint = fingerprint
+        self._cleanup = cleanup
+
+    def fingerprint(self) -> str:
+        """Digest of the run's observable output (schedule-invariant)."""
+        return self._fingerprint() if self._fingerprint else ""
+
+    def cleanup(self) -> None:
+        """Release per-run state after the schedule finishes."""
+        if self._cleanup is not None:
+            self._cleanup()
+
+
+class Scenario:
+    """A named, reproducible concurrency scenario.
+
+    ``fresh()`` must return a :class:`RunCase` over *identical* initial
+    state every time it is called — the explorer executes it once per
+    schedule and compares fingerprints across runs.
+    """
+
+    name = "scenario"
+    description = ""
+
+    def fresh(self) -> RunCase:
+        """Build one run over identical initial state (called per schedule)."""
+        raise NotImplementedError
+
+
+class _FnScenario(Scenario):
+    def __init__(self, name: str, fresh: Callable[[], RunCase], description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._fresh = fresh
+
+    def fresh(self) -> RunCase:
+        return self._fresh()
+
+
+def scenario(
+    name: str, fresh: Callable[[], RunCase], description: str = ""
+) -> Scenario:
+    """Build a scenario from a ``fresh()`` factory (test/CLI helper)."""
+    return _FnScenario(name, fresh, description)
+
+
+def _blob(seed: int, tag: str, nbytes: int) -> bytes:
+    """Deterministic pseudo-random payload (no RNG state involved)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        out += hashlib.sha256(f"{seed}:{tag}:{counter}".encode()).digest()
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+SCENARIOS: Dict[str, str] = {
+    "blockcache": (
+        "two readers share one BlockCache over overlapping ranges of "
+        "two files; invariant: every byte read is schedule-independent"
+    ),
+    "convert-verify": (
+        "the distilled hub shape: a convert thread streams planned "
+        "ranges through a shared BlockCache and publishes an atom "
+        "while a verify thread digests the same source file through "
+        "the same cache; invariant: output and digest match the "
+        "serial run byte-for-byte"
+    ),
+    "convert-w2": (
+        "two convert tenants (w2) stream the same source through one "
+        "shared BlockCache into separate output stores — the "
+        "multi-tenant hub under eviction pressure"
+    ),
+    "inmemory": (
+        "InMemoryCheckpoint commit racing recover on one engine; "
+        "invariant: recovery sees a complete replica map, never a "
+        "torn one"
+    ),
+}
+"""Registry names -> one-line descriptions (``repro explore --list``)."""
+
+
+def build_scenario(name: str, seed: int = 0, root: Optional[str] = None) -> Scenario:
+    """Instantiate a registry scenario.
+
+    ``root`` is a directory for the scenario's on-disk stores; the
+    caller owns its lifetime (the CLI uses a temp dir).  Expensive
+    shared state (source files, engines) is built once here —
+    *outside* any controlled run — and ``fresh()`` only rebuilds the
+    cheap per-run state (caches, readers, outputs).
+    """
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ExploreError(f"unknown scenario {name!r} (known: {known})")
+    if root is None:
+        root = tempfile.mkdtemp(prefix=f"interleave-{name}-")
+    builder = {
+        "blockcache": _build_blockcache,
+        "convert-verify": _build_convert_verify,
+        "convert-w2": _build_convert_w2,
+        "inmemory": _build_inmemory,
+    }[name]
+    return builder(seed, root)
+
+
+def _build_blockcache(seed: int, root: str) -> Scenario:
+    from repro.storage.rangeio import BlockCache, RangeReader
+    from repro.storage.store import ObjectStore
+
+    store = ObjectStore(os.path.join(root, "src"), durable=False)
+    store.put_bytes("a.bin", _blob(seed, "a", 2048))
+    store.put_bytes("b.bin", _blob(seed, "b", 1024))
+
+    def fresh() -> RunCase:
+        cache = BlockCache(4096)
+        readers = [
+            RangeReader(store, cache=cache, window_bytes=1024)
+            for _ in range(2)
+        ]
+        out: Dict[str, str] = {}
+
+        def t0() -> None:
+            out["T0"] = hashlib.sha256(
+                bytes(readers[0].read("a.bin", 0, 1500))
+            ).hexdigest()
+
+        def t1() -> None:
+            out["T1"] = hashlib.sha256(
+                bytes(readers[1].read("a.bin", 512, 1536))
+            ).hexdigest()
+
+        def fingerprint() -> str:
+            return json.dumps(out, sort_keys=True)
+
+        return RunCase([t0, t1], fingerprint)
+
+    return scenario("blockcache", fresh, SCENARIOS["blockcache"])
+
+
+def _convert_thread(reader, plan, dst, rel: str) -> Callable[[], None]:
+    """The distilled streamed-convert IO kernel: read planned ranges
+    through the shared cache, assemble, publish one output object."""
+
+    def run() -> None:
+        views = reader.read_multi(rel, plan)
+        dst.put_bytes("atom.bin", b"".join(bytes(v) for v in views))
+
+    return run
+
+
+def _build_convert_verify(seed: int, root: str) -> Scenario:
+    from repro.storage.rangeio import BlockCache, RangeReader
+    from repro.storage.store import ObjectStore
+
+    src = ObjectStore(os.path.join(root, "src"), durable=False)
+    src.put_bytes("rank0.bin", _blob(seed, "rank0", 2048))
+    dst = ObjectStore(os.path.join(root, "out"), durable=False)
+    plan = [(0, 1024), (1536, 512)]
+
+    def fresh() -> RunCase:
+        cache = BlockCache(1 << 15)
+        conv_reader = RangeReader(src, cache=cache, window_bytes=1024)
+        verify_reader = RangeReader(src, cache=cache, window_bytes=1024)
+        digests: Dict[str, str] = {}
+
+        def verify() -> None:
+            digests["verify"] = verify_reader.digest("rank0.bin")
+
+        def fingerprint() -> str:
+            atom = hashlib.sha256(dst.read_bytes("atom.bin")).hexdigest()
+            return json.dumps(
+                {"atom": atom, **digests}, sort_keys=True
+            )
+
+        return RunCase(
+            [_convert_thread(conv_reader, plan, dst, "rank0.bin"), verify],
+            fingerprint,
+        )
+
+    return scenario("convert-verify", fresh, SCENARIOS["convert-verify"])
+
+
+def _build_convert_w2(seed: int, root: str) -> Scenario:
+    from repro.storage.rangeio import BlockCache, RangeReader
+    from repro.storage.store import ObjectStore
+
+    src = ObjectStore(os.path.join(root, "src"), durable=False)
+    src.put_bytes("rank0.bin", _blob(seed, "rank0", 4096))
+    outs = [
+        ObjectStore(os.path.join(root, f"out{i}"), durable=False)
+        for i in range(2)
+    ]
+    plans = [
+        [(0, 1024), (2048, 1024)],
+        [(1024, 1024), (3072, 1024)],
+    ]
+
+    def fresh() -> RunCase:
+        cache = BlockCache(2048)  # smaller than the file: eviction churn
+        readers = [
+            RangeReader(src, cache=cache, window_bytes=1024)
+            for _ in range(2)
+        ]
+
+        def fingerprint() -> str:
+            return json.dumps({
+                f"out{i}": hashlib.sha256(
+                    outs[i].read_bytes("atom.bin")
+                ).hexdigest()
+                for i in range(2)
+            }, sort_keys=True)
+
+        return RunCase(
+            [
+                _convert_thread(readers[0], plans[0], outs[0], "rank0.bin"),
+                _convert_thread(readers[1], plans[1], outs[1], "rank0.bin"),
+            ],
+            fingerprint,
+        )
+
+    return scenario("convert-w2", fresh, SCENARIOS["convert-w2"])
+
+
+def _build_inmemory(seed: int, root: str) -> Scenario:
+    import dataclasses as _dc
+
+    from repro.ckpt.inmemory import InMemoryCheckpoint
+    from repro.dist.topology import ParallelConfig
+    from repro.models import get_config
+    from repro.parallel.engine import TrainingEngine
+
+    cfg = _dc.replace(get_config("gpt3-mini"), num_layers=1)
+    engine = TrainingEngine(
+        cfg,
+        ParallelConfig(tp=1, dp=2, zero_stage=1),
+        seed=seed + 1,
+        global_batch_size=2,
+        seq_len=8,
+    )
+    engine.train(1)
+    ckpt = InMemoryCheckpoint(engine, replication_factor=1)
+    ckpt.commit()
+
+    def fresh() -> RunCase:
+        recovered: Dict[str, int] = {}
+
+        def committer() -> None:
+            ckpt.commit()
+
+        def recoverer() -> None:
+            recovered["iteration"] = ckpt.recover(set())
+
+        def fingerprint() -> str:
+            return json.dumps({
+                "recovered": recovered.get("iteration"),
+                "committed": ckpt.iteration,
+                "engine": engine.iteration,
+            }, sort_keys=True)
+
+        return RunCase([committer, recoverer], fingerprint)
+
+    return scenario("inmemory", fresh, SCENARIOS["inmemory"])
+
+
+# --- one controlled execution ------------------------------------------
+
+
+def run_schedule(
+    case: RunCase,
+    forced: Sequence[int] = (),
+    preemption_bound: Optional[int] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RunResult:
+    """Execute one :class:`RunCase` under a forced branch schedule.
+
+    The run is wrapped in its own non-strict lock witness, FS-op
+    recorder, and memory sanitizer, so "witness and sanitizer clean"
+    is checked per schedule and findings are *collected*, never raised
+    mid-run.
+    """
+    from repro.analysis import fswitness as _fswitness
+    from repro.analysis import sanitizer as _sanitizer
+
+    ctl = Controller(
+        len(case.threads), forced, preemption_bound, max_steps
+    )
+    try:
+        with _sanitizer.sanitize(
+            strict=False, subject="interleave"
+        ) as san:
+            with _lockwitness.lockcheck(
+                strict=False, subject="interleave"
+            ) as witness:
+                with _fswitness.fstrace(capture_data=False):
+                    schedpoint.install(ctl)
+                    try:
+                        ctl.run(case.threads)
+                    finally:
+                        schedpoint.uninstall(ctl)
+        fingerprint = None
+        if ctl.deadlock is None and not ctl.bound_exceeded:
+            fingerprint = case.fingerprint()
+        return RunResult(
+            choices=list(ctl.choices),
+            trace=list(ctl.trace),
+            deadlock=ctl.deadlock,
+            fingerprint=fingerprint,
+            preemptions=ctl.preemptions,
+            bound_exceeded=ctl.bound_exceeded,
+            witness_errors=list(witness.report.errors),
+            sanitizer_errors=list(san.report.errors),
+        )
+    finally:
+        case.cleanup()
+
+
+# --- the explorer ------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ExploreReport:
+    """The deterministic outcome of one exploration."""
+
+    scenario: str
+    seed: int
+    schedule_cap: int
+    preemption_bound: Optional[int]
+    schedules_run: int = 0
+    shrink_runs: int = 0
+    preemption_skipped: int = 0
+    pending_unexplored: int = 0
+    max_trace_steps: int = 0
+    replayed: Optional[List[int]] = None
+    exhaustive: bool = False
+    report: LintReport = dataclasses.field(
+        default_factory=lambda: LintReport(subject="interleave")
+    )
+    counterexamples: List[Dict] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def to_dict(self) -> Dict:
+        """The full report as a JSON-ready dict (stable key order)."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "schedule_cap": self.schedule_cap,
+            "preemption_bound": self.preemption_bound,
+            "schedules_run": self.schedules_run,
+            "shrink_runs": self.shrink_runs,
+            "preemption_skipped": self.preemption_skipped,
+            "pending_unexplored": self.pending_unexplored,
+            "max_trace_steps": self.max_trace_steps,
+            "replayed": self.replayed,
+            "exhaustive": self.exhaustive,
+            "counterexamples": self.counterexamples,
+            "report": self.report.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON (one seed + schedule -> identical bytes)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human-readable summary: counts, exhaustiveness, findings."""
+        lines = [
+            f"explore {self.scenario}: "
+            f"{self.schedules_run} schedules "
+            f"({self.shrink_runs} shrink runs, "
+            f"{self.preemption_skipped} over the preemption bound, "
+            f"{self.pending_unexplored} unexplored), "
+            f"{'exhaustive' if self.exhaustive else 'bounded'}",
+        ]
+        lines.append(self.report.render_text())
+        for cx in self.counterexamples:
+            lines.append(
+                f"  minimal schedule [{cx['rule']}]: "
+                f"{json.dumps(cx['schedule'])}"
+            )
+        return "\n".join(lines)
+
+
+def _trace_rows(trace: List[Event]) -> List[List]:
+    rows = [ev.to_row() for ev in trace[:_TRACE_LIMIT]]
+    if len(trace) > _TRACE_LIMIT:
+        rows.append([len(trace), "...", "truncated", "", "r", []])
+    return rows
+
+
+class _Explorer:
+    def __init__(
+        self,
+        scen: Scenario,
+        schedule_cap: int,
+        preemption_bound: Optional[int],
+        max_steps: int,
+        shrink_budget: int,
+        seed: int,
+    ) -> None:
+        self.scen = scen
+        self.out = ExploreReport(
+            scenario=scen.name,
+            seed=seed,
+            schedule_cap=schedule_cap,
+            preemption_bound=preemption_bound,
+        )
+        self.max_steps = max_steps
+        self.shrink_budget = shrink_budget
+        self.ref_fp: Optional[str] = None
+        self.ref_trace: List[Event] = []
+        self._seen_races: Set[Tuple] = set()
+        self._seen_cycles: Set[frozenset] = set()
+        self._seen_fps: Set[str] = set()
+        self._seen_diags: Set[Tuple[str, str]] = set()
+
+    # --- execution plumbing ------------------------------------------
+
+    def _run(self, forced: Sequence[int], shrink: bool = False) -> RunResult:
+        result = run_schedule(
+            self.scen.fresh(),
+            forced,
+            preemption_bound=self.out.preemption_bound,
+            max_steps=self.max_steps,
+        )
+        if shrink:
+            self.out.shrink_runs += 1
+        elif result.bound_exceeded:
+            self.out.preemption_skipped += 1
+        else:
+            self.out.schedules_run += 1
+        self.out.max_trace_steps = max(
+            self.out.max_trace_steps, len(result.trace)
+        )
+        return result
+
+    def _add(self, diag: Diagnostic) -> None:
+        key = (diag.rule_id, diag.location)
+        if key in self._seen_diags:
+            return
+        self._seen_diags.add(key)
+        self.out.report.add(diag)
+
+    # --- per-run analysis --------------------------------------------
+
+    def _analyze(self, result: RunResult) -> None:
+        for diag in result.witness_errors + result.sanitizer_errors:
+            self._add(dataclasses.replace(
+                diag,
+                location=f"{self.scen.name}/{diag.location}",
+            ))
+        for key, older, newer in _hb_races(result.trace):
+            pair_key = (key, frozenset((older.name, newer.name)))
+            if pair_key in self._seen_races:
+                continue
+            self._seen_races.add(pair_key)
+            self._add(error(
+                "UCP038",
+                f"conflicting unsynchronized access pair on {key}: "
+                f"thread {older.name!r} "
+                f"({'write' if older.write else 'read'}, step "
+                f"{older.seq}) and thread {newer.name!r} "
+                f"({'write' if newer.write else 'read'}, step "
+                f"{newer.seq}) touched it with no common lock held and "
+                f"no happens-before edge between them at yield-point "
+                f"granularity",
+                location=f"{self.scen.name}/{key}",
+            ))
+        if result.deadlock is not None:
+            self._report_deadlock(result)
+        elif (
+            self.ref_fp is not None
+            and result.fingerprint is not None
+            and result.fingerprint != self.ref_fp
+        ):
+            self._report_divergence(result)
+
+    def _shrink(
+        self,
+        choices: Sequence[int],
+        still_fails: Callable[[RunResult], bool],
+    ) -> Tuple[List[int], RunResult]:
+        """Delta-shrink a failing schedule to a minimal counterexample.
+
+        Phase 1 binary-searches the shortest failing prefix (the
+        continue-policy suffix fills in the rest); phase 2 drops
+        individual choices back-to-front.  Every trial costs one run
+        from the shrink budget; the returned schedule always re-fails.
+        """
+        budget = self.shrink_budget
+        best = list(choices)
+        best_result: Optional[RunResult] = None
+
+        def fails(prefix: List[int]) -> Optional[RunResult]:
+            nonlocal budget
+            if budget <= 0:
+                return None
+            budget -= 1
+            result = self._run(prefix, shrink=True)
+            return result if still_fails(result) else None
+
+        lo, hi = 0, len(best)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            result = fails(best[:mid])
+            if result is not None:
+                hi = mid
+                best = list(result.choices[:mid])
+                best_result = result
+            else:
+                lo = mid + 1
+        best = best[:hi]
+        i = len(best) - 1
+        while i >= 0:
+            trial = best[:i] + best[i + 1:]
+            result = fails(trial)
+            if result is not None:
+                best = trial
+                best_result = result
+            i -= 1
+        if best_result is None:
+            best_result = self._run(best, shrink=True)
+        return best, best_result
+
+    def _report_deadlock(self, result: RunResult) -> None:
+        minimal, shrunk = self._shrink(
+            result.choices, lambda r: r.deadlock is not None
+        )
+        deadlock = shrunk.deadlock or result.deadlock
+        cycle_key = deadlock.cycle_key()
+        if cycle_key in self._seen_cycles:
+            return
+        self._seen_cycles.add(cycle_key)
+        threads = "+".join(sorted(w["thread"] for w in deadlock.waiters))
+        self.out.counterexamples.append({
+            "rule": "UCP037",
+            "schedule": list(minimal),
+            "trace": _trace_rows(shrunk.trace),
+            "reference_trace": _trace_rows(self.ref_trace),
+        })
+        self._add(error(
+            "UCP037",
+            f"deadlock schedule in scenario {self.scen.name!r}: all "
+            f"threads blocked — {deadlock.describe()}; minimal schedule "
+            f"{json.dumps(list(minimal))} (replay with `repro explore "
+            f"{self.scen.name} --schedule FILE`)",
+            location=f"{self.scen.name}/deadlock/{threads}",
+        ))
+
+    def _report_divergence(self, result: RunResult) -> None:
+        fp = result.fingerprint
+        if fp in self._seen_fps:
+            return
+        self._seen_fps.add(fp)
+
+        def diverges(r: RunResult) -> bool:
+            return (
+                r.deadlock is None
+                and r.fingerprint is not None
+                and r.fingerprint != self.ref_fp
+            )
+
+        minimal, shrunk = self._shrink(result.choices, diverges)
+        got = shrunk.fingerprint or fp
+        self.out.counterexamples.append({
+            "rule": "UCP036",
+            "schedule": list(minimal),
+            "fingerprint": got,
+            "reference_fingerprint": self.ref_fp,
+            "trace": _trace_rows(shrunk.trace),
+            "reference_trace": _trace_rows(self.ref_trace),
+        })
+        self._add(error(
+            "UCP036",
+            f"schedule-dependent output divergence in scenario "
+            f"{self.scen.name!r}: schedule {json.dumps(list(minimal))} "
+            f"produced fingerprint {_short(got)} where the serial "
+            f"reference produced {_short(self.ref_fp)}; both yield "
+            f"traces are attached to the counterexample, and the "
+            f"minimal schedule replays with `repro explore "
+            f"{self.scen.name} --schedule FILE`",
+            location=f"{self.scen.name}/divergence/{_short(got)}",
+        ))
+
+    # --- the DFS loop ------------------------------------------------
+
+    def explore(self) -> ExploreReport:
+        ref = self._run(())
+        self.ref_fp = ref.fingerprint
+        self.ref_trace = ref.trace
+        self._analyze(ref)
+        stack: List[Tuple[int, ...]] = []
+        seen_prefix: Set[Tuple[int, ...]] = {tuple(ref.choices)}
+        executed: Set[Tuple[int, ...]] = {tuple(ref.choices)}
+        for cand in sorted(_reversal_candidates(ref), reverse=True):
+            if cand not in seen_prefix:
+                seen_prefix.add(cand)
+                stack.append(cand)
+        total = 1
+        while stack:
+            if total >= self.out.schedule_cap:
+                break
+            prefix = stack.pop()
+            result = self._run(prefix)
+            total += 1
+            if result.bound_exceeded:
+                continue
+            full = tuple(result.choices)
+            if full in executed:
+                continue
+            executed.add(full)
+            self._analyze(result)
+            for cand in sorted(_reversal_candidates(result), reverse=True):
+                if cand not in seen_prefix:
+                    seen_prefix.add(cand)
+                    stack.append(cand)
+        self.out.pending_unexplored = len(stack)
+        capped = bool(stack)
+        self.out.exhaustive = (
+            not capped and self.out.preemption_skipped == 0
+        )
+        if capped or self.out.preemption_skipped:
+            reasons = []
+            if capped:
+                reasons.append(
+                    f"schedule cap {self.out.schedule_cap} hit with "
+                    f"{len(stack)} candidate schedules unexplored"
+                )
+            if self.out.preemption_skipped:
+                reasons.append(
+                    f"{self.out.preemption_skipped} schedules exceeded "
+                    f"the preemption bound {self.out.preemption_bound}"
+                )
+            self._add(warning(
+                "UCP039",
+                f"bounded exploration of scenario {self.scen.name!r}: "
+                + "; ".join(reasons)
+                + f" — {self.out.schedules_run} schedules were checked, "
+                f"but absence of findings is not exhaustive proof",
+                location=f"{self.scen.name}/bounded",
+            ))
+        return self.out
+
+    def replay(self, forced: Sequence[int]) -> ExploreReport:
+        ref = self._run(())
+        self.ref_fp = ref.fingerprint
+        self.ref_trace = ref.trace
+        result = self._run(forced)
+        self.out.replayed = list(forced)
+        if result.bound_exceeded:
+            raise ExploreError(
+                f"replayed schedule exceeds the preemption bound "
+                f"{self.out.preemption_bound}"
+            )
+        self._analyze(result)
+        self.out.exhaustive = False
+        return self.out
+
+
+def _short(fp: Optional[str]) -> str:
+    if not fp:
+        return "<none>"
+    digest = hashlib.sha256(fp.encode()).hexdigest()[:12]
+    return f"sha256:{digest}"
+
+
+def explore(
+    scen,
+    schedules: int = DEFAULT_SCHEDULE_CAP,
+    preemptions: Optional[int] = None,
+    schedule: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+) -> ExploreReport:
+    """Explore (or replay) a scenario's schedule space.
+
+    Args:
+        scen: a :class:`Scenario`, or a registry name from
+            :data:`SCENARIOS` (built in a private temp directory).
+        schedules: executed-schedule cap; hitting it reports UCP039.
+        preemptions: preemption bound (``None`` = unbounded).  Runs
+            that exceed it are cancelled and counted, and their count
+            reports UCP039.
+        schedule: exact branch-choice list to replay instead of
+            exploring (the ``--schedule FILE`` path).  The serial
+            reference still runs first so divergence is checkable.
+        seed: forwarded to registry scenario construction.
+        max_steps: per-run step budget (non-termination guard).
+        shrink_budget: extra runs the delta-shrinker may spend per
+            counterexample.
+    """
+    cleanup_dir: Optional[tempfile.TemporaryDirectory] = None
+    if isinstance(scen, str):
+        cleanup_dir = tempfile.TemporaryDirectory(
+            prefix=f"interleave-{scen}-"
+        )
+        scen = build_scenario(scen, seed=seed, root=cleanup_dir.name)
+    try:
+        explorer = _Explorer(
+            scen,
+            schedule_cap=schedules,
+            preemption_bound=preemptions,
+            max_steps=max_steps,
+            shrink_budget=shrink_budget,
+            seed=seed,
+        )
+        if schedule is not None:
+            return explorer.replay([int(c) for c in schedule])
+        return explorer.explore()
+    finally:
+        if cleanup_dir is not None:
+            cleanup_dir.cleanup()
+
+
+def load_schedule(text: str) -> List[int]:
+    """Parse a ``--schedule`` file: a bare JSON list, an object with a
+    ``"schedule"`` key, or a full :class:`ExploreReport` JSON (the
+    first counterexample's minimal schedule is taken)."""
+    payload = json.loads(text)
+    if isinstance(payload, list):
+        return [int(c) for c in payload]
+    if isinstance(payload, dict):
+        if isinstance(payload.get("schedule"), list):
+            return [int(c) for c in payload["schedule"]]
+        counterexamples = payload.get("counterexamples")
+        if counterexamples:
+            return [int(c) for c in counterexamples[0]["schedule"]]
+    raise ExploreError(
+        "schedule file must be a JSON list, an object with a "
+        "'schedule' key, or an ExploreReport with counterexamples"
+    )

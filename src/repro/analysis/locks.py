@@ -28,6 +28,18 @@ SRC008    guarded-container-escape    ``return``/``yield`` of a guarded
                                       method/subscript of one) without a
                                       copying wrapper — the reference
                                       outlives the critical section
+SRC013    check-then-act-on-guarded-  an ``if``/``while`` decision reads a
+          state                       guarded attribute (directly or through
+                                      a local) outside its lock, then acts
+                                      under ``with <guard>:`` in the body —
+                                      the state can change between check and
+                                      act (TOCTOU)
+SRC014    compound-op-spans-critical- an ``in``-check on a guarded container
+          sections                    taken under the lock, with the
+                                      dependent access in a *different*
+                                      ``with <guard>:`` block — the
+                                      container can change between the two
+                                      critical sections
 ========  ==========================  =======================================
 
 Scope and limits (deliberate): guards are matched by *normalized
@@ -206,6 +218,7 @@ class _LockChecker:
         for stmt in cls.body:
             if isinstance(stmt, _FN_NODES):
                 self._visit_guarded(stmt, guards, self._holds(stmt))
+                self._check_compound(stmt, guards, self._holds(stmt))
 
     def _visit_guarded(
         self, fn, guards: Dict[str, str], held: Set[str]
@@ -305,6 +318,235 @@ class _LockChecker:
                     return attr
         if isinstance(expr, (ast.Yield, ast.YieldFrom)):
             return self._escaping_attr(expr.value, guards)
+        return None
+
+    # --- SRC013 / SRC014: check-then-act across critical sections ----
+
+    def _check_compound(
+        self, fn, guards: Dict[str, str], held: Set[str]
+    ) -> None:
+        """Order-sensitive pass over one method for SRC013/SRC014.
+
+        Tracks two kinds of tainted locals statement by statement:
+
+        * ``tainted``: assigned from a read of a guarded attribute made
+          *without* its lock — using one in an ``if``/``while`` test
+          whose body then acts under the lock is check-then-act
+          (SRC013; the direct ``if self.X:`` form is caught too);
+        * ``flags``: assigned from an ``in``/``not in`` membership test
+          on a guarded container *under* its lock — using one to guard
+          an access to the same container in a *different* critical
+          section is a non-atomic compound operation (SRC014).
+
+        The ``# holds:`` annotation and reassignment both clear taint;
+        nested functions start clean (they may run after the lock is
+        gone, which SRC005 already models the same way).
+        """
+        state = {"tainted": {}, "flags": {}, "cs": 0}
+        cs_active: Dict[str, int] = {}
+        for stmt in fn.body:
+            self._cta_visit(stmt, guards, set(held), cs_active, state)
+
+    def _cta_visit(
+        self,
+        node: ast.AST,
+        guards: Dict[str, str],
+        held: Set[str],
+        cs_active: Dict[str, int],
+        state: Dict,
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner_held = set(held)
+            inner_cs = dict(cs_active)
+            for item in node.items:
+                norm = _norm(ast.unparse(item.context_expr))
+                inner_held.add(norm)
+                state["cs"] += 1
+                inner_cs[norm] = state["cs"]
+            for stmt in node.body:
+                self._cta_visit(stmt, guards, inner_held, inner_cs, state)
+            return
+        if isinstance(node, _FN_NODES):
+            self._check_compound(node, guards, self._holds(node))
+            return
+        if isinstance(node, (ast.Lambda, ast.ClassDef)):
+            return
+        if isinstance(node, ast.Assign):
+            self._cta_assign(node, guards, held, cs_active, state)
+        elif isinstance(node, (ast.If, ast.While)):
+            self._cta_decision(node, guards, held, cs_active, state)
+        for child in ast.iter_child_nodes(node):
+            self._cta_visit(child, guards, held, cs_active, state)
+
+    def _cta_assign(
+        self,
+        node: ast.Assign,
+        guards: Dict[str, str],
+        held: Set[str],
+        cs_active: Dict[str, int],
+        state: Dict,
+    ) -> None:
+        names = [
+            t.id for t in node.targets if isinstance(t, ast.Name)
+        ]
+        if not names:
+            return
+        for name in names:  # reassignment kills previous taint
+            state["tainted"].pop(name, None)
+            state["flags"].pop(name, None)
+        membership = self._membership_attr(node.value, guards)
+        if membership is not None:
+            attr, guard = membership
+            if guard in held:
+                for name in names:
+                    state["flags"][name] = (
+                        attr, guard, cs_active.get(guard, -1), node.lineno
+                    )
+                return
+        read = self._unguarded_read(node.value, guards, held)
+        if read is not None:
+            attr, guard = read
+            for name in names:
+                state["tainted"][name] = (attr, guard, node.lineno)
+
+    def _membership_attr(
+        self, expr: ast.expr, guards: Dict[str, str]
+    ) -> Optional[Tuple[str, str]]:
+        """``(attr, guard)`` when ``expr`` is ``key in self.X`` on a
+        guarded container (negated forms included)."""
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+            return self._membership_attr(expr.operand, guards)
+        if not isinstance(expr, ast.Compare) or len(expr.ops) != 1:
+            return None
+        if not isinstance(expr.ops[0], (ast.In, ast.NotIn)):
+            return None
+        attr = _is_self_attr(expr.comparators[0])
+        if attr is not None and attr in guards:
+            return attr, guards[attr]
+        return None
+
+    def _unguarded_read(
+        self, expr: ast.expr, guards: Dict[str, str], held: Set[str]
+    ) -> Optional[Tuple[str, str]]:
+        """``(attr, guard)`` for the first guarded-attribute read in
+        ``expr`` whose guard is not held."""
+        for sub in ast.walk(expr):
+            attr = _is_self_attr(sub)
+            if attr is None:
+                continue
+            guard = guards.get(attr)
+            if guard is not None and guard not in held:
+                return attr, guard
+        return None
+
+    def _cta_decision(
+        self,
+        node,
+        guards: Dict[str, str],
+        held: Set[str],
+        cs_active: Dict[str, int],
+        state: Dict,
+    ) -> None:
+        test_names = {
+            sub.id for sub in ast.walk(node.test)
+            if isinstance(sub, ast.Name)
+        }
+        # SRC013: decision on stale guarded state, action under the lock
+        sources: List[Tuple[str, str, int]] = []
+        direct = self._unguarded_read(node.test, guards, held)
+        if direct is not None:
+            sources.append((direct[0], direct[1], node.lineno))
+        for name in sorted(test_names & set(state["tainted"])):
+            sources.append(state["tainted"][name])
+        emitted: Set[str] = set()
+        for attr, guard, read_lineno in sources:
+            if guard in emitted:
+                continue
+            act = self._acts_under_guard(node.body, guards, guard)
+            if act is not None:
+                emitted.add(guard)
+                self._emit(
+                    "SRC013", node.lineno,
+                    f"check-then-act on guarded state: this decision "
+                    f"reads self.{attr} (guarded-by {guard}) without "
+                    f"the lock (line {read_lineno}), then acts on "
+                    f"guarded state under `with {guard}:` (line {act}) "
+                    f"— the state can change between the check and the "
+                    f"act; take the lock around both",
+                )
+        # SRC014: membership flag from one critical section guarding an
+        # access to the same container in another
+        for name in sorted(test_names & set(state["flags"])):
+            attr, guard, cs_id, check_lineno = state["flags"][name]
+            if cs_active.get(guard, -1) == cs_id:
+                continue  # still inside the checking critical section
+            access = self._accesses_in_new_cs(node.body, attr, guard)
+            if access is not None:
+                self._emit(
+                    "SRC014", access,
+                    f"compound operation on guarded container "
+                    f"self.{attr} spans critical sections: the "
+                    f"membership check (line {check_lineno}) and this "
+                    f"access run under different `with {guard}:` "
+                    f"blocks, so another thread can mutate "
+                    f"self.{attr} between them; do the check and the "
+                    f"access in one critical section",
+                )
+
+    def _with_guard_blocks(
+        self, body: Sequence[ast.stmt], guard: str
+    ) -> List[ast.With]:
+        """Every ``with <guard>:`` block anywhere under ``body``."""
+        out = []
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, (ast.With, ast.AsyncWith)):
+                    continue
+                for item in sub.items:
+                    if _norm(ast.unparse(item.context_expr)) == guard:
+                        out.append(sub)
+                        break
+        return out
+
+    def _acts_under_guard(
+        self, body: Sequence[ast.stmt], guards: Dict[str, str], guard: str
+    ) -> Optional[int]:
+        """Line of a write to ``guard``-protected state (or a call to a
+        ``# holds:`` helper of that guard) inside a ``with <guard>:``
+        block under ``body``."""
+        for block in self._with_guard_blocks(body, guard):
+            for sub in ast.walk(block):
+                targets: List[ast.expr] = []
+                if isinstance(sub, ast.Assign):
+                    targets = sub.targets
+                elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [sub.target]
+                elif isinstance(sub, ast.Delete):
+                    targets = list(sub.targets)
+                for target in targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    attr = _is_self_attr(base)
+                    if attr is not None and guards.get(attr) == guard:
+                        return sub.lineno
+                if isinstance(sub, ast.Call):
+                    method = _is_self_attr(sub.func)
+                    if method is not None and guard in (
+                        self._holds_methods.get(method, set())
+                    ):
+                        return sub.lineno
+        return None
+
+    def _accesses_in_new_cs(
+        self, body: Sequence[ast.stmt], attr: str, guard: str
+    ) -> Optional[int]:
+        """Line of any ``self.<attr>`` access inside a ``with <guard>:``
+        block under ``body`` (a new critical section by construction)."""
+        for block in self._with_guard_blocks(body, guard):
+            for sub in ast.walk(block):
+                if _is_self_attr(sub) == attr:
+                    return sub.lineno
         return None
 
     # --- SRC006 / SRC007: lock ordering and blocking calls -----------

@@ -51,6 +51,7 @@ import threading
 import traceback
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import schedpoint as _schedpoint
 from repro.analysis.collective_trace import clock_lte, find_cycle
 from repro.analysis.diagnostics import (
     Diagnostic,
@@ -115,6 +116,12 @@ class WitnessedLock:
         return f"WitnessedLock({self.name!r})"
 
     def __enter__(self) -> "WitnessedLock":
+        ctl = _schedpoint._CONTROLLER
+        if ctl is not None:
+            # under the interleaving explorer the thread parks here and
+            # the scheduler dispatches it only once the lock is free in
+            # its model, so the real acquire below can never block
+            ctl.lock_enter(self)
         if _STACK:
             # edge recording happens BEFORE the real acquire: in strict
             # mode a would-be ABBA cycle reports/raises instead of
@@ -127,6 +134,9 @@ class WitnessedLock:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        ctl = _schedpoint._CONTROLLER
+        if ctl is not None:
+            ctl.lock_exit(self)
         if _STACK:
             # the release event is logged while still holding the lock,
             # so a competing acquire always sequences after it

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.analysis import lockwitness as _lockwitness
+from repro.analysis import schedpoint as _schedpoint
 from repro.ckpt.errors import CheckpointError
 
 PartitionKey = Tuple[Tuple[int, int, int], int]
@@ -63,6 +64,16 @@ class InMemoryCheckpoint:
         self._lock = _lockwitness.make_lock("InMemoryCheckpoint._lock")
         self._replicas: Dict[PartitionKey, List[_Replica]] = {}  # guarded-by: self._lock
         self.commit_bytes = 0
+
+    def _check_guarded(self, write: bool = False) -> None:
+        """UCP030/interleave hook: every replica-map access under the
+        lock reports itself (readers snapshot, commit swaps)."""
+        ctl = _schedpoint._CONTROLLER
+        if ctl is not None:
+            ctl.on_access("InMemoryCheckpoint._replicas", write)
+        witness = _lockwitness.current()
+        if witness is not None:
+            witness.check_guarded(self._lock, "InMemoryCheckpoint._replicas")
 
     def _owner_rank(self, coord, dp_rank: int) -> int:
         """The global rank that owns a partition."""
@@ -115,6 +126,7 @@ class InMemoryCheckpoint:
         # the expensive copy/sanitize work happened outside the lock;
         # a reader sees either the old complete map or the new one
         with self._lock:
+            self._check_guarded(write=True)
             self._replicas = staged
             self.iteration = iteration
         self.commit_bytes = copied
@@ -161,6 +173,7 @@ class InMemoryCheckpoint:
     def surviving_replicas(self, failed_ranks: Set[int]) -> Dict[PartitionKey, int]:
         """How many replicas of each partition survive a failure set."""
         with self._lock:
+            self._check_guarded()
             replicas_map = dict(self._replicas)
         return {
             key: sum(1 for r in replicas if r.host_rank not in failed_ranks)
@@ -181,6 +194,7 @@ class InMemoryCheckpoint:
             InMemoryCheckpointError: some partition lost all replicas.
         """
         with self._lock:
+            self._check_guarded()
             iteration = self.iteration
             replicas_map = dict(self._replicas)
         if iteration is None:
@@ -212,6 +226,7 @@ class InMemoryCheckpoint:
     def memory_bytes(self) -> int:
         """Total peer RAM consumed by the replicas."""
         with self._lock:
+            self._check_guarded()
             return sum(
                 int(r.fp32.nbytes) * 3
                 for replicas in self._replicas.values()

@@ -15,6 +15,9 @@ Mirrors the operational surface DeepSpeed ships for UCP (the
         [--locks] [--fs [--state-cap N] [--crashed]]
     python -m repro lint-src  [root] [--baseline F] [--write-baseline] \
         [--locks] [--fs]
+    python -m repro explore   <scenario | --list> [--schedules N] \
+        [--preemptions K] [--schedule FILE] [--seed S] [--report PATH] \
+        [--require-exhaustive] [--format text|json]
     python -m repro supervise --model M --topology tp2.pp2.dp2.sp1.zero1 \
         --workdir D [--kill STEP:PHASE:RANKS ...] [--format text|json]
 
@@ -281,7 +284,7 @@ def cmd_lint_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_lint_src(args: argparse.Namespace) -> int:
-    """AST-lint the repro source tree itself (SRC001-SRC012)."""
+    """AST-lint the repro source tree itself (SRC001-SRC014)."""
     import json as _json
     import pathlib
 
@@ -301,7 +304,9 @@ def cmd_lint_src(args: argparse.Namespace) -> int:
     if args.locks or args.fs:
         wanted = ()
         if args.locks:
-            wanted += ("SRC005", "SRC006", "SRC007", "SRC008")
+            wanted += (
+                "SRC005", "SRC006", "SRC007", "SRC008", "SRC013", "SRC014",
+            )
         if args.fs:
             wanted += ("SRC009", "SRC010", "SRC011", "SRC012")
         report = LintReport(
@@ -341,6 +346,66 @@ def cmd_lint_src(args: argparse.Namespace) -> int:
     else:
         print(report.render_text())
     return 0 if report.ok else 1
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Explore thread interleavings of a concurrency scenario (DPOR)."""
+    import pathlib
+
+    from repro.analysis import interleave
+
+    if args.list:
+        width = max(len(n) for n in interleave.SCENARIOS)
+        for name, desc in sorted(interleave.SCENARIOS.items()):
+            print(f"{name:{width}s}  {desc}")
+        return 0
+    if args.scenario is None:
+        print(
+            "error: a scenario name is required (or --list)", file=sys.stderr
+        )
+        return 1
+    if args.scenario not in interleave.SCENARIOS:
+        known = ", ".join(sorted(interleave.SCENARIOS))
+        print(
+            f"error: unknown scenario {args.scenario!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 1
+    schedule = None
+    if args.schedule:
+        schedule = interleave.load_schedule(
+            pathlib.Path(args.schedule).read_text()
+        )
+    cap = (
+        interleave.DEFAULT_SCHEDULE_CAP
+        if args.schedules is None
+        else args.schedules
+    )
+    result = interleave.explore(
+        args.scenario,
+        schedules=cap,
+        preemptions=args.preemptions,
+        schedule=schedule,
+        seed=args.seed,
+    )
+    if args.report is not None:
+        with open(args.report, "w") as fh:
+            fh.write(result.to_json() + "\n")
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render_text())
+    if not result.ok:
+        return 1
+    if args.require_exhaustive and not result.exhaustive:
+        print(
+            f"error: exploration was bounded (ran {result.schedules_run} "
+            f"schedules, cap {result.schedule_cap}, preemption bound "
+            f"{result.preemption_bound}) but --require-exhaustive was set",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_supervise(args: argparse.Namespace) -> int:
@@ -606,7 +671,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--locks",
         action="store_true",
-        help="report only the lock-discipline rules (SRC005-SRC008)",
+        help="report only the lock-discipline rules (SRC005-SRC008, "
+             "SRC013-SRC014)",
     )
     p.add_argument(
         "--fs",
@@ -617,6 +683,55 @@ def build_parser() -> argparse.ArgumentParser:
              "combines with --locks",
     )
     p.set_defaults(func=cmd_lint_src)
+
+    p = sub.add_parser(
+        "explore",
+        help="systematically explore thread interleavings of a "
+             "concurrency scenario with dynamic partial-order "
+             "reduction (UCP036-UCP039)",
+    )
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario name (see --list)",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered scenarios and exit",
+    )
+    p.add_argument(
+        "--schedules", type=int, default=None, metavar="N",
+        help="schedule cap (default 256); exploration that hits the "
+             "cap reports UCP039 instead of silently passing",
+    )
+    p.add_argument(
+        "--preemptions", type=int, default=None, metavar="K",
+        help="preemption bound per schedule (default: unbounded)",
+    )
+    p.add_argument(
+        "--schedule", default=None, metavar="FILE",
+        help="replay one schedule from FILE (a JSON choice list, or a "
+             "report whose first counterexample is taken) instead of "
+             "exploring",
+    )
+    p.add_argument("--seed", type=int, default=0, help="scenario data seed")
+    p.add_argument(
+        "--require-exhaustive",
+        action="store_true",
+        help="exit 1 if the schedule cap or preemption bound truncated "
+             "the exploration (CI: proof, not sampling)",
+    )
+    p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the JSON report to a file (CI artifact)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output rendering (json is stable for CI gates)",
+    )
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser(
         "supervise",

@@ -48,6 +48,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import lockwitness as _lockwitness
+from repro.analysis import schedpoint as _schedpoint
 from repro.storage.store import ObjectStore
 
 DEFAULT_WINDOW_BYTES = 1 << 20
@@ -100,8 +101,19 @@ class BlockCache:
         # re-inserting on touch keeps the first key least recent)
         self._lru: Dict[Tuple[str, int, int], None] = {}  # guarded-by: self._lock
 
-    def _check_guarded(self) -> None:
-        """UCP030 hook: every ``*_locked`` helper reports its access."""
+    def _check_guarded(self, write: bool = False) -> None:
+        """UCP030 hook: every ``*_locked`` helper reports its access.
+
+        ``write`` marks the mutations that can change which bytes a
+        reader observes (put/evict/clear).  LRU touches and hit
+        counters mutate too, but cannot alter any returned byte, so
+        they report as reads: the interleaving explorer uses this flag
+        as its dependency relation, and classifying unobservable
+        mutations as writes would only multiply equivalent schedules.
+        """
+        ctl = _schedpoint._CONTROLLER
+        if ctl is not None:
+            ctl.on_access("BlockCache._blocks", write)
         witness = _lockwitness.current()
         if witness is not None:
             witness.check_guarded(self._lock, "BlockCache._blocks")
@@ -196,7 +208,7 @@ class BlockCache:
                 self._put_locked(rel, start, data)
 
     def _put_locked(self, rel: str, start: int, data: bytes) -> None:  # holds: self._lock
-        self._check_guarded()
+        self._check_guarded(write=True)
         if len(data) > self.max_bytes:
             return  # a block larger than the whole budget is never cached
         end = start + len(data)
@@ -213,7 +225,7 @@ class BlockCache:
         bisect.insort(spans, (start, end))
 
     def _evict_one_locked(self) -> None:  # holds: self._lock
-        self._check_guarded()
+        self._check_guarded(write=True)
         key = next(iter(self._lru))
         del self._lru[key]
         rel, start, length = key
@@ -246,7 +258,7 @@ class BlockCache:
     def clear(self) -> None:
         """Drop every cached block (counters are kept)."""
         with self._lock:
-            self._check_guarded()
+            self._check_guarded(write=True)
             self._blocks.clear()
             self._spans.clear()
             self._lru.clear()

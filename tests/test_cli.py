@@ -320,3 +320,64 @@ class TestSupervise:
         assert rc == 0  # the kill never fires; the run just completes
         err = capsys.readouterr().err
         assert "will never trigger" in err
+
+
+class TestExplore:
+    def test_list_scenarios(self, capsys):
+        assert main(["explore", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("blockcache", "convert-verify", "convert-w2",
+                     "inmemory"):
+            assert name in out
+
+    def test_missing_scenario_fails(self, capsys):
+        assert main(["explore"]) == 1
+        assert "scenario name is required" in capsys.readouterr().err
+
+    def test_unknown_scenario_fails(self, capsys):
+        assert main(["explore", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_blockcache_exhaustive_json(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "interleave.json"
+        rc = main([
+            "explore", "blockcache",
+            "--require-exhaustive",
+            "--report", str(report_path),
+            "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exhaustive"] is True
+        assert payload["counterexamples"] == []
+        # the artifact matches stdout byte for byte
+        assert report_path.read_text() == json.dumps(
+            payload, indent=2, sort_keys=True
+        ) + "\n"
+
+    def test_capped_run_fails_require_exhaustive(self, capsys):
+        rc = main([
+            "explore", "blockcache",
+            "--schedules", "3",
+            "--require-exhaustive",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "bounded" in err and "--require-exhaustive" in err
+
+    def test_schedule_replay(self, capsys, tmp_path):
+        import json
+
+        sched = tmp_path / "sched.json"
+        sched.write_text("[1]")
+        rc = main([
+            "explore", "blockcache",
+            "--schedule", str(sched),
+            "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replayed"] == [1]
+        assert payload["exhaustive"] is False

@@ -104,6 +104,30 @@ class TestRecorder:
         assert payload["roots"] == ["s0"]
         assert ops_from_payload(payload) == rec.ops()
 
+    def test_every_op_carries_its_thread(self, tmp_path):
+        """FS effects are stamped with the emitting thread, so the
+        interleaving explorer and crash enumeration compose: a crash
+        state can be attributed to the schedule that produced it."""
+        import threading
+
+        with fstrace() as rec:
+            store = ObjectStore(str(tmp_path), durable=True)
+            store.put_bytes("a/x.npt", b"payload")
+            worker = threading.Thread(
+                target=lambda: store.put_bytes("a/y.npt", b"peer"),
+                name="peer-writer",
+            )
+            worker.start()
+            worker.join()
+        threads = {op.thread for op in rec.ops()}
+        assert threading.current_thread().name in threads
+        assert "peer-writer" in threads
+        # and the identity survives the JSON round trip
+        payload = json.loads(json.dumps(rec.to_payload()))
+        assert [op.thread for op in ops_from_payload(payload)] == [
+            op.thread for op in rec.ops()
+        ]
+
     def test_capture_data_off_keeps_digest_only(self, tmp_path):
         with fstrace(capture_data=False) as rec:
             ObjectStore(str(tmp_path), durable=True).put_bytes("x", b"abc")

@@ -289,6 +289,109 @@ class TestSRC008GuardedContainerEscape:
         assert lint_snippet(tmp_path, GUARDED_CLS + body) == []
 
 
+class TestSRC013CheckThenAct:
+    BAD_FLAG = (
+        "    def bad(self, k, v):\n"
+        "        closed = self._closed\n"
+        "        if closed:\n"
+        "            with self._lock:\n"
+        "                self._blocks[k] = v\n"
+    )
+    BAD_DIRECT = (
+        "    def bad(self, k, v):\n"
+        "        if not self._closed:\n"
+        "            with self._lock:\n"
+        "                self._blocks[k] = v\n"
+    )
+
+    @pytest.mark.parametrize(
+        "body", [BAD_FLAG, BAD_DIRECT], ids=["via-local", "direct"]
+    )
+    def test_check_then_act_fires(self, tmp_path, body):
+        source = GUARDED_CLS.replace(
+            "    def __init__(self):\n",
+            "    def __init__(self):\n"
+            "        self._closed = False  # guarded-by: self._lock\n",
+        ) + body
+        found = lint_snippet(tmp_path, source)
+        # the stale read itself is SRC005; the decision built on it is
+        # the TOCTOU
+        assert "SRC013" in rules(found)
+        d = next(f for f in found if f.rule_id == "SRC013")
+        assert "self._closed" in d.message
+        assert "with self._lock" in d.message
+
+    def test_check_and_act_in_one_section_passes(self, tmp_path):
+        body = (
+            "    def good(self, k, v):\n"
+            "        with self._lock:\n"
+            "            if k not in self._blocks:\n"
+            "                self._blocks[k] = v\n"
+        )
+        assert lint_snippet(tmp_path, GUARDED_CLS + body) == []
+
+    def test_decision_without_guarded_act_passes(self, tmp_path):
+        # acting on *unguarded* state under the lock is not TOCTOU on
+        # the guarded state
+        body = (
+            "    def ok(self, k):\n"
+            "        n = len(self._blocks)\n"
+            "        if n:\n"
+            "            with self._lock:\n"
+            "                pass\n"
+        )
+        found = lint_snippet(tmp_path, GUARDED_CLS + body)
+        assert "SRC013" not in rules(found)
+
+    def test_reassignment_clears_taint(self, tmp_path):
+        body = (
+            "    def ok(self, k, v):\n"
+            "        stale = len(self._blocks)\n"
+            "        stale = v\n"
+            "        if stale:\n"
+            "            with self._lock:\n"
+            "                self._blocks[k] = v\n"
+        )
+        found = lint_snippet(tmp_path, GUARDED_CLS + body)
+        assert "SRC013" not in rules(found)
+
+
+class TestSRC014CompoundAcrossSections:
+    def test_split_check_and_insert_fires(self, tmp_path):
+        body = (
+            "    def bad(self, k, make):\n"
+            "        with self._lock:\n"
+            "            present = k in self._blocks\n"
+            "        if not present:\n"
+            "            with self._lock:\n"
+            "                self._blocks[k] = make()\n"
+        )
+        found = lint_snippet(tmp_path, GUARDED_CLS + body)
+        assert rules(found) == ["SRC014"]
+        assert "spans critical sections" in found[0].message
+
+    def test_same_section_passes(self, tmp_path):
+        body = (
+            "    def good(self, k, make):\n"
+            "        with self._lock:\n"
+            "            present = k in self._blocks\n"
+            "            if not present:\n"
+            "                self._blocks[k] = make()\n"
+        )
+        assert lint_snippet(tmp_path, GUARDED_CLS + body) == []
+
+    def test_flag_used_without_reentering_passes(self, tmp_path):
+        # reading the flag outside any critical section and never
+        # touching the container again is fine (a plain stale read)
+        body = (
+            "    def ok(self, k):\n"
+            "        with self._lock:\n"
+            "            present = k in self._blocks\n"
+            "        return present\n"
+        )
+        assert lint_snippet(tmp_path, GUARDED_CLS + body) == []
+
+
 class TestSeededRealSourceBugs:
     """Mutate the real ``rangeio`` source the way a careless refactor
     would, and pin that the lint catches exactly that regression."""

@@ -133,3 +133,24 @@ class TestConcurrentConvertAndVerify:
         with lockcheck(strict=True):
             ucp_convert(str(ckpt), str(out), workers=2)
         assert dir_digests(out) == ref_digests
+
+
+class TestScheduleSpaceExploration:
+    """The stress tests above sample a handful of OS schedules; the
+    explorer walks the *space*.  The distilled convert+verify hub shape
+    must hold its invariants on every explored interleaving."""
+
+    def test_convert_verify_scenario_is_schedule_clean(self):
+        from repro.analysis import interleave
+
+        # deep caps only when CI exports REPRO_INTERLEAVE (the full
+        # space is ~4k schedules); the bounded sweep must stay clean
+        # too — a UCP039 warning is the only acceptable diagnostic
+        cap = 6000 if interleave.enabled_from_env() else 64
+        result = interleave.explore("convert-verify", schedules=cap)
+        assert result.report.errors == []
+        assert result.counterexamples == []
+        assert {d.rule_id for d in result.report.warnings} <= {"UCP039"}
+        if interleave.enabled_from_env():
+            assert result.exhaustive
+        assert result.schedules_run > 10  # branches were really explored
